@@ -1,0 +1,71 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* Check kernel: scalar short-circuit loop vs vectorized columnar sweep
+  over the same clusters (the Python analogue of the paper's
+  prefetch-vs-no-prefetch comparison — also visible wall-clock as the
+  propagation vs propagation-wp gap in bench_fig3a).
+* Inequality index backing: sorted arrays vs B-tree, on the
+  inequality-heavy W2 predicate phase.
+* Dynamic maintenance: matching cost with adaptation enabled vs frozen
+  at the natural clustering.
+"""
+
+import pytest
+
+from benchmarks.conftest import match_batch, scaled
+from repro.bench.experiments.common import materialize
+from repro.bench.harness import load_subscriptions
+from repro.indexes import IndexKind
+from repro.matchers import DynamicMatcher, PrefetchPropagationMatcher, PropagationMatcher
+from repro.workload.scenarios import w0, w2
+
+
+@pytest.mark.parametrize("kernel", ["scalar", "vector"])
+def test_kernel_ablation(benchmark, kernel):
+    """Scalar vs vectorized cluster checking over identical clustering."""
+    n = scaled(3_000_000)
+    spec = w0(seed=0)
+    subs, events = materialize(spec, n, 20)
+    cls = PropagationMatcher if kernel == "scalar" else PrefetchPropagationMatcher
+    matcher = cls()
+    load_subscriptions(matcher, subs)
+    benchmark(match_batch, matcher, events)
+    benchmark.group = "ablation-kernel"
+    benchmark.extra_info["n_subscriptions"] = n
+
+
+@pytest.mark.parametrize("kind", [IndexKind.SORTED_ARRAY, IndexKind.BTREE])
+def test_inequality_index_ablation(benchmark, kind):
+    """Phase-1 cost with both inequality-index backings on W2."""
+    n = scaled(1_500_000)
+    spec = w2(seed=0)
+    subs, events = materialize(spec, n, 20)
+    matcher = PrefetchPropagationMatcher(index_kind=kind)
+    load_subscriptions(matcher, subs)
+
+    def phase1():
+        for event in events:
+            matcher.bits.reset()
+            matcher.indexes.evaluate(event, matcher.bits)
+
+    benchmark(phase1)
+    benchmark.group = "ablation-ineq-index"
+    benchmark.extra_info["kind"] = kind.value
+
+
+@pytest.mark.parametrize("adaptation", ["enabled", "frozen"])
+def test_dynamic_adaptation_ablation(benchmark, adaptation):
+    """Does the maintenance machinery pay for itself at match time?"""
+    n = scaled(3_000_000)
+    spec = w0(seed=0)
+    subs, events = materialize(spec, n, 20)
+    matcher = DynamicMatcher()
+    if adaptation == "frozen":
+        matcher.freeze()  # natural clustering only, no multi-attr tables
+    load_subscriptions(matcher, subs)
+    benchmark(match_batch, matcher, events)
+    benchmark.group = "ablation-dynamic-adaptation"
+    benchmark.extra_info["tables"] = len(matcher.config)
+    benchmark.extra_info["checks_per_event"] = round(
+        matcher.counters["subscription_checks"] / matcher.counters["events"], 1
+    )

@@ -1,0 +1,42 @@
+"""Batch submission through the server boundary (paper §6.1 methodology).
+
+The paper's timings include the hop between the workload-generator
+process and the matcher process, measured per 100-event batch
+(``n_E_b``).  This benchmark measures the same batch through the
+loopback server (queue hop + worker thread) and, for comparison,
+directly against the matcher — the difference is the submission
+overhead the paper's absolute numbers carry.
+"""
+
+import pytest
+
+from benchmarks.conftest import loaded_matcher, match_batch, scaled
+from repro.system.server import BatchServer
+from repro.workload.scenarios import w0
+
+BATCH = 100  # the paper's n_E_b
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    n = scaled(1_500_000)
+    matcher, events = loaded_matcher("dynamic", w0(seed=0), n, BATCH)
+    return n, matcher, events
+
+
+def test_direct_batch(benchmark, loaded):
+    n, matcher, events = loaded
+    benchmark(match_batch, matcher, events)
+    benchmark.group = "batch-submission"
+    benchmark.extra_info["n_subscriptions"] = n
+    benchmark.extra_info["path"] = "direct"
+
+
+def test_through_server(benchmark, loaded):
+    n, matcher, events = loaded
+    with BatchServer(matcher=matcher) as server:
+        reply = benchmark(server.submit_events, events)
+    benchmark.group = "batch-submission"
+    benchmark.extra_info["n_subscriptions"] = n
+    benchmark.extra_info["path"] = "queued server"
+    benchmark.extra_info["processing_seconds"] = round(reply.processing_seconds, 5)

@@ -1,0 +1,74 @@
+"""§2.2/2.3 cache ablation on the simulator substrate.
+
+The figure quantity is *simulated cycles* (extra_info), measured per
+configuration: columnar/row-wise layout × prefetch on/off, plus the
+wide-cluster prefetch policy.  Paper claims asserted: prefetch ≈1.5× on
+the columnar scan; columnar ≤ row-wise; partial prefetch wins on wide
+clusters.
+"""
+
+import pytest
+
+from repro.cache import (
+    Arena,
+    CacheConfig,
+    CacheSimulator,
+    ClusterLayout,
+    KernelParams,
+    scan_cluster,
+    synthesize_cluster,
+)
+
+COUNT = 4096
+SELECTIVITY = 0.3
+
+
+def _run(columnar: bool, prefetch: bool, size: int = 3, prefetch_rows=None):
+    refs, bits = synthesize_cluster(size, COUNT, COUNT, SELECTIVITY, seed=0)
+    config = CacheConfig()
+    layout = ClusterLayout.build(
+        size, COUNT, COUNT, Arena(alignment=config.line_size), columnar=columnar
+    )
+    sim = CacheSimulator(config)
+    params = KernelParams(prefetch=prefetch, prefetch_rows=prefetch_rows)
+    return scan_cluster(sim, layout, refs, bits, params)
+
+
+CONFIGS = {
+    "columnar+prefetch": (True, True),
+    "columnar": (True, False),
+    "rowwise+prefetch": (False, True),
+    "rowwise": (False, False),
+}
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_cache_layout_configurations(benchmark, config):
+    columnar, prefetch = CONFIGS[config]
+    metrics = benchmark(_run, columnar, prefetch)
+    benchmark.group = "cache-ablation"
+    benchmark.extra_info["simulated_cycles"] = metrics.cycles
+    benchmark.extra_info["misses"] = metrics.misses
+    benchmark.extra_info["stall_fraction"] = round(metrics.stall_fraction, 3)
+
+
+def test_cache_paper_claims(benchmark):
+    def claims():
+        col = _run(True, False)
+        col_pf = _run(True, True)
+        row = _run(False, False)
+        wide_all = _run(True, True, size=8)
+        wide_2 = _run(True, True, size=8, prefetch_rows=2)
+        return col, col_pf, row, wide_all, wide_2
+
+    col, col_pf, row, wide_all, wide_2 = benchmark.pedantic(
+        claims, rounds=1, iterations=1
+    )
+    benchmark.group = "cache-ablation"
+    speedup = col.cycles / col_pf.cycles
+    benchmark.extra_info["prefetch_speedup"] = round(speedup, 2)
+    benchmark.extra_info["wide_all_rows_cycles"] = wide_all.cycles
+    benchmark.extra_info["wide_first2_cycles"] = wide_2.cycles
+    assert speedup > 1.2          # paper: ≈1.5×
+    assert col.cycles < row.cycles  # columnar wins at selective predicates
+    assert wide_2.cycles <= wide_all.cycles * 1.05  # partial prefetch ≥ parity

@@ -1,0 +1,45 @@
+"""Subscription-change throughput (the abstract's "high rates of
+subscription changes" and §2.3's insertion-cost claim).
+
+Benchmarks a sustained insert+delete cycle against a warm population,
+per engine — compare with the matching rows of bench_fig3a: insertion
+should be in the same cost class as matching for the clustered engines,
+and the test-network baseline should pay visibly more (§5 critique).
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.bench.experiments.common import materialize
+from repro.bench.harness import load_subscriptions, matcher_for
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.scenarios import w0
+
+ENGINES = ("counting", "propagation-wp", "dynamic", "test-network")
+CYCLE = 100  # subscriptions inserted + removed per benchmark round
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_subscription_churn_cycle(benchmark, engine):
+    n = scaled(1_500_000)
+    spec = w0(seed=0)
+    subs, _ = materialize(spec, n, 0)
+    matcher = matcher_for(engine, spec)
+    load_subscriptions(matcher, subs)
+    gen = WorkloadGenerator(spec, id_prefix="churn-")
+    counter = itertools.count()
+
+    def cycle():
+        batch = [gen.next_subscription() for _ in range(CYCLE)]
+        for sub in batch:
+            matcher.add(sub)
+        for sub in batch:
+            matcher.remove(sub.id)
+        next(counter)
+
+    benchmark(cycle)
+    benchmark.group = f"churn-n{n}"
+    benchmark.extra_info["population"] = n
+    benchmark.extra_info["ops_per_round"] = 2 * CYCLE

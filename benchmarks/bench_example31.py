@@ -1,0 +1,28 @@
+"""Example 3.1: analytic clustering comparison (C1 vs C2).
+
+Asserts the exact populations/cost figures (arithmetically consistent
+variants — see repro.analysis.example31 for the paper's pair-cluster
+slip) while timing the closed-form computation.
+"""
+
+import pytest
+
+from repro.analysis import example_31
+
+
+def _compute():
+    instances = example_31()
+    return {
+        name: inst.event_cost({"A", "B"}) for name, inst in instances.items()
+    }
+
+
+def test_example31_analysis(benchmark):
+    costs = benchmark(_compute)
+    benchmark.group = "example3.1"
+    (l1, c1), (l2, c2) = costs["C1"], costs["C2"]
+    assert (l1, round(c1)) == (2, 46667)
+    assert (l2, round(c2)) == (3, 25150)
+    assert c2 < c1  # the paper's conclusion: C2 preferred
+    benchmark.extra_info["C1_checks"] = round(c1)
+    benchmark.extra_info["C2_checks"] = round(c2)

@@ -1,0 +1,36 @@
+"""Figure 3(a): matching throughput per algorithm vs subscription count.
+
+Paper (W0, 6 M subscriptions): counting 1.1 ev/s ≪ propagation 124 ≪
+propagation-wp 196 (×1.5 prefetch) ≪ dynamic 602, dynamic flat in |S|.
+
+Each benchmark matches one 20-event batch; compare groups ``fig3a-small``
+vs ``fig3a-large`` to see the scaling shape (the dynamic rows should
+barely move while counting/propagation degrade ~linearly).
+"""
+
+import pytest
+
+from benchmarks.conftest import loaded_matcher, match_batch, scaled
+from repro.bench.harness import FIGURE3_ALGORITHMS
+from repro.workload.scenarios import w0
+
+N_EVENTS = 20
+
+SIZES = {
+    "small": scaled(1_500_000),
+    "large": scaled(6_000_000),
+}
+
+
+@pytest.mark.parametrize("algorithm", FIGURE3_ALGORITHMS)
+@pytest.mark.parametrize("size", list(SIZES))
+def test_fig3a_matching(benchmark, algorithm, size):
+    n = SIZES[size]
+    matcher, events = loaded_matcher(algorithm, w0(seed=0), n, N_EVENTS)
+    total = benchmark(match_batch, matcher, events)
+    benchmark.group = f"fig3a-{size}-n{n}"
+    benchmark.extra_info["n_subscriptions"] = n
+    benchmark.extra_info["matches_per_batch"] = total
+    benchmark.extra_info["checks_per_event"] = (
+        matcher.counters["subscription_checks"] / matcher.counters["events"]
+    )

@@ -1,0 +1,26 @@
+"""Figure 3(b): operator-mix sensitivity (W1 vs W2).
+
+Paper: both dynamic and propagation-wp slow down by a constant factor
+going from W1 (1 inequality predicate) to W2 (6), the relative gap
+between the two algorithms staying put.
+"""
+
+import pytest
+
+from benchmarks.conftest import loaded_matcher, match_batch, scaled
+from repro.workload.scenarios import w1, w2
+
+N_EVENTS = 20
+ALGORITHMS = ("propagation-wp", "dynamic")
+WORKLOADS = {"W1": w1, "W2": w2}
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("workload", list(WORKLOADS))
+def test_fig3b_operator_mix(benchmark, algorithm, workload):
+    n = scaled(3_000_000)
+    matcher, events = loaded_matcher(algorithm, WORKLOADS[workload](), n, N_EVENTS)
+    benchmark(match_batch, matcher, events)
+    benchmark.group = f"fig3b-{workload}"
+    benchmark.extra_info["n_subscriptions"] = n
+    benchmark.extra_info["workload"] = workload

@@ -1,0 +1,27 @@
+"""Figure 3(c): memory resident size per algorithm.
+
+Paper: propagation (shared structures) smallest, counting close, dynamic
+largest (the multi-attribute hash tables).  The *figure quantity* is the
+``resident_mb`` extra-info column; the timed quantity is the deep-size
+walk itself (constant work per object, so it also tracks footprint).
+"""
+
+import pytest
+
+from benchmarks.conftest import loaded_matcher, scaled
+from repro.bench.harness import FIGURE3_ALGORITHMS
+from repro.bench.memory import matcher_memory_bytes
+from repro.workload.scenarios import w0
+
+
+@pytest.mark.parametrize("algorithm", FIGURE3_ALGORITHMS)
+def test_fig3c_resident_size(benchmark, algorithm):
+    n = scaled(3_000_000)
+    matcher, _events = loaded_matcher(algorithm, w0(seed=0), n, 0)
+    size = benchmark.pedantic(
+        matcher_memory_bytes, args=(matcher,), rounds=1, iterations=1
+    )
+    benchmark.group = f"fig3c-n{n}"
+    benchmark.extra_info["n_subscriptions"] = n
+    benchmark.extra_info["resident_mb"] = round(size / 1e6, 2)
+    benchmark.extra_info["bytes_per_subscription"] = round(size / n, 1)

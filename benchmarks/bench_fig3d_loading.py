@@ -1,0 +1,29 @@
+"""Figure 3(d): subscription loading time per algorithm.
+
+Paper: counting loads fastest, the propagation pair next, dynamic pays
+for incremental reorganization, static pays most (full from-scratch
+greedy optimization after the load).
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.bench.experiments.common import materialize
+from repro.bench.harness import load_subscriptions, matcher_for
+from repro.workload.scenarios import w0
+
+ALGORITHMS = ("counting", "propagation", "propagation-wp", "dynamic", "static")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig3d_loading(benchmark, algorithm):
+    n = scaled(1_500_000)
+    spec = w0(seed=0)
+    subs, _ = materialize(spec, n, 0)
+
+    def load():
+        return load_subscriptions(matcher_for(algorithm, spec), subs)
+
+    benchmark.pedantic(load, rounds=2, iterations=1)
+    benchmark.group = f"fig3d-n{n}"
+    benchmark.extra_info["n_subscriptions"] = n

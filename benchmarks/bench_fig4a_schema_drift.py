@@ -1,0 +1,37 @@
+"""Figure 4(a): throughput evolution under schema drift (W3 → W4).
+
+Paper: the no-change strategy ends at roughly half its original
+throughput; the dynamic strategy is irregular during the transition and
+ends ~1.75× above no-change.  The whole storyline runs once per
+strategy; ``extra_info['windows']`` carries the bucketed series (the
+plotted line) and ``end_ratio`` the dynamic/no-change final comparison.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.bench.experiments.fig4a import run as run_fig4a
+
+
+def test_fig4a_transition(benchmark):
+    population = scaled(3_000_000, minimum=2_000)
+    result = benchmark.pedantic(
+        run_fig4a,
+        kwargs={"population": population, "out": lambda _line: None},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.group = "fig4a"
+    buckets = result["buckets"]
+    benchmark.extra_info["population"] = population
+    benchmark.extra_info["windows"] = {
+        k: [round(x) for x in v] for k, v in buckets.items()
+    }
+    dyn, noch = buckets["dynamic"], buckets["no change"]
+    end_ratio = dyn[-1] / noch[-1] if noch[-1] else float("inf")
+    benchmark.extra_info["end_ratio_dynamic_over_nochange"] = round(end_ratio, 2)
+    degradation = noch[-1] / max(noch[0], 1e-9)
+    benchmark.extra_info["nochange_end_over_start"] = round(degradation, 2)
+    # Paper shapes: no-change degrades, dynamic ends above it.
+    assert degradation < 0.8
+    assert end_ratio > 1.1

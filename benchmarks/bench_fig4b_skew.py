@@ -1,0 +1,35 @@
+"""Figure 4(b): throughput evolution under value skew (W5 → W6).
+
+Paper: no-change loses ~20 % once subscriptions and events concentrate
+on two hot values; dynamic reorganizes and recovers most of it (the
+residual loss is genuine extra matches, which no clustering removes).
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.bench.experiments.fig4b import run as run_fig4b
+
+
+def test_fig4b_transition(benchmark):
+    population = scaled(3_000_000, minimum=2_000)
+    result = benchmark.pedantic(
+        run_fig4b,
+        kwargs={"population": population, "out": lambda _line: None},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.group = "fig4b"
+    buckets = result["buckets"]
+    benchmark.extra_info["population"] = population
+    benchmark.extra_info["windows"] = {
+        k: [round(x) for x in v] for k, v in buckets.items()
+    }
+    dyn, noch = buckets["dynamic"], buckets["no change"]
+    end_ratio = dyn[-1] / noch[-1] if noch[-1] else float("inf")
+    benchmark.extra_info["end_ratio_dynamic_over_nochange"] = round(end_ratio, 2)
+    benchmark.extra_info["nochange_end_over_start"] = round(
+        noch[-1] / max(noch[0], 1e-9), 2
+    )
+    # Paper shape: skew hurts the frozen configuration.
+    assert noch[-1] < noch[0]

@@ -1,0 +1,64 @@
+"""Section 5's comparison: test network vs two-phase clustering.
+
+The paper argues the test-network family (A-TREAT / Gryphon) suffers
+poor locality, larger memory, and expensive subscription maintenance.
+These benchmarks measure matching, memory (extra-info ``resident_mb``)
+and churn on identical workloads.
+
+Caveat for reading the results: Python's uniform object-memory model
+hides the *locality* penalty that is central to the paper's critique —
+pointer-chasing through network nodes costs the same per step as an
+array scan here, and on all-equality workloads (W0) the network behaves
+like a trie with narrow fan-out, so its wall-clock matching can look
+competitive.  The locality argument itself is reproduced on the cache
+simulator substrate (bench_cache_ablation: scattered row-wise layouts
+vs contiguous columnar ones); the memory overhead shows in the
+``resident_mb`` extra-info of this file's matching rows.
+"""
+
+import pytest
+
+from benchmarks.conftest import match_batch, scaled
+from repro.bench.experiments.common import materialize
+from repro.bench.harness import load_subscriptions
+from repro.bench.memory import matcher_memory_bytes
+from repro.matchers import DynamicMatcher, TreeMatcher
+from repro.workload.scenarios import w0
+
+N_EVENTS = 20
+
+
+def _inputs(n):
+    return materialize(w0(seed=0), n, N_EVENTS)
+
+
+@pytest.mark.parametrize("engine", ["test-network", "dynamic"])
+def test_matching(benchmark, engine):
+    n = scaled(1_500_000)
+    subs, events = _inputs(n)
+    matcher = TreeMatcher() if engine == "test-network" else DynamicMatcher()
+    load_subscriptions(matcher, subs)
+    benchmark(match_batch, matcher, events)
+    benchmark.group = "testnetwork-match"
+    benchmark.extra_info["n_subscriptions"] = n
+    benchmark.extra_info["resident_mb"] = round(matcher_memory_bytes(matcher) / 1e6, 1)
+
+
+@pytest.mark.parametrize("engine", ["test-network", "dynamic"])
+def test_subscription_churn(benchmark, engine):
+    """The maintenance cost the paper highlights: insert + remove cycles."""
+    n = scaled(750_000)
+    subs, _events = _inputs(n)
+    matcher = TreeMatcher() if engine == "test-network" else DynamicMatcher()
+    load_subscriptions(matcher, subs)
+    extra, _ = materialize(w0(seed=9), 200, 0, id_prefix="extra-")
+
+    def churn():
+        for sub in extra:
+            matcher.add(sub)
+        for sub in extra:
+            matcher.remove(sub.id)
+
+    benchmark(churn)
+    benchmark.group = "testnetwork-churn"
+    benchmark.extra_info["n_subscriptions"] = n

@@ -1,0 +1,36 @@
+"""§1.2: the SQL-trigger strawman vs the dynamic matcher.
+
+One trigger per subscription means every insert evaluates every
+trigger; compare the groups at the two sizes — trigger cost doubles
+with the population while dynamic stays flat.
+"""
+
+import pytest
+
+from benchmarks.conftest import loaded_matcher, match_batch
+from repro.bench.experiments.common import materialize
+from repro.bench.harness import load_subscriptions
+from repro.sqltrigger import TriggerMatcher
+from repro.workload.scenarios import w0
+
+N_EVENTS = 10
+SIZES = (1_000, 4_000)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sql_trigger_baseline(benchmark, n):
+    spec = w0(seed=0)
+    subs, events = materialize(spec, n, N_EVENTS)
+    matcher = TriggerMatcher(columns=spec.attribute_names)
+    load_subscriptions(matcher, subs)
+    benchmark(match_batch, matcher, events)
+    benchmark.group = f"trigger-baseline-n{n}"
+    benchmark.extra_info["n_subscriptions"] = n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_dynamic_comparison(benchmark, n):
+    matcher, events = loaded_matcher("dynamic", w0(seed=0), n, N_EVENTS)
+    benchmark(match_batch, matcher, events)
+    benchmark.group = f"trigger-baseline-n{n}"
+    benchmark.extra_info["n_subscriptions"] = n

@@ -1,0 +1,35 @@
+"""Shared helpers for the figure benchmarks.
+
+Scale control: set ``REPRO_SCALE`` (fraction of paper scale, default
+0.02) to grow/shrink every workload.  At 0.02 the full benchmark suite
+reproduces every figure's *shape* in a few minutes; approaching 1.0
+reproduces the paper's absolute population sizes (hours in pure Python).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import configured_scale, load_subscriptions, matcher_for
+from repro.bench.experiments.common import materialize
+
+
+def scaled(paper_count: int, minimum: int = 500) -> int:
+    """A paper-scale count shrunk by the configured REPRO_SCALE."""
+    return max(minimum, int(paper_count * configured_scale()))
+
+
+def loaded_matcher(algorithm: str, spec, n_subs: int, n_events: int):
+    """(matcher, events) ready for matching benchmarks."""
+    subs, events = materialize(spec, n_subs, n_events)
+    matcher = matcher_for(algorithm, spec)
+    load_subscriptions(matcher, subs)
+    return matcher, events
+
+
+def match_batch(matcher, events) -> int:
+    """The benchmarked unit: match a whole event batch."""
+    total = 0
+    for event in events:
+        total += len(matcher.match(event))
+    return total

@@ -1,0 +1,59 @@
+"""Quickstart: subscribe, publish, match.
+
+Run:  python examples/quickstart.py
+
+Covers the core API in ~60 lines: building subscriptions (constructors
+and the text language), matching events with the dynamic engine, and
+removing subscriptions.
+"""
+
+from repro import DynamicMatcher, Event, Subscription, eq, ge, le
+from repro.lang import parse_event, parse_subscription, parse_subscriptions
+
+
+def main() -> None:
+    matcher = DynamicMatcher()
+
+    # --- build subscriptions programmatically -------------------------
+    matcher.add(
+        Subscription(
+            "cinema-fan",
+            [eq("movie", "groundhog day"), le("price", 10)],
+        )
+    )
+    matcher.add(
+        Subscription(
+            "bargain-hunter",
+            [eq("category", "laptop"), le("price", 800), ge("ram_gb", 16)],
+        )
+    )
+
+    # --- or parse them from text ---------------------------------------
+    matcher.add(parse_subscription("movie = 'groundhog day' and price <= 5", "cheapskate"))
+    # or/not formulas expand to several conjunctions (DNF):
+    for sub in parse_subscriptions(
+        "category = laptop and (price <= 500 or ram_gb >= 32)", "picky"
+    ):
+        matcher.add(sub)
+
+    # --- publish events -------------------------------------------------
+    showtime = Event({"movie": "groundhog day", "price": 8, "theater": "odeon"})
+    print(f"{showtime}\n  -> {sorted(matcher.match(showtime), key=str)}")
+
+    deal = parse_event("category=laptop, price=450, ram_gb=16, brand=lanovo")
+    print(f"{deal}\n  -> {sorted(matcher.match(deal), key=str)}")
+
+    beefy = parse_event("category=laptop, price=1200, ram_gb=64")
+    print(f"{beefy}\n  -> {sorted(matcher.match(beefy), key=str)}")
+
+    # --- unsubscribe ------------------------------------------------------
+    matcher.remove("cheapskate")
+    print(f"after removing 'cheapskate': {sorted(matcher.match(showtime), key=str)}")
+
+    print("\nengine statistics:")
+    for key, value in matcher.stats().items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Routing gateway: subscription covering as an upstream filter.
+
+Run:  python examples/routing_gateway.py
+
+An edge broker aggregates local subscriptions and forwards a *minimal
+covering set* to its upstream peer (the classic content-based-routing
+optimization): a subscription need not travel upstream if a broader one
+already did.  Locally, every subscriber is still matched exactly.
+"""
+
+from repro import DynamicMatcher, Subscription, eq, ge, le
+from repro.core.covering import CoverageIndex, covers
+from repro.lang import parse_event
+
+LOCAL_SUBSCRIPTIONS = [
+    Subscription("alice", [eq("sport", "cycling"), le("price", 50)]),
+    Subscription("bob", [eq("sport", "cycling"), le("price", 20)]),      # ⊂ alice
+    Subscription("carol", [eq("sport", "cycling")]),                      # ⊃ alice, bob
+    Subscription("dave", [eq("sport", "running"), ge("distance", 10)]),
+    Subscription("erin", [eq("sport", "running"), ge("distance", 21)]),   # ⊂ dave
+]
+
+
+def main() -> None:
+    local = DynamicMatcher()
+    upstream_filter = CoverageIndex()
+
+    print("local subscriptions arriving at the edge broker:")
+    for sub in LOCAL_SUBSCRIPTIONS:
+        local.add(sub)
+        redundant, now_covered = upstream_filter.add(sub)
+        note = "suppressed upstream (covered)" if redundant else "forwarded upstream"
+        if now_covered:
+            note += f"; supersedes {now_covered} upstream"
+        print(f"  {sub.id:6s} {note}")
+
+    forwarding = upstream_filter.covering_set()
+    print(f"\nminimal upstream forwarding set "
+          f"({len(forwarding)} of {len(LOCAL_SUBSCRIPTIONS)}):")
+    for sub in forwarding:
+        print(f"  {sub}")
+    # Sanity: the forwarding set covers everything local.
+    assert all(
+        any(covers(f, s) for f in forwarding) for s in LOCAL_SUBSCRIPTIONS
+    )
+
+    print("\nevents flowing down from upstream are matched exactly locally:")
+    for text in (
+        "sport=cycling, price=15, brand=bianchi",
+        "sport=cycling, price=45, brand=colnago",
+        "sport=running, distance=25, city=berlin",
+        "sport=running, distance=12, city=paris",
+    ):
+        event = parse_event(text)
+        print(f"  {text:45s} -> {sorted(local.match(event))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Short-lived travel subscriptions: validity intervals and expiry.
+
+Run:  python examples/travel_deals.py
+
+The paper's motivating example: "a user may want to go from New York to
+California in the next 24 hours but only if he can get a flight for
+under $400 — such a subscription would be short-lived."  Subscriptions
+carry TTLs; the broker drops them lazily when their interval ends.
+"""
+
+from repro import Subscription, eq, le
+from repro.lang import parse_event
+from repro.system import PubSubBroker, QueueNotifier, VirtualClock
+
+HOUR = 3600.0
+
+
+def main() -> None:
+    clock = VirtualClock()
+    inbox = QueueNotifier()
+    broker = PubSubBroker(clock=clock, notifier=inbox)
+
+    # A 24-hour subscription: NYC -> SFO under $400.
+    broker.subscribe(
+        Subscription(
+            "urgent-traveller",
+            [eq("from", "NYC"), eq("to", "SFO"), le("price", 400)],
+        ),
+        ttl=24 * HOUR,
+    )
+    # A standing (immortal) watcher for any cheap west-coast fare.
+    broker.subscribe(
+        Subscription("fare-watcher", [eq("to", "SFO"), le("price", 250)])
+    )
+    print(f"live subscriptions: {broker.subscription_count}")
+
+    # Hour 2: an offer at $380 — matches the urgent traveller only.
+    clock.advance(2 * HOUR)
+    matched = broker.publish(parse_event("from=NYC, to=SFO, price=380, airline=PanGalactic"))
+    print(f"t+2h  $380 fare matched: {matched}")
+
+    # Hour 30: the 24 h subscription has expired; $380 matches nobody,
+    # but $240 still catches the standing watcher.
+    clock.advance(28 * HOUR)
+    matched = broker.publish(parse_event("from=NYC, to=SFO, price=380, airline=PanGalactic"))
+    print(f"t+30h $380 fare matched: {matched}  (urgent subscription expired)")
+    matched = broker.publish(parse_event("from=BOS, to=SFO, price=240, airline=Budgetair"))
+    print(f"t+30h $240 fare matched: {matched}")
+
+    print(f"live subscriptions after expiry: {broker.subscription_count}")
+    print(f"notifications delivered: {len(inbox.drain())}")
+    print("expired:", broker.counters["expired_subscriptions"])
+
+
+if __name__ == "__main__":
+    main()

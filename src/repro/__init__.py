@@ -1,0 +1,113 @@
+"""repro — very fast content-based publish/subscribe matching.
+
+A full reproduction of "Filtering Algorithms and Implementation for Very
+Fast Publish/Subscribe Systems" (SIGMOD 2001): the two-phase cache-
+conscious matching algorithm, schema-based cost-optimized clustering,
+dynamic cluster maintenance, the counting baseline, the paper's workload
+generator, and a pub/sub broker with validity intervals on top.
+
+Quickstart::
+
+    from repro import DynamicMatcher, Event, Subscription, eq, le
+
+    matcher = DynamicMatcher()
+    matcher.add(Subscription("s1", [eq("movie", "groundhog day"), le("price", 10)]))
+    matcher.match(Event({"movie": "groundhog day", "price": 8, "theater": "odeon"}))
+    # -> ["s1"]
+"""
+
+from repro.core import (
+    BitVector,
+    DuplicateSubscriptionError,
+    Event,
+    InvalidEventError,
+    InvalidPredicateError,
+    InvalidSubscriptionError,
+    InvalidWorkloadError,
+    Matcher,
+    Operator,
+    OracleMatcher,
+    ParseError,
+    Predicate,
+    PredicateRegistry,
+    ReproError,
+    Subscription,
+    UnknownSubscriptionError,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+)
+from repro.clustering import (
+    ClusteringPlan,
+    CostConstants,
+    CostModel,
+    DynamicParams,
+    EventStatistics,
+    GreedyClusteringOptimizer,
+    UniformStatistics,
+)
+from repro.core.explain import MatchExplanation, explain, why_not
+from repro.core.simplify import simplify, simplify_predicates
+from repro.core.threadsafe import ThreadSafeMatcher
+from repro.matchers import (
+    MATCHER_FACTORIES,
+    CountingMatcher,
+    DynamicMatcher,
+    PrefetchPropagationMatcher,
+    PropagationMatcher,
+    StaticMatcher,
+    TreeMatcher,
+    make_matcher,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitVector",
+    "ClusteringPlan",
+    "CostConstants",
+    "CostModel",
+    "CountingMatcher",
+    "DuplicateSubscriptionError",
+    "DynamicMatcher",
+    "DynamicParams",
+    "Event",
+    "EventStatistics",
+    "GreedyClusteringOptimizer",
+    "InvalidEventError",
+    "InvalidPredicateError",
+    "InvalidSubscriptionError",
+    "InvalidWorkloadError",
+    "MATCHER_FACTORIES",
+    "MatchExplanation",
+    "Matcher",
+    "Operator",
+    "OracleMatcher",
+    "ParseError",
+    "Predicate",
+    "PredicateRegistry",
+    "PrefetchPropagationMatcher",
+    "PropagationMatcher",
+    "ReproError",
+    "StaticMatcher",
+    "Subscription",
+    "ThreadSafeMatcher",
+    "TreeMatcher",
+    "UniformStatistics",
+    "UnknownSubscriptionError",
+    "eq",
+    "explain",
+    "ge",
+    "gt",
+    "le",
+    "lt",
+    "make_matcher",
+    "ne",
+    "simplify",
+    "simplify_predicates",
+    "why_not",
+    "__version__",
+]

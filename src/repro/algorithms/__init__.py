@@ -1,0 +1,18 @@
+"""Matching algorithms: cluster storage and the evaluation baselines."""
+
+from repro.algorithms.base import TwoPhaseMatcher
+from repro.algorithms.clusters import Cluster, ClusterList
+from repro.algorithms.counting import CountingMatcher
+from repro.algorithms.propagation import (
+    PrefetchPropagationMatcher,
+    PropagationMatcher,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterList",
+    "CountingMatcher",
+    "PrefetchPropagationMatcher",
+    "PropagationMatcher",
+    "TwoPhaseMatcher",
+]

@@ -1,0 +1,177 @@
+"""Shared skeleton of all two-phase matchers.
+
+Owns the predicate registry, the bit vector and the phase-1 index set;
+subclasses implement only subscription placement (phase-2 storage) and
+the candidate-cluster walk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.bitvector import BitVector
+from repro.core.errors import DuplicateSubscriptionError, UnknownSubscriptionError
+from repro.core.matcher import Matcher
+from repro.core.registry import PredicateRegistry
+from repro.core.types import Event, Predicate, Subscription
+from repro.indexes.composite import PredicateIndexSet
+from repro.indexes.ordered import IndexKind
+
+
+class TwoPhaseMatcher(Matcher):
+    """Base for matchers that run predicate phase then subscription phase."""
+
+    name = "two-phase"
+
+    def __init__(self, index_kind: IndexKind = IndexKind.SORTED_ARRAY) -> None:
+        self.registry = PredicateRegistry()
+        self.bits: BitVector = self.registry.bits
+        self.indexes = PredicateIndexSet(index_kind)
+        self._subs: Dict[Any, Subscription] = {}
+        #: Cumulative instrumentation counters (events, predicate evals, reads).
+        self.counters: Dict[str, int] = {
+            "events": 0,
+            "predicates_satisfied": 0,
+            "subscription_checks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # predicate interning
+    # ------------------------------------------------------------------
+    def _intern_predicates(self, sub: Subscription) -> Dict[Predicate, int]:
+        """Intern every predicate of *sub*; index the newly-seen ones."""
+        slots: Dict[Predicate, int] = {}
+        for pred in sub.predicates:
+            bit, added = self.registry.intern(pred)
+            if added:
+                self.indexes.insert(pred, bit)
+            slots[pred] = bit
+        return slots
+
+    def _release_predicates(self, sub: Subscription) -> None:
+        """Release every predicate of *sub*; un-index the dead ones."""
+        for pred in sub.predicates:
+            _bit, removed = self.registry.release(pred)
+            if removed:
+                self.indexes.remove(pred)
+
+    # ------------------------------------------------------------------
+    # Matcher surface
+    # ------------------------------------------------------------------
+    def add(self, subscription: Subscription) -> None:
+        if subscription.id in self._subs:
+            raise DuplicateSubscriptionError(subscription.id)
+        slots = self._intern_predicates(subscription)
+        try:
+            self._place(subscription, slots)
+        except Exception:
+            self._release_predicates(subscription)
+            raise
+        self._subs[subscription.id] = subscription
+
+    def remove(self, sub_id: Any) -> Subscription:
+        sub = self._subs.get(sub_id)
+        if sub is None:
+            raise UnknownSubscriptionError(sub_id)
+        self._displace(sub)
+        self._release_predicates(sub)
+        del self._subs[sub_id]
+        return sub
+
+    def match(self, event: Event) -> List[Any]:
+        self.bits.reset()
+        satisfied = self.indexes.evaluate(event, self.bits)
+        self.counters["events"] += 1
+        self.counters["predicates_satisfied"] += satisfied
+        return self._match_phase2(event)
+
+    def get(self, sub_id: Any) -> Subscription:
+        """Look up a stored subscription by id."""
+        try:
+            return self._subs[sub_id]
+        except KeyError:
+            raise UnknownSubscriptionError(sub_id) from None
+
+    def __contains__(self, sub_id: Any) -> bool:
+        return sub_id in self._subs
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def stats(self) -> Dict[str, Any]:
+        base = super().stats()
+        base.update(
+            distinct_predicates=len(self.registry),
+            bitvector_slots=self.bits.size,
+            counters=dict(self.counters),
+        )
+        return base
+
+    # ------------------------------------------------------------------
+    # subclass responsibilities
+    # ------------------------------------------------------------------
+    def _place(self, sub: Subscription, slots: Dict[Predicate, int]) -> None:
+        """Store *sub* in phase-2 structures (bits already interned)."""
+        raise NotImplementedError
+
+    def _displace(self, sub: Subscription) -> None:
+        """Remove *sub* from phase-2 structures."""
+        raise NotImplementedError
+
+    def _match_phase2(self, event: Event) -> List[Any]:
+        """Walk candidate clusters; the bit vector is already populated."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # debugging
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal bookkeeping is inconsistent.
+
+        Intended for tests and debugging — O(subscriptions × predicates).
+        Subclasses extend with their phase-2 structure checks.
+        """
+        # Registry refcounts must equal live predicate usage exactly.
+        usage: Dict[Predicate, int] = {}
+        for sub in self._subs.values():
+            for pred in sub.predicates:
+                usage[pred] = usage.get(pred, 0) + 1
+        assert set(self.registry) == set(usage), "registry tracks wrong predicates"
+        for pred, count in usage.items():
+            assert self.registry.refcount(pred) == count, f"refcount drift: {pred!r}"
+        # Every live predicate must be indexed under its bit.
+        indexed = {
+            (attr, op, value): bit
+            for attr, op, value, bit in self.indexes.entries()
+        }
+        assert len(indexed) == len(usage), "index entry count drift"
+        for pred in usage:
+            key = (pred.attribute, pred.operator, pred.value)
+            assert indexed.get(key) == self.registry.slot(pred), (
+                f"index/registry slot mismatch for {pred!r}"
+            )
+        assert self.bits.size >= len(self.registry)
+
+    # ------------------------------------------------------------------
+    # helpers shared by cluster-based subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def ordered_residual_bits(
+        sub: Subscription, slots: Dict[Predicate, int], access: Tuple[Predicate, ...]
+    ) -> List[int]:
+        """Bit refs of ``sub``'s predicates minus *access*, equality first.
+
+        The ordering lets the scalar kernel short-circuit on equality bits
+        before ever reading inequality bits (Section 6.2.1).
+        """
+        skip = set(access)
+        eq_bits: List[int] = []
+        other_bits: List[int] = []
+        for pred in sub.predicates:
+            if pred in skip:
+                continue
+            if pred.operator.is_equality:
+                eq_bits.append(slots[pred])
+            else:
+                other_bits.append(slots[pred])
+        return eq_bits + other_bits

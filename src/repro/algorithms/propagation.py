@@ -1,0 +1,160 @@
+"""Propagation matchers: single-equality access predicates (paper §6).
+
+``propagation`` groups subscriptions into cluster lists keyed by **one**
+equality predicate per subscription (its *access predicate*); an event
+probes the cluster list of each of its (attribute, value) pairs and
+checks only those members.  Two variants differ solely in the phase-2
+check kernel:
+
+* :class:`PropagationMatcher` — scalar short-circuit loop (paper's
+  ``propagation``);
+* :class:`PrefetchPropagationMatcher` — vectorized columnar sweep
+  (paper's ``propagation-wp``: the unrolled + prefetched scan; in Python
+  the numpy gather/reduce is the equivalent streaming traversal).
+
+Subscriptions with no equality predicate have no possible access
+predicate; they land in a *universal* cluster list checked for every
+event (the paper's generated workloads always have ≥2 equality
+predicates, so this list stays empty there).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.algorithms.base import TwoPhaseMatcher
+from repro.algorithms.clusters import ClusterList
+from repro.core.types import Event, Predicate, Subscription, Value
+from repro.indexes.ordered import IndexKind
+
+#: Pluggable access-predicate chooser: given the subscription and its
+#: equality predicates, return the predicate to cluster under.
+AccessSelector = Callable[[Subscription, Tuple[Predicate, ...]], Predicate]
+
+
+class PropagationMatcher(TwoPhaseMatcher):
+    """Cluster lists keyed by one equality predicate per subscription."""
+
+    name = "propagation"
+
+    #: Phase-2 kernel flag; the prefetch subclass flips it.
+    vectorized = False
+
+    def __init__(
+        self,
+        index_kind: IndexKind = IndexKind.SORTED_ARRAY,
+        access_selector: Optional[AccessSelector] = None,
+    ) -> None:
+        super().__init__(index_kind)
+        self._lists: Dict[Tuple[str, Value], ClusterList] = {}
+        self._universal = ClusterList(key=None)
+        self._selector = access_selector
+        # sub id -> (access predicate or None, residual size) for removal.
+        self._placement: Dict[Any, Tuple[Optional[Predicate], int]] = {}
+
+    # ------------------------------------------------------------------
+    # access-predicate choice
+    # ------------------------------------------------------------------
+    def _choose_access(self, sub: Subscription) -> Optional[Predicate]:
+        eqs = sub.equality_predicates()
+        if not eqs:
+            return None
+        if self._selector is not None:
+            return self._selector(sub, eqs)
+        # Default: the subscription's first equality predicate ("simple
+        # equality predicates as access predicates" — no cost model, no
+        # balancing; that is exactly what the paper's simple propagation
+        # does, and what the static/dynamic algorithms improve upon).
+        return eqs[0]
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _place(self, sub: Subscription, slots: Dict[Predicate, int]) -> None:
+        access = self._choose_access(sub)
+        if access is None:
+            refs = self.ordered_residual_bits(sub, slots, ())
+            self._universal.add(sub.id, refs)
+            self._placement[sub.id] = (None, len(refs))
+            return
+        refs = self.ordered_residual_bits(sub, slots, (access,))
+        key = (access.attribute, access.value)
+        lst = self._lists.get(key)
+        if lst is None:
+            lst = self._lists[key] = ClusterList(key=access)
+        lst.add(sub.id, refs)
+        self._placement[sub.id] = (access, len(refs))
+
+    def _displace(self, sub: Subscription) -> None:
+        access, size = self._placement.pop(sub.id)
+        if access is None:
+            self._universal.remove(sub.id, size)
+            return
+        key = (access.attribute, access.value)
+        lst = self._lists[key]
+        lst.remove(sub.id, size)
+        if not lst:
+            del self._lists[key]
+
+    # ------------------------------------------------------------------
+    # phase 2
+    # ------------------------------------------------------------------
+    def _match_phase2(self, event: Event) -> List[Any]:
+        out: List[Any] = []
+        bits = self.bits.array
+        reads = 0
+        if len(self._universal):
+            reads += self._universal.match(bits, out, self.vectorized)
+        lists = self._lists
+        for pair in event.items():
+            lst = lists.get(pair)
+            if lst is not None:
+                reads += lst.match(bits, out, self.vectorized)
+        self.counters["subscription_checks"] += reads
+        return out
+
+    # ------------------------------------------------------------------
+    # debugging
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        assert set(self._placement) == set(self._subs), "placement key drift"
+        listed = set()
+        for lst in list(self._lists.values()) + [self._universal]:
+            assert len(lst) >= 0
+            for cluster in lst.clusters():
+                for sid in cluster.ids():
+                    assert sid not in listed, f"{sid!r} in two clusters"
+                    listed.add(sid)
+        assert listed == set(self._subs), "cluster membership drift"
+        for sid, (access, size) in self._placement.items():
+            sub = self._subs[sid]
+            expected = sub.size - (1 if access is not None else 0)
+            assert size == expected, f"residual size drift for {sid!r}"
+            if access is not None:
+                assert access in sub.predicates, "access predicate not in sub"
+        for key, lst in self._lists.items():
+            assert lst, f"empty cluster list retained for {key!r}"
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def cluster_list_sizes(self) -> Dict[Tuple[str, Value], int]:
+        """Subscription count per access predicate (for tests/benchmarks)."""
+        return {key: len(lst) for key, lst in self._lists.items()}
+
+    def stats(self) -> Dict[str, Any]:
+        base = super().stats()
+        base.update(
+            cluster_lists=len(self._lists),
+            universal_members=len(self._universal),
+            vectorized=self.vectorized,
+        )
+        return base
+
+
+class PrefetchPropagationMatcher(PropagationMatcher):
+    """``propagation-wp``: identical clustering, streaming check kernel."""
+
+    name = "propagation-wp"
+    vectorized = True

@@ -1,0 +1,12 @@
+"""Closed-form analysis utilities (Example 3.1 and friends)."""
+
+from repro.analysis.example31 import AnalyticClustering, GroupSpec, example_31
+from repro.analysis.selectivity import expected_checks, predicate_match_probability
+
+__all__ = [
+    "AnalyticClustering",
+    "GroupSpec",
+    "example_31",
+    "expected_checks",
+    "predicate_match_probability",
+]

@@ -1,0 +1,97 @@
+"""Analytical work model: expected subscription checks per event.
+
+Closed-form predictions of each algorithm's phase-2 work under a
+uniform :class:`WorkloadSpec` — the back-of-envelope the paper's
+Figure 3(a) shapes follow:
+
+* **counting** touches every subscription containing any satisfied
+  predicate: ``Σ_s Σ_{p∈s} P(p satisfied)``;
+* **propagation** checks the cluster list of the subscription's single
+  equality access predicate: ``n_S · P(access pair matches)``;
+* **clustered** (static/dynamic) with a k-attribute schema divides by
+  the k-fold domain product.
+
+`tests/analysis/test_selectivity.py` validates these against the real
+engines' `subscription_checks` counters — theory meeting implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.types import Operator
+from repro.workload.spec import WorkloadSpec
+
+
+def predicate_match_probability(spec: WorkloadSpec, attribute: str, op: Operator) -> float:
+    """P(an event pair satisfies a random predicate on *attribute*).
+
+    Both sides draw uniformly from the (possibly overridden) domains;
+    only the overlap region can match.  For simplicity the model
+    assumes equal subscription/event domains per attribute (true for
+    every paper workload), giving the classic closed forms over a
+    domain of ``d`` values.
+    """
+    lo, hi = spec.predicate_domain(attribute)
+    d = hi - lo + 1
+    if op is Operator.EQ:
+        return 1.0 / d
+    if op is Operator.NE:
+        return (d - 1.0) / d
+    # P(X <= C) etc. for X, C independent uniform over d values.
+    if op in (Operator.LE, Operator.GE):
+        return (d + 1.0) / (2.0 * d)
+    return (d - 1.0) / (2.0 * d)  # strict comparisons
+
+
+def expected_checks(spec: WorkloadSpec, schema_size: int = 0) -> Dict[str, float]:
+    """Expected phase-2 subscription checks per event, per algorithm.
+
+    ``schema_size`` sets the clustered prediction's access-conjunction
+    length (0 = use the number of fixed equality attributes, the table
+    the optimizers actually build for the paper workloads).
+    """
+    n = spec.n_subscriptions
+    # --- counting: every (sub, pred) pair contributes its probability.
+    counting = 0.0
+    for fixed in spec.fixed_predicates:
+        counting += n * predicate_match_probability(
+            spec, fixed.attribute, fixed.operator
+        )
+    free = spec.free_predicates_per_subscription
+    if free:
+        # free predicates: operator drawn from the weights, attribute ~uniform.
+        total_w = sum(spec.free_operator_weights.values())
+        p_free = 0.0
+        for symbol, weight in spec.free_operator_weights.items():
+            op = Operator.from_symbol(symbol)
+            p_free += (weight / total_w) * predicate_match_probability(
+                spec, spec.attribute_names[-1], op
+            )
+        counting += n * free * p_free
+    # --- propagation: one equality access pair must match exactly.
+    first_eq = next(
+        (f for f in spec.fixed_predicates if f.operator is Operator.EQ), None
+    )
+    if first_eq is not None:
+        lo, hi = spec.predicate_domain(first_eq.attribute)
+        propagation = n / (hi - lo + 1)
+    else:
+        # access predicate falls on a free equality attribute
+        lo, hi = (spec.value_low, spec.value_high)
+        propagation = n / (hi - lo + 1)
+    # --- clustered: k-attribute conjunction.
+    eq_fixed = [f for f in spec.fixed_predicates if f.operator is Operator.EQ]
+    k = schema_size or max(1, len(eq_fixed))
+    clustered = float(n)
+    for fixed in eq_fixed[:k]:
+        lo, hi = spec.predicate_domain(fixed.attribute)
+        clustered /= hi - lo + 1
+    if k > len(eq_fixed):
+        lo, hi = (spec.value_low, spec.value_high)
+        clustered /= float(hi - lo + 1) ** (k - len(eq_fixed))
+    return {
+        "counting": counting,
+        "propagation": propagation,
+        "clustered": clustered,
+    }

@@ -1,0 +1,42 @@
+"""One driver per paper table/figure; each exposes ``run(...) -> dict``."""
+
+from repro.bench.experiments import (
+    cache_ablation,
+    example31_driver,
+    fig3a,
+    fig3b,
+    fig3c,
+    fig3d,
+    fig4a,
+    fig4b,
+    phase_split,
+    trigger_baseline,
+)
+
+#: Experiment id → driver module (mirrors the DESIGN.md index).
+EXPERIMENTS = {
+    "example3.1": example31_driver,
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig3c": fig3c,
+    "fig3d": fig3d,
+    "fig4a": fig4a,
+    "fig4b": fig4b,
+    "phase-split": phase_split,
+    "cache-ablation": cache_ablation,
+    "trigger-baseline": trigger_baseline,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "cache_ablation",
+    "example31_driver",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "fig4a",
+    "fig4b",
+    "phase_split",
+    "trigger_baseline",
+]

@@ -1,0 +1,52 @@
+"""Shared plumbing for the per-figure experiment drivers.
+
+Each driver exposes ``run(...) -> dict`` returning the plotted series
+(so tests can assert the *shape* of the paper's results) and prints the
+table through an injectable ``out`` callable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import configured_scale
+from repro.core.types import Event, Subscription
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.spec import WorkloadSpec
+
+#: Sink for human-readable output.
+Out = Callable[[str], None]
+
+#: Paper-scale x-axis of Figure 3 (subscription counts).
+PAPER_SUB_COUNTS = (750_000, 1_500_000, 3_000_000, 6_000_000)
+
+
+def scaled_sub_counts(
+    scale: Optional[float] = None,
+    paper_counts: Sequence[int] = PAPER_SUB_COUNTS,
+    minimum: int = 500,
+) -> List[int]:
+    """The Figure 3 x-axis shrunk by the configured scale."""
+    s = configured_scale() if scale is None else scale
+    return [max(minimum, int(c * s)) for c in paper_counts]
+
+
+def materialize(
+    spec: WorkloadSpec,
+    n_subs: int,
+    n_events: int,
+    id_prefix: str = "",
+) -> Tuple[List[Subscription], List[Event]]:
+    """Generate concrete subscription and event lists for one run."""
+    spec = dataclasses.replace(spec, n_subscriptions=n_subs, n_events=n_events)
+    gen = WorkloadGenerator(spec, id_prefix=id_prefix)
+    return list(gen.subscriptions()), list(gen.events())
+
+
+def shape_summary(series: Dict[str, List[float]]) -> Dict[str, float]:
+    """Per-algorithm mean of a series (handy for quick comparisons)."""
+    return {
+        name: (sum(values) / len(values) if values else 0.0)
+        for name, values in series.items()
+    }

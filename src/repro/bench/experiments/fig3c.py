@@ -1,0 +1,51 @@
+"""Figure 3(c): memory resident size vs subscription count.
+
+Paper result: the propagation algorithms need the least memory (both
+share the same structures), counting is close behind, and the dynamic
+algorithm needs the most — its multi-attribute hash tables are the
+extra cost.  We report approximate resident bytes (deep object-graph
+walk) per algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.experiments.common import Out, materialize, scaled_sub_counts
+from repro.bench.harness import FIGURE3_ALGORITHMS, load_subscriptions, matcher_for
+from repro.bench.memory import matcher_memory_bytes
+from repro.bench.reporting import print_table
+from repro.workload.scenarios import w0
+
+
+def run(
+    sub_counts: Optional[Sequence[int]] = None,
+    algorithms: Sequence[str] = FIGURE3_ALGORITHMS,
+    seed: int = 0,
+    out: Out = print,
+) -> Dict[str, Any]:
+    """Measure per-algorithm resident size over the Figure 3 x-axis."""
+    counts = list(sub_counts) if sub_counts is not None else scaled_sub_counts()
+    spec = w0(seed=seed)
+    megabytes: Dict[str, List[float]] = {a: [] for a in algorithms}
+    for n in counts:
+        subs, _events = materialize(spec, n, 0)
+        for algorithm in algorithms:
+            matcher = matcher_for(algorithm, spec)
+            load_subscriptions(matcher, subs)
+            megabytes[algorithm].append(matcher_memory_bytes(matcher) / 1e6)
+    rows = [
+        [n] + [round(megabytes[a][i], 2) for a in algorithms]
+        for i, n in enumerate(counts)
+    ]
+    print_table(
+        ["n_subs"] + [f"{a} (MB)" for a in algorithms],
+        rows,
+        title="Figure 3(c) — memory resident size, workload W0",
+        out=out,
+    )
+    return {"sub_counts": counts, "megabytes": megabytes}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

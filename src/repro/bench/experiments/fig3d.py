@@ -1,0 +1,52 @@
+"""Figure 3(d): subscription loading time vs subscription count.
+
+Paper result: counting loads fastest (simplest structures); the
+propagation algorithms are next; dynamic pays for incremental
+reorganization; static is by far the slowest because it recomputes the
+optimal clustering from scratch after loading.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.experiments.common import Out, materialize, scaled_sub_counts
+from repro.bench.harness import load_subscriptions, matcher_for
+from repro.bench.reporting import print_table
+from repro.workload.scenarios import w0
+
+#: Loading-time comparison includes the static algorithm.
+ALGORITHMS = ("counting", "propagation", "propagation-wp", "dynamic", "static")
+
+
+def run(
+    sub_counts: Optional[Sequence[int]] = None,
+    algorithms: Sequence[str] = ALGORITHMS,
+    seed: int = 0,
+    out: Out = print,
+) -> Dict[str, Any]:
+    """Measure bulk-load time per algorithm (static includes rebuild())."""
+    counts = list(sub_counts) if sub_counts is not None else scaled_sub_counts()
+    spec = w0(seed=seed)
+    seconds: Dict[str, List[float]] = {a: [] for a in algorithms}
+    for n in counts:
+        subs, _events = materialize(spec, n, 0)
+        for algorithm in algorithms:
+            matcher = matcher_for(algorithm, spec)
+            load = load_subscriptions(matcher, subs)
+            seconds[algorithm].append(load.seconds)
+    rows = [
+        [n] + [round(seconds[a][i], 3) for a in algorithms]
+        for i, n in enumerate(counts)
+    ]
+    print_table(
+        ["n_subs"] + [f"{a} (s)" for a in algorithms],
+        rows,
+        title="Figure 3(d) — subscription loading time, workload W0",
+        out=out,
+    )
+    return {"sub_counts": counts, "seconds": seconds}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

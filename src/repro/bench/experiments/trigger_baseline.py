@@ -1,0 +1,56 @@
+"""Section 1.2: why one-trigger-per-subscription cannot scale.
+
+Compares the SQL-trigger strawman (every insert evaluates every
+trigger) against the dynamic matcher on the same W0-shaped workload, at
+small subscription counts — the per-event cost of the strawman grows
+linearly while the dynamic matcher stays flat.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.experiments.common import Out, materialize
+from repro.bench.harness import load_subscriptions, matcher_for, measure_matching
+from repro.bench.reporting import print_table
+from repro.sqltrigger import TriggerMatcher
+from repro.workload.scenarios import w0
+
+
+def run(
+    sub_counts: Sequence[int] = (500, 1_000, 2_000, 4_000),
+    n_events: int = 20,
+    seed: int = 0,
+    out: Out = print,
+) -> Dict[str, Any]:
+    """Trigger strawman vs dynamic matcher; returns ms/event series."""
+    spec = w0(seed=seed)
+    trig_ms: List[float] = []
+    dyn_ms: List[float] = []
+    for n in sub_counts:
+        subs, events = materialize(spec, n, n_events)
+        trig = TriggerMatcher(columns=spec.attribute_names)
+        load_subscriptions(trig, subs)
+        trig_ms.append(measure_matching(trig, events).ms_per_event)
+        dyn = matcher_for("dynamic", spec)
+        load_subscriptions(dyn, subs)
+        dyn_ms.append(measure_matching(dyn, events).ms_per_event)
+    rows = [
+        [n, round(trig_ms[i], 3), round(dyn_ms[i], 3)]
+        for i, n in enumerate(sub_counts)
+    ]
+    print_table(
+        ["n_subs", "sql-trigger (ms/event)", "dynamic (ms/event)"],
+        rows,
+        title="§1.2 trigger-per-subscription baseline",
+        out=out,
+    )
+    return {
+        "sub_counts": list(sub_counts),
+        "trigger_ms_per_event": trig_ms,
+        "dynamic_ms_per_event": dyn_ms,
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

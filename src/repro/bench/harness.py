@@ -1,0 +1,192 @@
+"""Measurement harness shared by the figure drivers and pytest benches.
+
+Everything here measures *pure matching work* (no IPC — the paper's
+timings include local inter-process hops; EXPERIMENTS.md notes the
+difference).  The ``REPRO_SCALE`` environment variable globally scales
+workload sizes: 1.0 means paper scale (millions of subscriptions —
+hours in pure Python), the default 0.004 gives laptop-scale runs with
+the same shapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.algorithms.base import TwoPhaseMatcher
+from repro.clustering.statistics import UniformStatistics
+from repro.core.matcher import Matcher
+from repro.core.types import Event, Subscription
+from repro.matchers import (
+    CountingMatcher,
+    DynamicMatcher,
+    PrefetchPropagationMatcher,
+    PropagationMatcher,
+    StaticMatcher,
+)
+from repro.workload.spec import WorkloadSpec
+
+#: Default fraction of paper scale when REPRO_SCALE is unset.
+DEFAULT_SCALE = 0.02
+
+
+def configured_scale(default: float = DEFAULT_SCALE) -> float:
+    """Workload scale from the REPRO_SCALE environment variable."""
+    raw = os.environ.get("REPRO_SCALE")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return value
+
+
+def uniform_statistics_for(spec: WorkloadSpec) -> UniformStatistics:
+    """Closed-form statistics matching a uniform workload spec."""
+    return UniformStatistics(
+        domains=spec.event_domain_sizes(),
+        default_domain=spec.event_value_high - spec.event_value_low + 1,
+    )
+
+
+def matcher_for(algorithm: str, spec: WorkloadSpec, **kwargs: Any) -> Matcher:
+    """Build one of the paper's algorithms configured for *spec*."""
+    if algorithm == "oracle":
+        from repro.core.oracle import OracleMatcher
+
+        return OracleMatcher(**kwargs)
+    if algorithm == "counting":
+        return CountingMatcher(**kwargs)
+    if algorithm == "propagation":
+        return PropagationMatcher(**kwargs)
+    if algorithm == "propagation-wp":
+        return PrefetchPropagationMatcher(**kwargs)
+    if algorithm == "static":
+        kwargs.setdefault("statistics", uniform_statistics_for(spec))
+        return StaticMatcher(**kwargs)
+    if algorithm == "dynamic":
+        return DynamicMatcher(**kwargs)
+    if algorithm == "test-network":
+        from repro.algorithms.testnetwork import TreeMatcher
+
+        return TreeMatcher(**kwargs)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+#: The four algorithms compared throughout Section 6.
+FIGURE3_ALGORITHMS = ("counting", "propagation", "propagation-wp", "dynamic")
+
+
+@dataclasses.dataclass
+class LoadResult:
+    """Outcome of loading subscriptions into a matcher."""
+
+    subscriptions: int
+    seconds: float
+
+    @property
+    def per_second(self) -> float:
+        """Subscription insertions per second."""
+        return self.subscriptions / self.seconds if self.seconds else float("inf")
+
+
+@dataclasses.dataclass
+class MatchResult:
+    """Outcome of matching a batch of events."""
+
+    events: int
+    seconds: float
+    total_matches: int
+
+    @property
+    def events_per_second(self) -> float:
+        """Matching throughput."""
+        return self.events / self.seconds if self.seconds else float("inf")
+
+    @property
+    def ms_per_event(self) -> float:
+        """Mean per-event matching latency in milliseconds."""
+        return 1000.0 * self.seconds / self.events if self.events else 0.0
+
+
+def load_subscriptions(matcher: Matcher, subs: Iterable[Subscription]) -> LoadResult:
+    """Timed bulk insert."""
+    items = list(subs)
+    start = time.perf_counter()
+    for sub in items:
+        matcher.add(sub)
+    finalize = getattr(matcher, "rebuild", None)
+    if callable(finalize):
+        finalize()
+    return LoadResult(len(items), time.perf_counter() - start)
+
+
+def measure_matching(matcher: Matcher, events: Sequence[Event]) -> MatchResult:
+    """Timed matching over a fixed event list."""
+    total = 0
+    start = time.perf_counter()
+    for event in events:
+        total += len(matcher.match(event))
+    return MatchResult(len(events), time.perf_counter() - start, total)
+
+
+@dataclasses.dataclass
+class PhaseSplit:
+    """Per-phase timing of the two-phase algorithm (§6.2.1's 1.3 ms vs
+    0.1/3.53 ms discussion)."""
+
+    events: int
+    predicate_seconds: float
+    subscription_seconds: float
+
+    @property
+    def predicate_ms(self) -> float:
+        """Mean phase-1 (predicate evaluation) time per event, ms."""
+        return 1000.0 * self.predicate_seconds / self.events if self.events else 0.0
+
+    @property
+    def subscription_ms(self) -> float:
+        """Mean phase-2 (cluster checking) time per event, ms."""
+        return 1000.0 * self.subscription_seconds / self.events if self.events else 0.0
+
+
+def measure_phases(matcher: TwoPhaseMatcher, events: Sequence[Event]) -> PhaseSplit:
+    """Split matching time into predicate phase and subscription phase.
+
+    Uses the two-phase matcher's internals; the sum of phases equals a
+    normal ``match`` minus bookkeeping.
+    """
+    t_pred = 0.0
+    t_sub = 0.0
+    for event in events:
+        start = time.perf_counter()
+        matcher.bits.reset()
+        matcher.indexes.evaluate(event, matcher.bits)
+        mid = time.perf_counter()
+        matcher._match_phase2(event)
+        t_sub += time.perf_counter() - mid
+        t_pred += mid - start
+    return PhaseSplit(len(events), t_pred, t_sub)
+
+
+def run_series(
+    build: Callable[[], Matcher],
+    subs: Sequence[Subscription],
+    events: Sequence[Event],
+) -> Dict[str, Any]:
+    """Load-then-match convenience returning a flat result dict."""
+    matcher = build()
+    load = load_subscriptions(matcher, subs)
+    match = measure_matching(matcher, events)
+    return {
+        "load_seconds": load.seconds,
+        "match_seconds": match.seconds,
+        "events_per_second": match.events_per_second,
+        "ms_per_event": match.ms_per_event,
+        "total_matches": match.total_matches,
+    }

@@ -1,0 +1,57 @@
+"""Resident-size estimation for Figure 3(c).
+
+Python object graphs cannot be sized exactly from within, but a
+recursive ``sys.getsizeof`` walk with numpy-aware handling gives a
+consistent *comparative* measure across the algorithms, which is all
+Figure 3(c) needs (it compares algorithms at equal subscription counts).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Set
+
+import numpy as np
+
+
+def deep_sizeof(obj: Any, _seen: Set[int] = None) -> int:
+    """Approximate total bytes reachable from *obj*.
+
+    Shared objects are counted once; numpy arrays contribute their
+    buffer (``nbytes``) plus header.
+    """
+    if _seen is None:
+        _seen = set()
+    oid = id(obj)
+    if oid in _seen:
+        return 0
+    _seen.add(oid)
+    if isinstance(obj, np.ndarray):
+        # Buffer plus a flat header estimate (getsizeof double-counts views).
+        return int(obj.nbytes) + 96
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            size += deep_sizeof(k, _seen)
+            size += deep_sizeof(v, _seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_sizeof(item, _seen)
+    elif hasattr(obj, "__dict__"):
+        size += deep_sizeof(vars(obj), _seen)
+    elif hasattr(obj, "__slots__"):
+        for slot in obj.__slots__:
+            if hasattr(obj, slot):
+                size += deep_sizeof(getattr(obj, slot), _seen)
+    return size
+
+
+def matcher_memory_bytes(matcher: Any) -> int:
+    """Approximate resident bytes of a matcher's data structures."""
+    return deep_sizeof(matcher)
+
+
+def bytes_per_subscription(matcher: Any) -> float:
+    """Normalized footprint (the comparable quantity across runs)."""
+    n = len(matcher)
+    return matcher_memory_bytes(matcher) / n if n else 0.0

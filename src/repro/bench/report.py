@@ -1,0 +1,102 @@
+"""Regenerate a full experiment report: ``python -m repro.bench.report``.
+
+Runs every table/figure driver at the configured ``REPRO_SCALE`` and
+writes one Markdown document with the raw tables — the mechanical
+counterpart of EXPERIMENTS.md (which adds the paper-vs-measured
+commentary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import io
+import sys
+import time
+from typing import List, Optional, TextIO
+
+from repro import __version__
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import configured_scale
+
+#: Order in which experiments appear in the report.
+REPORT_ORDER = (
+    "example3.1",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "phase-split",
+    "fig4a",
+    "fig4b",
+    "cache-ablation",
+    "trigger-baseline",
+)
+
+
+def generate_report(
+    out: TextIO,
+    experiments: Optional[List[str]] = None,
+    timestamp: Optional[str] = None,
+) -> int:
+    """Run the selected experiments, writing Markdown to *out*.
+
+    Returns the number of experiments that ran.
+    """
+    names = list(experiments) if experiments else list(REPORT_ORDER)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}")
+    if timestamp is None:
+        timestamp = datetime.datetime.now().isoformat(timespec="seconds")
+    out.write("# Experiment report\n\n")
+    out.write(f"- generated: {timestamp}\n")
+    out.write(f"- repro version: {__version__}\n")
+    out.write(f"- REPRO_SCALE: {configured_scale()}\n\n")
+    ran = 0
+    for name in names:
+        driver = EXPERIMENTS[name]
+        out.write(f"## {name}\n\n")
+        doc = (driver.run.__doc__ or "").strip().splitlines()
+        if doc:
+            out.write(f"_{doc[0]}_\n\n")
+        buffer = io.StringIO()
+        start = time.perf_counter()
+        driver.run(out=lambda line: buffer.write(line + "\n"))
+        elapsed = time.perf_counter() - start
+        out.write("```\n")
+        out.write(buffer.getvalue())
+        out.write("```\n\n")
+        out.write(f"(ran in {elapsed:.1f} s)\n\n")
+        ran += 1
+    return ran
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI for the report generator."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.report",
+        description="Regenerate the paper-figure tables as one Markdown report",
+    )
+    parser.add_argument(
+        "--output", "-o", default="-", help="output file ('-' = stdout)"
+    )
+    parser.add_argument(
+        "--experiment",
+        "-e",
+        action="append",
+        choices=sorted(EXPERIMENTS),
+        help="run only these experiments (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+    if args.output == "-":
+        generate_report(sys.stdout, args.experiment)
+    else:
+        with open(args.output, "w") as fp:
+            n = generate_report(fp, args.experiment)
+        print(f"wrote {args.output} ({n} experiments)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Plain-text tables for the experiment drivers.
+
+The paper's figures are line plots; the drivers print the underlying
+series as monospace tables (one row per x value, one column per
+algorithm/strategy) so EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int) and abs(value) >= 1000:
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+    out: Callable[[str], None] = print,
+) -> None:
+    """Print a formatted table through *out*."""
+    out(format_table(headers, rows, title))

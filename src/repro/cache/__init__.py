@@ -1,0 +1,25 @@
+"""Cache-simulator substrate for the paper's cache-consciousness study."""
+
+from repro.cache.kernels import (
+    KernelParams,
+    bitvector_residency_sweep,
+    compare_layouts,
+    scan_cluster,
+    synthesize_cluster,
+)
+from repro.cache.layout import Arena, ClusterLayout
+from repro.cache.metrics import CacheMetrics
+from repro.cache.model import CacheConfig, CacheSimulator
+
+__all__ = [
+    "Arena",
+    "CacheConfig",
+    "CacheMetrics",
+    "CacheSimulator",
+    "ClusterLayout",
+    "KernelParams",
+    "bitvector_residency_sweep",
+    "compare_layouts",
+    "scan_cluster",
+    "synthesize_cluster",
+]

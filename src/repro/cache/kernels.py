@@ -1,0 +1,176 @@
+"""Replay of the cluster-matching kernel against the cache simulator.
+
+These kernels generate the *exact address stream* of the paper's inner
+loop (Section 2.2's code listing: UNFOLD-blocked scan with per-row
+prefetches LOOKAHEAD ahead) over a synthetic cluster, and run it through
+:class:`CacheSimulator`.  Comparing columnar vs row-wise layouts and
+prefetch on/off reproduces the paper's cache-behaviour claims without the
+original hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cache.layout import Arena, ClusterLayout
+from repro.cache.metrics import CacheMetrics
+from repro.cache.model import CacheConfig, CacheSimulator
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelParams:
+    """Tuning knobs of the scan kernel (paper's UNFOLD / LOOKAHEAD)."""
+
+    #: Columns per inner block; the paper sizes this to one cache line of
+    #: int32 refs (line_size / 4).
+    unfold: int = 8
+    #: How many columns ahead the prefetches aim.
+    lookahead: int = 16
+    #: Issue prefetches at all?
+    prefetch: bool = True
+    #: How many predicate rows to prefetch (None = all).  The paper found
+    #: that for wide clusters prefetching every array is counterproductive
+    #: because requests compete for the 2 outstanding slots.
+    prefetch_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.unfold < 1 or self.lookahead < 0:
+            raise ValueError("unfold must be >= 1 and lookahead >= 0")
+        if self.prefetch_rows is not None and self.prefetch_rows < 0:
+            raise ValueError("prefetch_rows must be None or >= 0")
+
+
+def scan_cluster(
+    sim: CacheSimulator,
+    layout: ClusterLayout,
+    refs: np.ndarray,
+    bit_values: np.ndarray,
+    params: KernelParams = KernelParams(),
+) -> CacheMetrics:
+    """Run one cluster scan; returns the metrics delta of this run.
+
+    *refs* is the (size, count) matrix of bit-vector slots; *bit_values*
+    the current bit vector.  The scan reads each column's refs and bit
+    cells with short-circuit, exactly like ``Cluster.match_scalar``, and
+    (optionally) prefetches upcoming ref lines like the paper's listing.
+    """
+    size, count = refs.shape
+    if (size, count) != (layout.size, layout.count):
+        raise ValueError("refs shape disagrees with layout")
+    before = dataclasses.replace(sim.metrics)
+    rows_to_prefetch = size if params.prefetch_rows is None else min(
+        size, params.prefetch_rows
+    )
+    for j0 in range(0, count, params.unfold):
+        block_end = min(j0 + params.unfold, count)
+        for j in range(j0, block_end):
+            matched = True
+            for i in range(size):
+                sim.access(layout.ref_address(i, j))
+                sim.access(layout.bit_address(int(refs[i, j])))
+                sim.compute(1)
+                if not bit_values[refs[i, j]]:
+                    matched = False
+                    break
+            if matched:
+                sim.access(layout.id_address(j))
+                sim.compute(1)
+        if params.prefetch and rows_to_prefetch:
+            target = j0 + params.lookahead
+            if target < count:
+                for i in range(rows_to_prefetch):
+                    sim.prefetch(layout.ref_address(i, target))
+    after = sim.metrics
+    return CacheMetrics(
+        accesses=after.accesses - before.accesses,
+        hits=after.hits - before.hits,
+        misses=after.misses - before.misses,
+        prefetches_issued=after.prefetches_issued - before.prefetches_issued,
+        prefetches_dropped=after.prefetches_dropped - before.prefetches_dropped,
+        prefetches_useful=after.prefetches_useful - before.prefetches_useful,
+        cycles=after.cycles - before.cycles,
+        stall_cycles=after.stall_cycles - before.stall_cycles,
+    )
+
+
+def synthesize_cluster(
+    size: int,
+    count: int,
+    bit_slots: int,
+    selectivity: float,
+    seed: int = 0,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Random (refs, bit_values) with a given fraction of set bits.
+
+    ``selectivity`` is the probability that any referenced bit is set —
+    low selectivity means early short-circuiting, the regime where the
+    columnar layout skips whole lines of later rows.
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError("selectivity must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    refs = rng.integers(0, bit_slots, size=(size, count), dtype=np.int32)
+    bit_values = (rng.random(bit_slots) < selectivity).astype(np.uint8)
+    return refs, bit_values
+
+
+def bitvector_residency_sweep(
+    bit_slot_counts: "list[int]",
+    size: int = 3,
+    count: int = 2048,
+    selectivity: float = 0.3,
+    config: CacheConfig = CacheConfig(),
+    seed: int = 0,
+) -> Dict[int, float]:
+    """§2.3's temporal-locality claim: a small bit vector stays resident.
+
+    Runs the same scan with growing distinct-predicate counts (bit
+    vector sizes) and reports the miss rate per size — small vectors fit
+    in the cache and are re-hit across columns; vectors larger than the
+    cache thrash.  Returns {bit_slots: miss_rate}.
+    """
+    out: Dict[int, float] = {}
+    for slots in bit_slot_counts:
+        refs, bit_values = synthesize_cluster(size, count, slots, selectivity, seed)
+        arena = Arena(alignment=config.line_size)
+        layout = ClusterLayout.build(size, count, slots, arena, columnar=True)
+        sim = CacheSimulator(config)
+        metrics = scan_cluster(
+            sim, layout, refs, bit_values, KernelParams(prefetch=False)
+        )
+        out[slots] = metrics.miss_rate
+    return out
+
+
+def compare_layouts(
+    size: int = 3,
+    count: int = 4096,
+    bit_slots: int = 4096,
+    selectivity: float = 0.3,
+    config: CacheConfig = CacheConfig(),
+    params: KernelParams = KernelParams(),
+    seed: int = 0,
+) -> Dict[str, CacheMetrics]:
+    """The cache ablation: 4 configurations over the same cluster.
+
+    Returns metrics for ``columnar+prefetch``, ``columnar``,
+    ``rowwise+prefetch`` and ``rowwise``; each runs on a cold cache.
+    """
+    refs, bit_values = synthesize_cluster(size, count, bit_slots, selectivity, seed)
+    results: Dict[str, CacheMetrics] = {}
+    for columnar in (True, False):
+        for prefetch in (True, False):
+            arena = Arena(alignment=config.line_size)
+            layout = ClusterLayout.build(
+                size, count, bit_slots, arena, columnar=columnar
+            )
+            sim = CacheSimulator(config)
+            run = dataclasses.replace(params, prefetch=prefetch)
+            name = ("columnar" if columnar else "rowwise") + (
+                "+prefetch" if prefetch else ""
+            )
+            results[name] = scan_cluster(sim, layout, refs, bit_values, run)
+    return results

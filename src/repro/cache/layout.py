@@ -1,0 +1,107 @@
+"""Memory layouts of a subscription cluster for the cache study.
+
+Models the address placement of the ``(size × count)`` predicates array
+and the bit vector so kernels can replay realistic address streams.  Two
+placements of the predicates array:
+
+* **columnar** (the paper's choice): ``sub_array[i]`` is a contiguous
+  row of the matrix — consecutive subscriptions' i-th refs are adjacent,
+  so a selective first predicate touches only ``sub_array[0]``'s lines;
+* **row-wise** (the rejected alternative): each subscription's refs are
+  contiguous — every subscription touches a fresh line regardless of
+  selectivity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+
+class Arena:
+    """Bump allocator handing out disjoint, aligned address ranges."""
+
+    def __init__(self, base: int = 0x10000, alignment: int = 64) -> None:
+        if alignment <= 0:
+            raise ValueError("alignment must be positive")
+        self._next = base
+        self._alignment = alignment
+
+    def allocate(self, size_bytes: int) -> int:
+        """Reserve *size_bytes*; returns the aligned base address."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        a = self._alignment
+        base = (self._next + a - 1) // a * a
+        self._next = base + size_bytes
+        return base
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterLayout:
+    """Addresses of one cluster's arrays.
+
+    ``element_size`` is the width of a bit-vector reference (int32 in the
+    implementation); ``bits_element_size`` the width of one bit-vector
+    cell (1 byte).
+    """
+
+    size: int
+    count: int
+    refs_base: int
+    ids_base: int
+    bits_base: int
+    columnar: bool = True
+    element_size: int = 4
+    bits_element_size: int = 1
+
+    @staticmethod
+    def build(
+        size: int,
+        count: int,
+        bits_slots: int,
+        arena: Arena,
+        columnar: bool = True,
+    ) -> "ClusterLayout":
+        """Allocate a cluster's arrays in *arena*."""
+        refs = arena.allocate(size * count * 4)
+        ids = arena.allocate(count * 8)
+        bits = arena.allocate(bits_slots * 1)
+        return ClusterLayout(
+            size=size,
+            count=count,
+            refs_base=refs,
+            ids_base=ids,
+            bits_base=bits,
+            columnar=columnar,
+        )
+
+    # ------------------------------------------------------------------
+    # address computation
+    # ------------------------------------------------------------------
+    def ref_address(self, row: int, col: int) -> int:
+        """Address of predicates-array entry [row][col].
+
+        Columnar: row-major over (size, count) — each predicate row is
+        contiguous.  Row-wise: column-major — each subscription's refs
+        are contiguous.
+        """
+        if not 0 <= row < self.size or not 0 <= col < self.count:
+            raise IndexError(f"({row}, {col}) outside ({self.size}, {self.count})")
+        if self.columnar:
+            offset = row * self.count + col
+        else:
+            offset = col * self.size + row
+        return self.refs_base + offset * self.element_size
+
+    def id_address(self, col: int) -> int:
+        """Address of the subscription-line entry for column *col*."""
+        return self.ids_base + col * 8
+
+    def bit_address(self, bit: int) -> int:
+        """Address of one bit-vector cell."""
+        return self.bits_base + bit * self.bits_element_size
+
+    def row_line_span(self, line_size: int) -> int:
+        """Cache lines covered by one predicate row (columnar layout)."""
+        return (self.count * self.element_size + line_size - 1) // line_size

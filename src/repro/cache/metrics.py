@@ -1,0 +1,49 @@
+"""Counters produced by the cache simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class CacheMetrics:
+    """What one simulated kernel run cost.
+
+    ``cycles`` is total simulated time; ``stall_cycles`` is the portion
+    spent waiting on memory (misses not hidden by prefetch).  Prefetches
+    can be *dropped* when the outstanding-request limit (2 on the paper's
+    Pentium III) is hit — dropped prefetches are the reason the paper
+    avoids prefetching rarely-consulted arrays.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefetches_issued: int = 0
+    prefetches_dropped: int = 0
+    prefetches_useful: int = 0
+    cycles: int = 0
+    stall_cycles: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of demand accesses that missed."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of cycles spent stalled on memory."""
+        return self.stall_cycles / self.cycles if self.cycles else 0.0
+
+    def merged(self, other: "CacheMetrics") -> "CacheMetrics":
+        """Sum of two metric sets."""
+        return CacheMetrics(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            prefetches_issued=self.prefetches_issued + other.prefetches_issued,
+            prefetches_dropped=self.prefetches_dropped + other.prefetches_dropped,
+            prefetches_useful=self.prefetches_useful + other.prefetches_useful,
+            cycles=self.cycles + other.cycles,
+            stall_cycles=self.stall_cycles + other.stall_cycles,
+        )

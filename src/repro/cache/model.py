@@ -1,0 +1,181 @@
+"""A set-associative cache with an asynchronous prefetch unit.
+
+This is the substitution for the paper's Pentium III memory system: a
+configurable LRU set-associative cache, a fixed miss penalty, and a
+prefetch unit with a bounded number of outstanding requests —
+over-limit prefetches are *dropped*, exactly the behaviour the paper
+works around ("Processors reserve the right to drop prefetch
+instructions when the limit has been reached").
+
+Prefetched lines arrive ``miss_penalty`` cycles after issue; touching a
+line that is still in flight stalls only for the *remaining* cycles, so
+a well-placed LOOKAHEAD hides the whole latency — the mechanism behind
+the 1.5× propagation-wp speedup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.cache.metrics import CacheMetrics
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of the simulated cache.
+
+    Defaults approximate the paper's Pentium III L1 data cache: 16 KiB,
+    4-way, 32-byte lines, tens-of-cycles miss penalty, at most two
+    outstanding prefetches.
+    """
+
+    size_bytes: int = 16 * 1024
+    line_size: int = 32
+    associativity: int = 4
+    hit_cycles: int = 1
+    miss_penalty: int = 40
+    max_outstanding_prefetches: int = 2
+
+    def __post_init__(self) -> None:
+        if self.line_size <= 0 or self.size_bytes <= 0 or self.associativity <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.line_size * self.associativity):
+            raise ValueError("size must be a multiple of line_size * associativity")
+        if self.hit_cycles < 0 or self.miss_penalty < 0:
+            raise ValueError("timings must be non-negative")
+        if self.max_outstanding_prefetches < 0:
+            raise ValueError("prefetch limit must be non-negative")
+
+    @property
+    def n_sets(self) -> int:
+        """Number of cache sets."""
+        return self.size_bytes // (self.line_size * self.associativity)
+
+
+class CacheSimulator:
+    """Cycle-counting LRU set-associative cache with prefetch."""
+
+    def __init__(self, config: CacheConfig = CacheConfig()) -> None:
+        self.config = config
+        # set index -> list of line tags, most-recently-used last.
+        self._sets: List[List[int]] = [[] for _ in range(config.n_sets)]
+        # line tag (global line number) -> arrival cycle if in flight.
+        self._in_flight: Dict[int, int] = {}
+        self.metrics = CacheMetrics()
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def _line_of(self, address: int) -> int:
+        return address // self.config.line_size
+
+    def _set_of(self, line: int) -> int:
+        return line % self.config.n_sets
+
+    # ------------------------------------------------------------------
+    # line management
+    # ------------------------------------------------------------------
+    def _touch(self, line: int) -> bool:
+        """Move *line* to MRU if resident; returns residency."""
+        ways = self._sets[self._set_of(line)]
+        try:
+            ways.remove(line)
+        except ValueError:
+            return False
+        ways.append(line)
+        return True
+
+    def _install(self, line: int) -> None:
+        ways = self._sets[self._set_of(line)]
+        if line in ways:
+            ways.remove(line)
+        ways.append(line)
+        if len(ways) > self.config.associativity:
+            ways.pop(0)
+
+    def _retire_arrivals(self) -> None:
+        """Install every in-flight line whose arrival time has passed."""
+        if not self._in_flight:
+            return
+        arrived = [l for l, t in self._in_flight.items() if t <= self.cycle]
+        for line in arrived:
+            del self._in_flight[line]
+            self._install(line)
+
+    # ------------------------------------------------------------------
+    # the three operations kernels use
+    # ------------------------------------------------------------------
+    def compute(self, cycles: int = 1) -> None:
+        """Pure ALU work: time passes, no memory traffic."""
+        self.cycle += cycles
+        self.metrics.cycles += cycles
+        self._retire_arrivals()
+
+    def access(self, address: int) -> bool:
+        """One demand load; returns True on hit.
+
+        A hit costs ``hit_cycles``.  A miss on an in-flight (prefetched)
+        line stalls only for the remaining latency; a cold miss stalls
+        for the full penalty.
+        """
+        cfg = self.config
+        line = self._line_of(address)
+        self.cycle += cfg.hit_cycles
+        self.metrics.cycles += cfg.hit_cycles
+        self.metrics.accesses += 1
+        self._retire_arrivals()
+        if self._touch(line):
+            self.metrics.hits += 1
+            return True
+        self.metrics.misses += 1
+        arrival = self._in_flight.pop(line, None)
+        if arrival is not None:
+            stall = max(0, arrival - self.cycle)
+            if stall < cfg.miss_penalty:
+                self.metrics.prefetches_useful += 1
+        else:
+            stall = cfg.miss_penalty
+        self.cycle += stall
+        self.metrics.cycles += stall
+        self.metrics.stall_cycles += stall
+        self._install(line)
+        self._retire_arrivals()
+        return False
+
+    def prefetch(self, address: int) -> bool:
+        """Issue an asynchronous prefetch; returns False when dropped.
+
+        Costs one cycle to issue.  Dropped when the line is already
+        resident/in flight is a no-op (returns True: nothing lost); when
+        the outstanding limit is full, the request is silently discarded
+        (returns False), as real hardware does.
+        """
+        cfg = self.config
+        self.cycle += 1
+        self.metrics.cycles += 1
+        self._retire_arrivals()
+        line = self._line_of(address)
+        ways = self._sets[self._set_of(line)]
+        if line in ways or line in self._in_flight:
+            return True
+        if len(self._in_flight) >= cfg.max_outstanding_prefetches:
+            self.metrics.prefetches_dropped += 1
+            return False
+        self._in_flight[line] = self.cycle + cfg.miss_penalty
+        self.metrics.prefetches_issued += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def resident(self, address: int) -> bool:
+        """Is the line of *address* currently in the cache?"""
+        line = self._line_of(address)
+        return line in self._sets[self._set_of(line)]
+
+    def flush(self) -> None:
+        """Empty the cache and in-flight queue (metrics survive)."""
+        self._sets = [[] for _ in range(self.config.n_sets)]
+        self._in_flight.clear()

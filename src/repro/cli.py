@@ -1,0 +1,130 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``match``
+    Load JSON-lines subscriptions and events, run a matching engine,
+    print the per-event match lists.
+``generate``
+    Emit a synthetic workload (subscriptions or events) from a named
+    paper scenario (W0–W6), as JSON lines.
+``bench``
+    Run one of the paper-figure experiment drivers.
+``demo``
+    The quickstart scenario, end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import matcher_for
+from repro.io import (
+    dump_events,
+    dump_subscriptions,
+    load_events,
+    load_subscriptions,
+)
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.scenarios import paper_workloads
+
+#: Engines selectable on the command line.
+ENGINES = ("oracle", "counting", "propagation", "propagation-wp", "static", "dynamic")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Very fast publish/subscribe matching (SIGMOD 2001 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    match = commands.add_parser("match", help="match events against subscriptions")
+    match.add_argument("--subscriptions", required=True, help="JSON-lines file")
+    match.add_argument("--events", required=True, help="JSON-lines file")
+    match.add_argument("--engine", choices=ENGINES, default="dynamic")
+
+    gen = commands.add_parser("generate", help="emit a synthetic workload")
+    gen.add_argument("--workload", choices=sorted(paper_workloads(0.001)), default="W0")
+    gen.add_argument("--kind", choices=("subscriptions", "events"), required=True)
+    gen.add_argument("--count", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=0)
+
+    bench = commands.add_parser("bench", help="run a paper-figure experiment")
+    bench.add_argument("experiment", choices=sorted(EXPERIMENTS))
+
+    commands.add_parser("demo", help="run the quickstart demo")
+    return parser
+
+
+def _cmd_match(args: argparse.Namespace, out) -> int:
+    with open(args.subscriptions) as fp:
+        subs = load_subscriptions(fp)
+    with open(args.events) as fp:
+        events = load_events(fp)
+    spec = paper_workloads(0.001)["W0"]
+    matcher = matcher_for(args.engine, spec)
+    for sub in subs:
+        matcher.add(sub)
+    rebuild = getattr(matcher, "rebuild", None)
+    if callable(rebuild):
+        rebuild()
+    for event in events:
+        matched = sorted(matcher.match(event), key=str)
+        out.write(json.dumps({"event": dict(event.items()), "matched": matched}))
+        out.write("\n")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace, out) -> int:
+    spec = paper_workloads(1.0)[args.workload].with_seed(args.seed)
+    gen = WorkloadGenerator(spec)
+    if args.kind == "subscriptions":
+        dump_subscriptions(gen.subscriptions(args.count), out)
+    else:
+        dump_events(gen.events(args.count), out)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    driver = EXPERIMENTS[args.experiment]
+    driver.run(out=lambda line: out.write(line + "\n"))
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace, out) -> int:
+    from repro import DynamicMatcher, Event, Subscription, eq, le
+
+    matcher = DynamicMatcher()
+    matcher.add(
+        Subscription("s1", [eq("movie", "groundhog day"), le("price", 10)])
+    )
+    event = Event({"movie": "groundhog day", "price": 8, "theater": "odeon"})
+    out.write(f"subscription: s1 = movie = 'groundhog day' and price <= 10\n")
+    out.write(f"event:        {event}\n")
+    out.write(f"matched:      {matcher.match(event)}\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "match": _cmd_match,
+        "generate": _cmd_generate,
+        "bench": _cmd_bench,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

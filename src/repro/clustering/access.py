@@ -1,0 +1,100 @@
+"""Access predicates: conjunctions of equality predicates (Section 3.1).
+
+An access predicate is the key under which a subscription is clustered: a
+set of equality predicates, pairwise distinct over their attributes.  Its
+*schema* is the attribute set; its *key* is the value tuple in schema
+order — the probe key of the multi-attribute hash table for that schema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.core.errors import ClusteringError
+from repro.core.types import Predicate, Subscription, Value
+
+#: A hash-table schema: attributes in sorted order.
+Schema = Tuple[str, ...]
+#: A hash-table probe key: the values of a schema's attributes, in order.
+Key = Tuple[Value, ...]
+
+
+def normalize_schema(attributes: Iterable[str]) -> Schema:
+    """Sorted, duplicate-free attribute tuple."""
+    return tuple(sorted(set(attributes)))
+
+
+class AccessPredicate:
+    """Immutable conjunction of equality predicates keyed for hashing."""
+
+    __slots__ = ("predicates", "schema", "key")
+
+    def __init__(self, predicates: Iterable[Predicate]) -> None:
+        preds = tuple(sorted(predicates, key=lambda p: p.attribute))
+        by_attr: Dict[str, Predicate] = {}
+        for p in preds:
+            if not p.operator.is_equality:
+                raise ClusteringError(
+                    f"access predicates are equality-only, got {p!r}"
+                )
+            if p.attribute in by_attr:
+                raise ClusteringError(
+                    f"access predicate has two predicates on {p.attribute!r}"
+                )
+            by_attr[p.attribute] = p
+        if not preds:
+            raise ClusteringError("access predicate must be non-empty")
+        object.__setattr__(self, "predicates", preds)
+        object.__setattr__(self, "schema", tuple(p.attribute for p in preds))
+        object.__setattr__(self, "key", tuple(p.value for p in preds))
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("AccessPredicate is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessPredicate):
+            return NotImplemented
+        return self.predicates == other.predicates
+
+    def __hash__(self) -> int:
+        return hash(self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __repr__(self) -> str:
+        body = " and ".join(f"{a}={v!r}" for a, v in zip(self.schema, self.key))
+        return f"AccessPredicate({body})"
+
+
+def access_for_schema(sub: Subscription, schema: Schema) -> AccessPredicate:
+    """The access predicate of *sub* over *schema*.
+
+    Requires every schema attribute to carry an equality predicate in the
+    subscription (that is what ``schema ⊆ A(s)`` means).
+    """
+    wanted = set(schema)
+    chosen = []
+    for p in sub.predicates:
+        if p.operator.is_equality and p.attribute in wanted:
+            chosen.append(p)
+            wanted.discard(p.attribute)
+    if wanted:
+        raise ClusteringError(
+            f"subscription {sub.id!r} lacks equality predicates on {sorted(wanted)}"
+        )
+    return AccessPredicate(chosen)
+
+
+def key_for_schema(sub: Subscription, schema: Schema) -> Key:
+    """Probe-key values of *sub* for *schema* (same order as the schema)."""
+    values: Dict[str, Value] = {}
+    for p in sub.predicates:
+        if p.operator.is_equality and p.attribute in schema and p.attribute not in values:
+            values[p.attribute] = p.value
+    try:
+        return tuple(values[a] for a in schema)
+    except KeyError as missing:
+        raise ClusteringError(
+            f"subscription {sub.id!r} lacks an equality predicate on {missing}"
+        ) from None

@@ -1,0 +1,149 @@
+"""Multi-attribute hash tables and the hashing configuration (Section 3.1).
+
+A :class:`MultiAttrHashTable` indexes, for one schema (attribute set), the
+cluster lists of all access predicates over that schema; probing with an
+event is one dict lookup on the tuple of the event's values for the
+schema.  A :class:`HashingConfiguration` is the set of tables; matching
+an event probes every table whose schema the event covers (the paper's
+"a lookup per hash table of the configuration whose schema is included in
+the schema of e").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.algorithms.clusters import ClusterList
+from repro.clustering.access import Key, Schema
+from repro.core.types import Event
+
+
+class MultiAttrHashTable:
+    """schema → {value-tuple → ClusterList} with membership counting."""
+
+    __slots__ = ("schema", "_entries", "_count")
+
+    def __init__(self, schema: Schema) -> None:
+        if not schema or list(schema) != sorted(set(schema)):
+            raise ValueError(f"schema must be sorted and duplicate-free: {schema!r}")
+        self.schema = schema
+        self._entries: Dict[Key, ClusterList] = {}
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def add(self, sub_id: Any, key: Key, bit_refs: Sequence[int]) -> ClusterList:
+        """Insert a subscription under its probe key."""
+        lst = self._entries.get(key)
+        if lst is None:
+            lst = self._entries[key] = ClusterList(key=(self.schema, key))
+        lst.add(sub_id, bit_refs)
+        self._count += 1
+        return lst
+
+    def remove(self, sub_id: Any, key: Key, size: int) -> None:
+        """Remove a subscription from its entry's size-cluster."""
+        lst = self._entries[key]
+        lst.remove(sub_id, size)
+        self._count -= 1
+        if not lst:
+            del self._entries[key]
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+    def probe(self, event: Event) -> Optional[ClusterList]:
+        """Cluster list of the event's value combination, if any.
+
+        Returns None when the event lacks a schema attribute (μ filter)
+        or no subscription carries this value combination.
+        """
+        pairs = event.pairs
+        key: List[Any] = []
+        for attribute in self.schema:
+            value = pairs.get(attribute)
+            if value is None and attribute not in pairs:
+                return None
+            key.append(value)
+        return self._entries.get(tuple(key))
+
+    def entry(self, key: Key) -> Optional[ClusterList]:
+        """Direct entry lookup (for maintenance walks)."""
+        return self._entries.get(key)
+
+    def entries(self) -> Iterator[Tuple[Key, ClusterList]]:
+        """All (key, cluster list) pairs."""
+        return iter(self._entries.items())
+
+    @property
+    def entry_count(self) -> int:
+        """Number of distinct access predicates (hash entries)."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        """Total subscriptions stored (the paper's |H|)."""
+        return self._count
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes: dict overhead + clusters."""
+        n = 64 + 48 * len(self._entries)
+        for lst in self._entries.values():
+            n += lst.memory_bytes()
+        return n
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiAttrHashTable(schema={'/'.join(self.schema)}, "
+            f"entries={len(self._entries)}, subs={self._count})"
+        )
+
+
+class HashingConfiguration:
+    """The set of multi-attribute hash tables currently in force."""
+
+    __slots__ = ("_tables",)
+
+    def __init__(self) -> None:
+        self._tables: Dict[Schema, MultiAttrHashTable] = {}
+
+    def table(self, schema: Schema) -> Optional[MultiAttrHashTable]:
+        """The table for *schema*, or None."""
+        return self._tables.get(schema)
+
+    def ensure_table(self, schema: Schema) -> MultiAttrHashTable:
+        """Get-or-create the table for *schema*."""
+        tbl = self._tables.get(schema)
+        if tbl is None:
+            tbl = self._tables[schema] = MultiAttrHashTable(schema)
+        return tbl
+
+    def drop_table(self, schema: Schema) -> MultiAttrHashTable:
+        """Remove and return a table (KeyError if absent)."""
+        return self._tables.pop(schema)
+
+    def schemas(self) -> Tuple[Schema, ...]:
+        """All table schemas (insertion order)."""
+        return tuple(self._tables)
+
+    def tables(self) -> Iterator[MultiAttrHashTable]:
+        """All tables."""
+        return iter(self._tables.values())
+
+    def __contains__(self, schema: Schema) -> bool:
+        return schema in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def eligible_schemas(self, eq_attributes: frozenset) -> List[Schema]:
+        """Schemas usable by a subscription with equality attrs *eq_attributes*."""
+        return [s for s in self._tables if eq_attributes.issuperset(s)]
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes across tables."""
+        return sum(t.memory_bytes() for t in self._tables.values())
+
+    def __repr__(self) -> str:
+        schemas = ["/".join(s) for s in self._tables]
+        return f"HashingConfiguration({schemas})"

@@ -1,0 +1,130 @@
+"""The predicate bit vector (paper Section 2.2).
+
+One entry per *distinct* predicate in the system.  Phase 1 of the matching
+algorithm sets the bit of every predicate satisfied by the incoming event;
+phase 2 reads the bits through the clusters' bit-vector references.
+
+The vector is backed by a growable ``numpy.uint8`` array (one byte per
+predicate rather than one bit: the vectorized cluster kernel gathers
+entries with fancy indexing, which needs addressable cells).  A *dirty
+list* records which entries were set so that :meth:`reset` clears in
+O(#set bits) instead of O(#predicates) — with millions of predicates and
+sparse events this is the difference the paper's per-event 0-init hides
+inside its C memset.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+
+class BitVector:
+    """Growable byte-per-predicate truth vector with O(dirty) reset."""
+
+    __slots__ = ("_bits", "_dirty", "_size")
+
+    #: Initial capacity; doubles on demand.
+    _INITIAL_CAPACITY = 1024
+
+    def __init__(self, capacity: int = _INITIAL_CAPACITY) -> None:
+        if capacity < 1:
+            capacity = 1
+        self._bits = np.zeros(capacity, dtype=np.uint8)
+        self._dirty: List[int] = []
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of allocated predicate slots (high-water mark)."""
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Backing array length."""
+        return int(self._bits.shape[0])
+
+    def grow_to(self, size: int) -> None:
+        """Ensure at least *size* slots exist (new slots are 0)."""
+        if size <= self._size:
+            return
+        if size > self._bits.shape[0]:
+            new_cap = int(self._bits.shape[0])
+            while new_cap < size:
+                new_cap *= 2
+            fresh = np.zeros(new_cap, dtype=np.uint8)
+            fresh[: self._bits.shape[0]] = self._bits
+            self._bits = fresh
+        self._size = size
+
+    def allocate(self) -> int:
+        """Allocate one new slot and return its index."""
+        idx = self._size
+        self.grow_to(idx + 1)
+        return idx
+
+    # ------------------------------------------------------------------
+    # bit operations
+    # ------------------------------------------------------------------
+    def set(self, index: int) -> None:
+        """Set one bit (records it for the next :meth:`reset`)."""
+        if self._bits[index] == 0:
+            self._bits[index] = 1
+            self._dirty.append(index)
+
+    def set_many(self, indexes: Iterable[int]) -> None:
+        """Set several bits."""
+        bits = self._bits
+        dirty = self._dirty
+        for index in indexes:
+            if bits[index] == 0:
+                bits[index] = 1
+                dirty.append(index)
+
+    def get(self, index: int) -> bool:
+        """Read one bit."""
+        return bool(self._bits[index])
+
+    def reset(self) -> None:
+        """Clear every bit set since the previous reset."""
+        if not self._dirty:
+            return
+        if len(self._dirty) > max(64, self._size // 8):
+            # Dense: a full clear is cheaper than item-wise assignment.
+            self._bits[: self._size] = 0
+        else:
+            self._bits[self._dirty] = 0
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    # bulk access for the vectorized cluster kernel
+    # ------------------------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """The raw backing array (read-only use expected)."""
+        return self._bits
+
+    def gather(self, refs: np.ndarray) -> np.ndarray:
+        """Fancy-indexed read of many entries at once."""
+        return self._bits[refs]
+
+    def count_set(self) -> int:
+        """Number of currently-set bits."""
+        return len(self._dirty)
+
+    def set_indexes(self) -> Iterator[int]:
+        """Iterate over currently-set bit indexes (insertion order)."""
+        return iter(self._dirty)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index: int) -> bool:
+        return bool(self._bits[index])
+
+    def __repr__(self) -> str:
+        return f"BitVector(size={self._size}, set={len(self._dirty)})"

@@ -1,0 +1,118 @@
+"""Subscription covering (subsumption): ``s1 covers s2`` iff every event
+satisfying ``s2`` also satisfies ``s1``.
+
+Covering is the workhorse of content-based *routing* (a broker need not
+forward a subscription upstream if a covering one is already
+registered) and of portfolio dedup.  The paper doesn't need it for a
+single matcher, but any deployment of one grows it immediately; it is a
+natural closure of :meth:`Predicate.covers`.
+
+Soundness over completeness: :func:`covers` only answers True when the
+implication is provable per attribute (conjunctions decompose
+attribute-wise because distinct attributes are independent); incomplete
+cases (e.g. ``!=`` nets over finite domains) answer False.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import InvalidSubscriptionError
+from repro.core.simplify import simplify_predicates
+from repro.core.types import Predicate, Subscription
+
+
+def _by_attribute(preds: Iterable[Predicate]) -> Dict[str, List[Predicate]]:
+    out: Dict[str, List[Predicate]] = {}
+    for p in preds:
+        out.setdefault(p.attribute, []).append(p)
+    return out
+
+
+def _attribute_covers(broad: List[Predicate], narrow: List[Predicate]) -> bool:
+    """Does the conjunction *broad* (one attribute) cover *narrow*?
+
+    Every broad predicate must be implied by the narrow conjunction.
+    We prove `narrow ⊨ b` when some single narrow predicate implies b
+    (`b.covers(n)`), which after per-attribute simplification (bounds
+    merged) is complete for bound-vs-bound and equality cases.
+    """
+    for b in broad:
+        if not any(b.covers(n) for n in narrow):
+            return False
+    return True
+
+
+def covers(broad: Subscription, narrow: Subscription) -> bool:
+    """True when *broad* provably matches every event *narrow* matches.
+
+    A subscription can only be covered by one whose attribute set is a
+    subset of its own (missing attributes admit arbitrary values).
+    Unsatisfiable *narrow* subscriptions are covered by everything
+    (vacuous truth).
+    """
+    try:
+        narrow_preds = simplify_predicates(narrow.predicates)
+    except InvalidSubscriptionError:
+        return True  # narrow can never match anything
+    try:
+        broad_preds = simplify_predicates(broad.predicates)
+    except InvalidSubscriptionError:
+        return False  # broad never matches, narrow (satisfiable) does
+    broad_attrs = _by_attribute(broad_preds)
+    narrow_attrs = _by_attribute(narrow_preds)
+    for attribute, b_preds in broad_attrs.items():
+        n_preds = narrow_attrs.get(attribute)
+        if n_preds is None:
+            return False  # narrow admits events without this attribute
+        if not _attribute_covers(b_preds, n_preds):
+            return False
+    return True
+
+
+class CoverageIndex:
+    """Tracks a set of subscriptions with covering relations.
+
+    ``add`` reports whether the newcomer is *redundant* (covered by a
+    live subscription) and which live subscriptions it covers —
+    everything a routing layer needs to decide what to forward and what
+    to cancel upstream.  O(n) pairwise checks per operation: suitable
+    for portfolio-sized sets (routing tables), not for millions.
+    """
+
+    def __init__(self) -> None:
+        self._subs: Dict[Any, Subscription] = {}
+
+    def add(self, sub: Subscription) -> Tuple[bool, List[Any]]:
+        """Insert; returns ``(is_redundant, ids_now_covered_by_sub)``."""
+        if sub.id in self._subs:
+            raise InvalidSubscriptionError(f"duplicate id {sub.id!r}")
+        redundant = any(covers(live, sub) for live in self._subs.values())
+        newly_covered = [
+            sid for sid, live in self._subs.items() if covers(sub, live)
+        ]
+        self._subs[sub.id] = sub
+        return redundant, newly_covered
+
+    def remove(self, sub_id: Any) -> Subscription:
+        """Remove by id (KeyError when absent)."""
+        return self._subs.pop(sub_id)
+
+    def covering_set(self) -> List[Subscription]:
+        """A minimal forwarding set: subscriptions not covered by others.
+
+        Mutually-covering (equivalent) subscriptions keep their first
+        member (insertion order).
+        """
+        kept: List[Subscription] = []
+        for sub in self._subs.values():
+            if not any(covers(k, sub) for k in kept):
+                kept = [k for k in kept if not covers(sub, k)]
+                kept.append(sub)
+        return kept
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def __contains__(self, sub_id: Any) -> bool:
+        return sub_id in self._subs

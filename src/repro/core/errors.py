@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro publish/subscribe library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch one base class.  The hierarchy is
+shallow by design: one class per *kind* of misuse, each carrying enough
+context in its message to act on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidPredicateError(ReproError, ValueError):
+    """A predicate is malformed (bad operator, empty attribute, bad value)."""
+
+
+class InvalidSubscriptionError(ReproError, ValueError):
+    """A subscription is malformed (no predicates, contradictory input)."""
+
+
+class InvalidEventError(ReproError, ValueError):
+    """An event is malformed (duplicate attribute, empty, bad value type)."""
+
+
+class DuplicateSubscriptionError(ReproError, KeyError):
+    """A subscription id was inserted twice into the same matcher/broker."""
+
+
+class UnknownSubscriptionError(ReproError, KeyError):
+    """A subscription id was removed/queried but never inserted."""
+
+
+class InvalidWorkloadError(ReproError, ValueError):
+    """A workload specification violates the parameter constraints (Table 1)."""
+
+
+class ClusteringError(ReproError, RuntimeError):
+    """Internal clustering invariant violated (a bug if ever raised)."""
+
+
+class ExpiredError(ReproError, ValueError):
+    """An operation referenced an already-expired event or subscription."""
+
+
+class ParseError(ReproError, ValueError):
+    """The subscription/event language parser rejected its input.
+
+    Carries the offending position to support caret diagnostics.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1) -> None:
+        self.text = text
+        self.position = position
+        if text and position >= 0:
+            caret = " " * position + "^"
+            message = f"{message}\n  {text}\n  {caret}"
+        super().__init__(message)

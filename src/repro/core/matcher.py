@@ -1,0 +1,74 @@
+"""The matcher interface shared by every matching algorithm.
+
+All five algorithms from the paper's evaluation (counting, propagation,
+propagation-with-prefetch, static, dynamic) plus the brute-force oracle
+and the SQL-trigger strawman implement this small surface, so the
+benchmark harness, the broker and the tests can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable, List
+
+from repro.core.types import Event, Subscription
+
+
+class Matcher(abc.ABC):
+    """Abstract subscription matcher.
+
+    Implementations must tolerate interleaved ``add`` / ``remove`` /
+    ``match`` calls: the paper's target deployment is a broker at
+    *equilibrium* where 50 insertions and 50 deletions happen per second
+    while events stream through.
+    """
+
+    #: Short machine-readable name used by benchmarks and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def add(self, subscription: Subscription) -> None:
+        """Insert a subscription.
+
+        Raises :class:`~repro.core.errors.DuplicateSubscriptionError` if
+        the id is already present.
+        """
+
+    @abc.abstractmethod
+    def remove(self, sub_id: Any) -> Subscription:
+        """Remove and return the subscription with *sub_id*.
+
+        Raises :class:`~repro.core.errors.UnknownSubscriptionError` if
+        absent.
+        """
+
+    @abc.abstractmethod
+    def match(self, event: Event) -> List[Any]:
+        """Return the ids of all subscriptions satisfied by *event*."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of live subscriptions."""
+
+    # ------------------------------------------------------------------
+    # conveniences shared by all matchers
+    # ------------------------------------------------------------------
+    def add_all(self, subscriptions: Iterable[Subscription]) -> int:
+        """Insert many subscriptions; returns how many were inserted."""
+        n = 0
+        for sub in subscriptions:
+            self.add(sub)
+            n += 1
+        return n
+
+    def match_all(self, events: Iterable[Event]) -> List[List[Any]]:
+        """Match a batch of events; returns one id-list per event."""
+        return [self.match(e) for e in events]
+
+    def stats(self) -> Dict[str, Any]:
+        """Implementation-specific statistics (sizes, counters).
+
+        The base implementation reports only the subscription count;
+        subclasses extend the dict.
+        """
+        return {"name": self.name, "subscriptions": len(self)}

@@ -1,0 +1,48 @@
+"""Brute-force matcher: the correctness oracle.
+
+Checks every subscription against every event with the direct
+:meth:`Subscription.is_satisfied_by` test.  O(|S| · predicates) per event
+— hopeless at scale, indispensable in tests: every optimized matcher in
+this package is property-tested for exact agreement with this one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.errors import DuplicateSubscriptionError, UnknownSubscriptionError
+from repro.core.matcher import Matcher
+from repro.core.types import Event, Subscription
+
+
+class OracleMatcher(Matcher):
+    """Exhaustive scan over all subscriptions."""
+
+    name = "oracle"
+
+    def __init__(self) -> None:
+        self._subs: Dict[Any, Subscription] = {}
+
+    def add(self, subscription: Subscription) -> None:
+        if subscription.id in self._subs:
+            raise DuplicateSubscriptionError(subscription.id)
+        self._subs[subscription.id] = subscription
+
+    def remove(self, sub_id: Any) -> Subscription:
+        try:
+            return self._subs.pop(sub_id)
+        except KeyError:
+            raise UnknownSubscriptionError(sub_id) from None
+
+    def match(self, event: Event) -> List[Any]:
+        return [sid for sid, sub in self._subs.items() if sub.is_satisfied_by(event)]
+
+    def get(self, sub_id: Any) -> Subscription:
+        """Look up a stored subscription by id."""
+        try:
+            return self._subs[sub_id]
+        except KeyError:
+            raise UnknownSubscriptionError(sub_id) from None
+
+    def __len__(self) -> int:
+        return len(self._subs)

@@ -1,0 +1,109 @@
+"""Global predicate registry: de-duplication, bit allocation, refcounts.
+
+The paper keeps one bit-vector entry per *distinct* predicate occurring in
+any subscription ("Indexes are updated only if s contains a new predicate
+that is not already in the system", Section 2.3).  The registry owns that
+mapping:
+
+* :meth:`intern` returns the bit index of a predicate, allocating a new
+  bit (and index entry) only on first sight, and bumps a reference count;
+* :meth:`release` drops a reference and frees the bit when it reaches 0,
+  pushing the slot onto a free list so long-running brokers with heavy
+  subscription churn don't leak bit-vector slots.
+
+The registry is deliberately unaware of indexes; callers observe the
+``added``/``removed`` return flags and maintain their index structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.bitvector import BitVector
+from repro.core.types import Predicate
+
+
+class PredicateRegistry:
+    """Maps distinct predicates to bit-vector slots with refcounting."""
+
+    __slots__ = ("bits", "_slot_of", "_pred_of", "_refcount", "_free")
+
+    def __init__(self, bitvector: Optional[BitVector] = None) -> None:
+        self.bits = bitvector if bitvector is not None else BitVector()
+        self._slot_of: Dict[Predicate, int] = {}
+        self._pred_of: Dict[int, Predicate] = {}
+        self._refcount: Dict[int, int] = {}
+        self._free: List[int] = []
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    def intern(self, predicate: Predicate) -> Tuple[int, bool]:
+        """Return ``(bit, added)`` for *predicate*, creating a bit if new.
+
+        ``added`` is True exactly when the predicate was not present, in
+        which case the caller must insert it into the attribute indexes.
+        """
+        slot = self._slot_of.get(predicate)
+        if slot is not None:
+            self._refcount[slot] += 1
+            return slot, False
+        if self._free:
+            slot = self._free.pop()
+        else:
+            slot = self.bits.allocate()
+        self._slot_of[predicate] = slot
+        self._pred_of[slot] = predicate
+        self._refcount[slot] = 1
+        return slot, True
+
+    def release(self, predicate: Predicate) -> Tuple[int, bool]:
+        """Drop one reference; return ``(bit, removed)``.
+
+        ``removed`` is True when the last reference went away, in which
+        case the caller must delete the predicate from its indexes.
+        """
+        slot = self._slot_of.get(predicate)
+        if slot is None:
+            raise KeyError(f"predicate not interned: {predicate!r}")
+        self._refcount[slot] -= 1
+        if self._refcount[slot] > 0:
+            return slot, False
+        del self._slot_of[predicate]
+        del self._pred_of[slot]
+        del self._refcount[slot]
+        self._free.append(slot)
+        return slot, True
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def slot(self, predicate: Predicate) -> Optional[int]:
+        """Bit index of *predicate*, or None if not interned."""
+        return self._slot_of.get(predicate)
+
+    def predicate(self, slot: int) -> Predicate:
+        """Inverse lookup (raises KeyError for free slots)."""
+        return self._pred_of[slot]
+
+    def refcount(self, predicate: Predicate) -> int:
+        """Number of live references (0 when absent)."""
+        slot = self._slot_of.get(predicate)
+        return 0 if slot is None else self._refcount[slot]
+
+    def __contains__(self, predicate: Predicate) -> bool:
+        return predicate in self._slot_of
+
+    def __len__(self) -> int:
+        """Number of distinct live predicates."""
+        return len(self._slot_of)
+
+    def __iter__(self) -> Iterator[Predicate]:
+        return iter(self._slot_of)
+
+    def items(self) -> Iterator[Tuple[Predicate, int]]:
+        """Iterate ``(predicate, bit)`` pairs."""
+        return iter(self._slot_of.items())
+
+    def __repr__(self) -> str:
+        return f"PredicateRegistry(live={len(self._slot_of)}, free={len(self._free)})"

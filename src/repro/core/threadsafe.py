@@ -1,0 +1,53 @@
+"""A locking wrapper that makes any matcher safe for concurrent use.
+
+The matching engines are single-threaded by design (as in the paper);
+deployments that feed one matcher from several threads can wrap it::
+
+    matcher = ThreadSafeMatcher(DynamicMatcher())
+
+Every operation holds one reentrant lock — coarse-grained but correct;
+matching is short, so contention is the queueing you would otherwise
+build yourself.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List
+
+from repro.core.matcher import Matcher
+from repro.core.types import Event, Subscription
+
+
+class ThreadSafeMatcher(Matcher):
+    """Serializes all access to a wrapped matcher with an RLock."""
+
+    def __init__(self, inner: Matcher) -> None:
+        self.inner = inner
+        self._lock = threading.RLock()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    def add(self, subscription: Subscription) -> None:
+        with self._lock:
+            self.inner.add(subscription)
+
+    def remove(self, sub_id: Any) -> Subscription:
+        with self._lock:
+            return self.inner.remove(sub_id)
+
+    def match(self, event: Event) -> List[Any]:
+        with self._lock:
+            return self.inner.match(event)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.inner)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            stats = self.inner.stats()
+        stats["thread_safe"] = True
+        return stats

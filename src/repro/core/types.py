@@ -1,0 +1,459 @@
+"""Core value types: operators, predicates, subscriptions and events.
+
+These follow the paper's data model (Section 1.1):
+
+* a **predicate** is a triple ``(attribute, relop, value)`` with
+  ``relop`` one of ``<, <=, =, !=, >=, >``;
+* a **subscription** is a conjunction of predicates;
+* an **event** is a set of ``(attribute, value)`` pairs with no duplicate
+  attribute.
+
+An event pair ``(a', v')`` matches a predicate ``(a, relop, v)`` iff
+``a == a'`` and ``v' relop v`` (note the operand order: the *event* value
+is on the left).  An event satisfies a subscription iff every predicate is
+matched by some pair of the event.
+
+All three types are immutable and hashable so they can key dictionaries
+(the predicate registry relies on this for global de-duplication).
+"""
+
+from __future__ import annotations
+
+import enum
+import operator as _op
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.core.errors import (
+    InvalidEventError,
+    InvalidPredicateError,
+    InvalidSubscriptionError,
+)
+
+#: Values an attribute may take.  The paper uses positive-integer domains;
+#: we additionally allow floats and strings (strings only with = / !=).
+Value = Union[int, float, str]
+
+
+class Operator(enum.Enum):
+    """Relational comparison operator of a predicate.
+
+    The enum value is the surface syntax used by :mod:`repro.lang`.
+    """
+
+    LT = "<"
+    LE = "<="
+    EQ = "="
+    NE = "!="
+    GE = ">="
+    GT = ">"
+
+    @property
+    def is_equality(self) -> bool:
+        """True only for ``=`` (the operator class used by access predicates)."""
+        return self is Operator.EQ
+
+    @property
+    def is_range(self) -> bool:
+        """True for the four ordered comparisons ``<, <=, >=, >``."""
+        return self in _RANGE_OPS
+
+    @property
+    def python(self) -> Callable[[Any, Any], bool]:
+        """The Python callable computing ``event_value op predicate_value``."""
+        return _PY_OPS[self]
+
+    def negate(self) -> "Operator":
+        """Return the complement operator (``<`` ↔ ``>=``, ``=`` ↔ ``!=``)."""
+        return _NEGATIONS[self]
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Operator":
+        """Parse a surface symbol; accepts ``==`` as an alias for ``=``."""
+        if symbol == "==":
+            symbol = "="
+        try:
+            return cls(symbol)
+        except ValueError:
+            raise InvalidPredicateError(f"unknown operator {symbol!r}") from None
+
+
+_RANGE_OPS = frozenset({Operator.LT, Operator.LE, Operator.GE, Operator.GT})
+
+_PY_OPS: Dict[Operator, Callable[[Any, Any], bool]] = {
+    Operator.LT: _op.lt,
+    Operator.LE: _op.le,
+    Operator.EQ: _op.eq,
+    Operator.NE: _op.ne,
+    Operator.GE: _op.ge,
+    Operator.GT: _op.gt,
+}
+
+_NEGATIONS: Dict[Operator, Operator] = {
+    Operator.LT: Operator.GE,
+    Operator.LE: Operator.GT,
+    Operator.EQ: Operator.NE,
+    Operator.NE: Operator.EQ,
+    Operator.GE: Operator.LT,
+    Operator.GT: Operator.LE,
+}
+
+
+def _check_value(value: Value, op: Operator, context: str) -> Value:
+    """Validate a predicate or event value; normalize bools to ints."""
+    if isinstance(value, bool):
+        # bool is an int subclass; normalize so True == 1 dedups cleanly.
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        if op.is_range:
+            raise InvalidPredicateError(
+                f"{context}: string values only support = and !=, got {op.value!r}"
+            )
+        return value
+    raise InvalidPredicateError(
+        f"{context}: unsupported value type {type(value).__name__}"
+    )
+
+
+class Predicate:
+    """An immutable ``(attribute, operator, value)`` triple.
+
+    Predicates compare and hash by value, so structurally identical
+    predicates coming from different subscriptions collapse to one entry
+    in the predicate registry — the basis of the paper's shared
+    predicate bit vector.
+    """
+
+    __slots__ = ("attribute", "operator", "value", "_hash")
+
+    def __init__(self, attribute: str, operator: Operator, value: Value) -> None:
+        if not isinstance(attribute, str) or not attribute:
+            raise InvalidPredicateError("predicate attribute must be a non-empty string")
+        if not isinstance(operator, Operator):
+            operator = Operator.from_symbol(str(operator))
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "operator", operator)
+        object.__setattr__(
+            self, "value", _check_value(value, operator, f"predicate on {attribute!r}")
+        )
+        object.__setattr__(self, "_hash", hash((attribute, operator, self.value)))
+
+    def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
+        raise AttributeError("Predicate is immutable")
+
+    def matches(self, event_value: Value) -> bool:
+        """Does ``event_value relop self.value`` hold?
+
+        Mixed string/number comparisons are defined to be false for
+        ordered operators and behave as plain (in)equality otherwise,
+        mirroring how a typed attribute schema would reject them.
+        """
+        sv = self.value
+        if isinstance(event_value, str) != isinstance(sv, str):
+            if self.operator is Operator.EQ:
+                return False
+            if self.operator is Operator.NE:
+                return True
+            return False
+        try:
+            return self.operator.python(event_value, sv)
+        except TypeError:
+            return False
+
+    def covers(self, other: "Predicate") -> bool:
+        """True if every value satisfying *other* also satisfies *self*.
+
+        Only defined for same-attribute numeric predicates; used by the
+        subscription simplifier.  Conservative: returns False when unsure.
+        """
+        if self.attribute != other.attribute:
+            return False
+        if self == other:
+            return True
+        if isinstance(self.value, str) or isinstance(other.value, str):
+            if other.operator is Operator.EQ:
+                return self.matches(other.value)
+            return False
+        so, oo = self.operator, other.operator
+        sv, ov = self.value, other.value
+        if oo is Operator.EQ:
+            return self.matches(ov)
+        if so is Operator.NE and oo in (Operator.LT, Operator.GT, Operator.LE, Operator.GE):
+            # x != sv is implied by a range excluding sv.
+            if oo is Operator.LT:
+                return ov <= sv
+            if oo is Operator.LE:
+                return ov < sv
+            if oo is Operator.GT:
+                return ov >= sv
+            return ov > sv
+        upper = {Operator.LT, Operator.LE}
+        lower = {Operator.GT, Operator.GE}
+        if so in upper and oo in upper:
+            if sv > ov:
+                return True
+            if sv == ov:
+                return not (so is Operator.LT and oo is Operator.LE)
+            return False
+        if so in lower and oo in lower:
+            if sv < ov:
+                return True
+            if sv == ov:
+                return not (so is Operator.GT and oo is Operator.GE)
+            return False
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.attribute == other.attribute
+            and self.operator is other.operator
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.attribute!r} {self.operator.value} {self.value!r})"
+
+    def as_tuple(self) -> Tuple[str, str, Value]:
+        """A plain ``(attribute, symbol, value)`` tuple (for serialization)."""
+        return (self.attribute, self.operator.value, self.value)
+
+
+def eq(attribute: str, value: Value) -> Predicate:
+    """Shorthand for an equality predicate."""
+    return Predicate(attribute, Operator.EQ, value)
+
+
+def ne(attribute: str, value: Value) -> Predicate:
+    """Shorthand for a not-equal predicate."""
+    return Predicate(attribute, Operator.NE, value)
+
+
+def lt(attribute: str, value: Value) -> Predicate:
+    """Shorthand for a less-than predicate."""
+    return Predicate(attribute, Operator.LT, value)
+
+
+def le(attribute: str, value: Value) -> Predicate:
+    """Shorthand for a less-or-equal predicate."""
+    return Predicate(attribute, Operator.LE, value)
+
+
+def ge(attribute: str, value: Value) -> Predicate:
+    """Shorthand for a greater-or-equal predicate."""
+    return Predicate(attribute, Operator.GE, value)
+
+
+def gt(attribute: str, value: Value) -> Predicate:
+    """Shorthand for a greater-than predicate."""
+    return Predicate(attribute, Operator.GT, value)
+
+
+class Subscription:
+    """An immutable conjunction of predicates with an application id.
+
+    Duplicate predicates are collapsed.  Following the paper's notation,
+    :meth:`equality_predicates` is ``P(s)`` and
+    :attr:`equality_attributes` is ``A(s)``.
+    """
+
+    __slots__ = ("id", "predicates", "_hash")
+
+    def __init__(self, sub_id: Any, predicates: Iterable[Predicate]) -> None:
+        preds = []
+        seen = set()
+        for p in predicates:
+            if not isinstance(p, Predicate):
+                raise InvalidSubscriptionError(
+                    f"subscription {sub_id!r}: expected Predicate, got {type(p).__name__}"
+                )
+            if p not in seen:
+                seen.add(p)
+                preds.append(p)
+        if not preds:
+            raise InvalidSubscriptionError(
+                f"subscription {sub_id!r} must contain at least one predicate"
+            )
+        object.__setattr__(self, "id", sub_id)
+        object.__setattr__(self, "predicates", tuple(preds))
+        object.__setattr__(self, "_hash", hash((sub_id, self.predicates)))
+
+    def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
+        raise AttributeError("Subscription is immutable")
+
+    @property
+    def size(self) -> int:
+        """Number of (distinct) predicates — the paper's cluster size key."""
+        return len(self.predicates)
+
+    def equality_predicates(self) -> Tuple[Predicate, ...]:
+        """``P(s)``: the equality predicates of this subscription."""
+        return tuple(p for p in self.predicates if p.operator.is_equality)
+
+    @property
+    def equality_attributes(self) -> frozenset:
+        """``A(s)``: attributes carrying an equality predicate."""
+        return frozenset(p.attribute for p in self.predicates if p.operator.is_equality)
+
+    @property
+    def attributes(self) -> frozenset:
+        """All attributes referenced by any predicate."""
+        return frozenset(p.attribute for p in self.predicates)
+
+    def predicates_on(self, attribute: str) -> Tuple[Predicate, ...]:
+        """All predicates over one attribute."""
+        return tuple(p for p in self.predicates if p.attribute == attribute)
+
+    def is_satisfied_by(self, event: "Event") -> bool:
+        """Direct (index-free) satisfaction test; the correctness oracle."""
+        for p in self.predicates:
+            v = event.get(p.attribute)
+            if v is None and not event.has(p.attribute):
+                return False
+            if not p.matches(v):
+                return False
+        return True
+
+    def is_satisfiable(self) -> bool:
+        """Cheap contradiction check over same-attribute numeric predicates.
+
+        Detects e.g. ``x = 3 and x = 4`` or ``x < 2 and x > 5``.  Sound but
+        not complete for ``!=`` against finite domains (unknowable here).
+        """
+        by_attr: Dict[str, list] = {}
+        for p in self.predicates:
+            by_attr.setdefault(p.attribute, []).append(p)
+        for preds in by_attr.values():
+            eqs = [p for p in preds if p.operator is Operator.EQ]
+            if len({p.value for p in eqs}) > 1:
+                return False
+            if eqs:
+                v = eqs[0].value
+                if not all(q.matches(v) for q in preds):
+                    return False
+                continue
+            lo, lo_strict = None, False
+            hi, hi_strict = None, False
+            nes = set()
+            for p in preds:
+                if isinstance(p.value, str):
+                    continue
+                if p.operator is Operator.GT:
+                    if lo is None or p.value >= lo:
+                        lo, lo_strict = p.value, True
+                elif p.operator is Operator.GE:
+                    if lo is None or p.value > lo:
+                        lo, lo_strict = p.value, False
+                elif p.operator is Operator.LT:
+                    if hi is None or p.value <= hi:
+                        hi, hi_strict = p.value, True
+                elif p.operator is Operator.LE:
+                    if hi is None or p.value < hi:
+                        hi, hi_strict = p.value, False
+                elif p.operator is Operator.NE:
+                    nes.add(p.value)
+            if lo is not None and hi is not None:
+                if lo > hi:
+                    return False
+                if lo == hi:
+                    if lo_strict or hi_strict:
+                        return False
+                    if lo in nes:
+                        return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subscription):
+            return NotImplemented
+        return self.id == other.id and set(self.predicates) == set(other.predicates)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self) -> Iterator[Predicate]:
+        return iter(self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __repr__(self) -> str:
+        body = " and ".join(
+            f"{p.attribute} {p.operator.value} {p.value!r}" for p in self.predicates
+        )
+        return f"Subscription({self.id!r}: {body})"
+
+
+class Event:
+    """An immutable set of attribute/value pairs (no duplicate attribute)."""
+
+    __slots__ = ("pairs", "_hash")
+
+    def __init__(self, pairs: Union[Mapping[str, Value], Iterable[Tuple[str, Value]]]) -> None:
+        if isinstance(pairs, Mapping):
+            items = list(pairs.items())
+        else:
+            items = list(pairs)
+        mapping: Dict[str, Value] = {}
+        for attr, value in items:
+            if not isinstance(attr, str) or not attr:
+                raise InvalidEventError("event attribute must be a non-empty string")
+            if attr in mapping:
+                raise InvalidEventError(f"duplicate attribute {attr!r} in event")
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, (int, float, str)):
+                raise InvalidEventError(
+                    f"event value for {attr!r} has unsupported type {type(value).__name__}"
+                )
+            mapping[attr] = value
+        if not mapping:
+            raise InvalidEventError("event must contain at least one pair")
+        object.__setattr__(self, "pairs", dict(mapping))
+        object.__setattr__(self, "_hash", hash(frozenset(mapping.items())))
+
+    def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
+        raise AttributeError("Event is immutable")
+
+    @property
+    def schema(self) -> frozenset:
+        """The set of attributes present in the event."""
+        return frozenset(self.pairs)
+
+    def get(self, attribute: str, default: Optional[Value] = None) -> Optional[Value]:
+        """Value of *attribute*, or *default* when absent."""
+        return self.pairs.get(attribute, default)
+
+    def has(self, attribute: str) -> bool:
+        """Is *attribute* present?"""
+        return attribute in self.pairs
+
+    def items(self) -> Iterable[Tuple[str, Value]]:
+        """Iterate over ``(attribute, value)`` pairs."""
+        return self.pairs.items()
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.pairs
+
+    def __getitem__(self, attribute: str) -> Value:
+        return self.pairs[attribute]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.pairs == other.pairs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{a}={v!r}" for a, v in sorted(self.pairs.items()))
+        return f"Event({body})"

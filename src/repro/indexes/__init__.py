@@ -1,0 +1,25 @@
+"""Predicate indexes: phase 1 of the two-phase matching algorithm."""
+
+from repro.indexes.base import OperatorIndex
+from repro.indexes.btree import BTree
+from repro.indexes.composite import PredicateIndexSet
+from repro.indexes.hash_index import EqualityHashIndex
+from repro.indexes.notequal import NotEqualIndex
+from repro.indexes.ordered import (
+    BTreeOrderedIndex,
+    IndexKind,
+    SortedArrayOrderedIndex,
+    make_ordered_index,
+)
+
+__all__ = [
+    "BTree",
+    "BTreeOrderedIndex",
+    "EqualityHashIndex",
+    "IndexKind",
+    "NotEqualIndex",
+    "OperatorIndex",
+    "PredicateIndexSet",
+    "SortedArrayOrderedIndex",
+    "make_ordered_index",
+]

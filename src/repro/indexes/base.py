@@ -1,0 +1,41 @@
+"""Interface shared by the per-operator predicate indexes.
+
+An :class:`OperatorIndex` stores, for one attribute and one operator
+class, the mapping *predicate constant → bit-vector slot*, and can
+enumerate the slots of every stored predicate an event value satisfies.
+Phase 1 of the matching algorithm is a loop over these indexes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Tuple
+
+from repro.core.types import Value
+
+
+class OperatorIndex(abc.ABC):
+    """value→bit index for one (attribute, operator-class) pair."""
+
+    @abc.abstractmethod
+    def insert(self, value: Value, bit: int) -> None:
+        """Store a predicate constant under its bit slot."""
+
+    @abc.abstractmethod
+    def remove(self, value: Value) -> int:
+        """Remove a constant; returns its bit (KeyError if absent)."""
+
+    @abc.abstractmethod
+    def satisfied(self, event_value: Value) -> Iterator[int]:
+        """Yield the bit of every stored predicate *event_value* satisfies."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored predicate constants."""
+
+    @abc.abstractmethod
+    def entries(self) -> Iterator[Tuple[Value, int]]:
+        """All (constant, bit) pairs, order unspecified."""
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

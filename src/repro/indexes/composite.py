@@ -1,0 +1,125 @@
+"""Phase 1 of the matching algorithm: the predicate index set.
+
+Owns one :class:`OperatorIndex` per (attribute, operator class) actually
+used by live predicates, routes inserted/removed predicates to the right
+index, and evaluates an incoming event by probing, for each event pair,
+the indexes of that attribute — setting the bit of every satisfied
+predicate in the shared bit vector (paper Figure 2, step 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.bitvector import BitVector
+from repro.core.types import Event, Operator, Predicate
+from repro.indexes.base import OperatorIndex
+from repro.indexes.hash_index import EqualityHashIndex
+from repro.indexes.notequal import NotEqualIndex
+from repro.indexes.ordered import IndexKind, make_ordered_index
+
+
+class PredicateIndexSet:
+    """All per-attribute predicate indexes plus the evaluation loop."""
+
+    __slots__ = ("_kind", "_by_attr", "_count")
+
+    def __init__(self, kind: IndexKind = IndexKind.SORTED_ARRAY) -> None:
+        self._kind = kind
+        # attribute -> {operator -> index}; range ops get one index each.
+        self._by_attr: Dict[str, Dict[Operator, OperatorIndex]] = {}
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _index_for(self, attribute: str, op: Operator, create: bool) -> Optional[OperatorIndex]:
+        ops = self._by_attr.get(attribute)
+        if ops is None:
+            if not create:
+                return None
+            ops = self._by_attr[attribute] = {}
+        index = ops.get(op)
+        if index is None and create:
+            if op is Operator.EQ:
+                index = EqualityHashIndex()
+            elif op is Operator.NE:
+                index = NotEqualIndex()
+            else:
+                index = make_ordered_index(op, self._kind)
+            ops[op] = index
+        return index
+
+    def insert(self, predicate: Predicate, bit: int) -> None:
+        """Index a newly-interned predicate under its bit slot."""
+        index = self._index_for(predicate.attribute, predicate.operator, create=True)
+        index.insert(predicate.value, bit)
+        self._count += 1
+
+    def remove(self, predicate: Predicate) -> int:
+        """Un-index a predicate whose last reference was released."""
+        index = self._index_for(predicate.attribute, predicate.operator, create=False)
+        if index is None:
+            raise KeyError(f"no index holds {predicate!r}")
+        bit = index.remove(predicate.value)
+        self._count -= 1
+        if not index:
+            ops = self._by_attr[predicate.attribute]
+            del ops[predicate.operator]
+            if not ops:
+                del self._by_attr[predicate.attribute]
+        return bit
+
+    # ------------------------------------------------------------------
+    # evaluation (phase 1)
+    # ------------------------------------------------------------------
+    def evaluate(self, event: Event, bits: BitVector) -> int:
+        """Set the bit of every predicate satisfied by *event*.
+
+        Returns the number of satisfied predicates (for instrumentation).
+        String event values are only routed to the = and != indexes; the
+        ordered indexes hold numeric constants exclusively, matching
+        :meth:`Predicate.matches` semantics (ordered comparisons across
+        types are false).
+        """
+        n = 0
+        by_attr = self._by_attr
+        for attribute, value in event.items():
+            ops = by_attr.get(attribute)
+            if ops is None:
+                continue
+            is_str = isinstance(value, str)
+            for op, index in ops.items():
+                if is_str and op.is_range:
+                    continue
+                for bit in index.satisfied(value):
+                    bits.set(bit)
+                    n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def predicate_count(self) -> int:
+        """Total predicates currently indexed."""
+        return self._count
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes with at least one live predicate."""
+        return tuple(self._by_attr)
+
+    def operators_on(self, attribute: str) -> Tuple[Operator, ...]:
+        """Operator classes indexed for one attribute."""
+        return tuple(self._by_attr.get(attribute, ()))
+
+    def entries(self) -> Iterator[Tuple[str, Operator, object, int]]:
+        """Iterate all (attribute, operator, constant, bit) tuples."""
+        for attribute, ops in self._by_attr.items():
+            for op, index in ops.items():
+                for value, bit in index.entries():
+                    yield attribute, op, value, bit
+
+    def __len__(self) -> int:
+        return self._count

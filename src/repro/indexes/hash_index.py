@@ -1,0 +1,47 @@
+"""Hash index for equality predicates (paper Section 2.3).
+
+For one attribute, maps each distinct equality constant to its bit slot.
+An event pair satisfies at most one stored equality predicate, so
+:meth:`satisfied` is a single dict probe — this is what makes the
+predicate phase cheap even with millions of subscriptions sharing a few
+thousand distinct predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.core.types import Value
+from repro.indexes.base import OperatorIndex
+
+
+class EqualityHashIndex(OperatorIndex):
+    """constant → bit dict for ``=`` predicates on one attribute."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self) -> None:
+        self._bits: Dict[Value, int] = {}
+
+    def insert(self, value: Value, bit: int) -> None:
+        if value in self._bits:
+            raise KeyError(f"equality constant {value!r} already indexed")
+        self._bits[value] = bit
+
+    def remove(self, value: Value) -> int:
+        return self._bits.pop(value)
+
+    def satisfied(self, event_value: Value) -> Iterator[int]:
+        bit = self._bits.get(event_value)
+        if bit is not None:
+            yield bit
+
+    def lookup(self, event_value: Value) -> int:
+        """Bit for an exact constant, or -1 (non-iterator fast path)."""
+        return self._bits.get(event_value, -1)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def entries(self) -> Iterator[Tuple[Value, int]]:
+        return iter(self._bits.items())

@@ -1,0 +1,174 @@
+"""JSON serialization for subscriptions, events and workload specs.
+
+Stable, human-readable wire formats so subscription sets can be stored,
+shipped between brokers, and replayed:
+
+* subscription: ``{"id": ..., "predicates": [[attr, op, value], ...]}``
+* event: ``{"pairs": {attr: value, ...}}``
+* workload spec: flat dict of the Table-1 parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, TextIO
+
+from repro.core.errors import ReproError
+from repro.core.types import Event, Operator, Predicate, Subscription
+
+if TYPE_CHECKING:  # runtime import is deferred (see spec_from_dict)
+    from repro.workload.spec import WorkloadSpec
+
+
+class SerializationError(ReproError, ValueError):
+    """Malformed wire data."""
+
+
+# ----------------------------------------------------------------------
+# subscriptions
+# ----------------------------------------------------------------------
+def subscription_to_dict(sub: Subscription) -> Dict[str, Any]:
+    """Wire form of one subscription."""
+    return {
+        "id": sub.id,
+        "predicates": [list(p.as_tuple()) for p in sub.predicates],
+    }
+
+
+def subscription_from_dict(data: Dict[str, Any]) -> Subscription:
+    """Parse one subscription's wire form."""
+    try:
+        preds = [
+            Predicate(attr, Operator.from_symbol(op), value)
+            for attr, op, value in data["predicates"]
+        ]
+        return Subscription(data["id"], preds)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad subscription record: {exc}") from exc
+
+
+def dump_subscriptions(subs: Iterable[Subscription], fp: TextIO) -> int:
+    """Write subscriptions as JSON lines; returns the count."""
+    n = 0
+    for sub in subs:
+        fp.write(json.dumps(subscription_to_dict(sub), sort_keys=True))
+        fp.write("\n")
+        n += 1
+    return n
+
+
+def load_subscriptions(fp: TextIO) -> List[Subscription]:
+    """Read JSON-lines subscriptions."""
+    out = []
+    for lineno, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"line {lineno}: invalid JSON: {exc}") from exc
+        out.append(subscription_from_dict(record))
+    return out
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+def event_to_dict(event: Event) -> Dict[str, Any]:
+    """Wire form of one event."""
+    return {"pairs": dict(event.items())}
+
+
+def event_from_dict(data: Dict[str, Any]) -> Event:
+    """Parse one event's wire form."""
+    try:
+        return Event(data["pairs"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad event record: {exc}") from exc
+
+
+def dump_events(events: Iterable[Event], fp: TextIO) -> int:
+    """Write events as JSON lines; returns the count."""
+    n = 0
+    for event in events:
+        fp.write(json.dumps(event_to_dict(event), sort_keys=True))
+        fp.write("\n")
+        n += 1
+    return n
+
+
+def load_events(fp: TextIO) -> List[Event]:
+    """Read JSON-lines events."""
+    out = []
+    for lineno, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(event_from_dict(json.loads(line)))
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"line {lineno}: invalid JSON: {exc}") from exc
+    return out
+
+
+# ----------------------------------------------------------------------
+# workload specs
+# ----------------------------------------------------------------------
+def spec_to_dict(spec: "WorkloadSpec") -> Dict[str, Any]:
+    """Wire form of a workload spec (operators as symbols)."""
+    data = dataclasses.asdict(spec)
+    data["fixed_predicates"] = [
+        {"attribute": f.attribute, "operator": f.operator.value}
+        for f in spec.fixed_predicates
+    ]
+    data["predicate_domain_overrides"] = {
+        k: list(v) for k, v in spec.predicate_domain_overrides.items()
+    }
+    data["event_domain_overrides"] = {
+        k: list(v) for k, v in spec.event_domain_overrides.items()
+    }
+    if spec.subscription_attribute_pool is not None:
+        data["subscription_attribute_pool"] = list(spec.subscription_attribute_pool)
+    return data
+
+
+def spec_from_dict(data: Dict[str, Any]) -> "WorkloadSpec":
+    """Parse a workload spec's wire form."""
+    # Imported here: repro.workload's package init imports repro.workload.trace,
+    # which imports this module — a top-level import would be circular.
+    from repro.workload.spec import FixedPredicateSpec, WorkloadSpec
+
+    try:
+        payload = dict(data)
+        payload["fixed_predicates"] = tuple(
+            FixedPredicateSpec(f["attribute"], Operator.from_symbol(f["operator"]))
+            for f in payload.get("fixed_predicates", ())
+        )
+        pool = payload.get("subscription_attribute_pool")
+        payload["subscription_attribute_pool"] = tuple(pool) if pool else None
+        payload["predicate_domain_overrides"] = {
+            k: tuple(v)
+            for k, v in payload.get("predicate_domain_overrides", {}).items()
+        }
+        payload["event_domain_overrides"] = {
+            k: tuple(v) for k, v in payload.get("event_domain_overrides", {}).items()
+        }
+        return WorkloadSpec(**payload)
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"bad workload spec: {exc}") from exc
+
+
+def dump_spec(spec: "WorkloadSpec", fp: TextIO) -> None:
+    """Write one spec as pretty JSON."""
+    json.dump(spec_to_dict(spec), fp, indent=2, sort_keys=True)
+    fp.write("\n")
+
+
+def load_spec(fp: TextIO) -> "WorkloadSpec":
+    """Read one spec."""
+    try:
+        return spec_from_dict(json.load(fp))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc

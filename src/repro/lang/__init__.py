@@ -1,0 +1,25 @@
+"""Surface language: parse subscriptions (with DNF) and events from text."""
+
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.nodes import And, Leaf, Node, Not, Or
+from repro.lang.parser import (
+    parse_event,
+    parse_formula,
+    parse_subscription,
+    parse_subscriptions,
+)
+
+__all__ = [
+    "And",
+    "Leaf",
+    "Node",
+    "Not",
+    "Or",
+    "Token",
+    "TokenKind",
+    "parse_event",
+    "parse_formula",
+    "parse_subscription",
+    "parse_subscriptions",
+    "tokenize",
+]

@@ -1,0 +1,120 @@
+"""Boolean AST over predicates, with DNF expansion.
+
+The matcher consumes conjunctions only; richer formulas (``or``, ``not``)
+are normalized to disjunctive normal form, one :class:`Subscription` per
+disjunct — exactly the "disjunctive normal form conditions on events"
+the paper's prototype supports.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import List, Tuple
+
+from repro.core.errors import ParseError
+from repro.core.types import Predicate
+
+
+class Node(abc.ABC):
+    """AST node for a boolean combination of predicates."""
+
+    @abc.abstractmethod
+    def negated(self) -> "Node":
+        """Push one negation inward (De Morgan / operator complement)."""
+
+    @abc.abstractmethod
+    def dnf(self) -> List[Tuple[Predicate, ...]]:
+        """Disjuncts, each a conjunction of predicates."""
+
+
+class Leaf(Node):
+    """A single predicate."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Predicate) -> None:
+        self.predicate = predicate
+
+    def negated(self) -> "Node":
+        p = self.predicate
+        return Leaf(Predicate(p.attribute, p.operator.negate(), p.value))
+
+    def dnf(self) -> List[Tuple[Predicate, ...]]:
+        return [(self.predicate,)]
+
+    def __repr__(self) -> str:
+        return f"Leaf({self.predicate!r})"
+
+
+class And(Node):
+    """Conjunction of child formulas."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: List[Node]) -> None:
+        if not children:
+            raise ParseError("empty conjunction")
+        self.children = children
+
+    def negated(self) -> "Node":
+        return Or([c.negated() for c in self.children])
+
+    def dnf(self) -> List[Tuple[Predicate, ...]]:
+        # Cartesian product of the children's disjuncts.
+        parts = [c.dnf() for c in self.children]
+        out: List[Tuple[Predicate, ...]] = []
+        for combo in itertools.product(*parts):
+            merged: List[Predicate] = []
+            seen = set()
+            for conj in combo:
+                for p in conj:
+                    if p not in seen:
+                        seen.add(p)
+                        merged.append(p)
+            out.append(tuple(merged))
+        return out
+
+    def __repr__(self) -> str:
+        return f"And({self.children!r})"
+
+
+class Or(Node):
+    """Disjunction of child formulas."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: List[Node]) -> None:
+        if not children:
+            raise ParseError("empty disjunction")
+        self.children = children
+
+    def negated(self) -> "Node":
+        return And([c.negated() for c in self.children])
+
+    def dnf(self) -> List[Tuple[Predicate, ...]]:
+        out: List[Tuple[Predicate, ...]] = []
+        for c in self.children:
+            out.extend(c.dnf())
+        return out
+
+    def __repr__(self) -> str:
+        return f"Or({self.children!r})"
+
+
+class Not(Node):
+    """Negation; eliminated before DNF via operator complements."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Node) -> None:
+        self.child = child
+
+    def negated(self) -> "Node":
+        return self.child
+
+    def dnf(self) -> List[Tuple[Predicate, ...]]:
+        return self.child.negated().dnf()
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"

@@ -1,0 +1,205 @@
+"""Recursive-descent parser for subscriptions and events.
+
+Grammar::
+
+    formula    :=  term  ( OR  term )*
+    term       :=  factor ( AND factor )*
+    factor     :=  NOT factor | '(' formula ')' | comparison
+    comparison :=  IDENT op value
+                |  IDENT IN '(' value ( ',' value )* ')'
+                |  IDENT BETWEEN value AND value
+    event      :=  pair ( ',' pair )*
+    pair       :=  IDENT '=' value
+
+``x in (a, b, c)`` sugars to ``x = a or x = b or x = c``;
+``x between lo and hi`` to ``x >= lo and x <= hi``.
+
+``parse_subscriptions`` expands ``or``/``not`` into DNF and returns one
+:class:`Subscription` per disjunct (ids suffixed ``#k`` when several).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.errors import ParseError
+from repro.core.types import Event, Operator, Predicate, Subscription
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.nodes import And, Leaf, Node, Not, Or
+
+
+class _Parser:
+    """Token-stream cursor with the grammar productions."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # cursor
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.END:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        token = self.current
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value}, found {token.text or 'end of input'!r}",
+                self.text,
+                token.position,
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # productions
+    # ------------------------------------------------------------------
+    def formula(self) -> Node:
+        children = [self.term()]
+        while self.current.kind is TokenKind.OR:
+            self.advance()
+            children.append(self.term())
+        return children[0] if len(children) == 1 else Or(children)
+
+    def term(self) -> Node:
+        children = [self.factor()]
+        while self.current.kind is TokenKind.AND:
+            self.advance()
+            children.append(self.factor())
+        return children[0] if len(children) == 1 else And(children)
+
+    def factor(self) -> Node:
+        token = self.current
+        if token.kind is TokenKind.NOT:
+            self.advance()
+            return Not(self.factor())
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.formula()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        return self.comparison()
+
+    def comparison(self) -> Node:
+        ident = self.expect(TokenKind.IDENT)
+        attribute = str(ident.value)
+        token = self.current
+        if token.kind is TokenKind.IN:
+            self.advance()
+            return self._in_list(attribute)
+        if token.kind is TokenKind.BETWEEN:
+            self.advance()
+            return self._between(attribute, token)
+        op_token = self.expect(TokenKind.OP)
+        value = self.value()
+        try:
+            operator = Operator.from_symbol(op_token.text)
+            return Leaf(Predicate(attribute, operator, value))
+        except Exception as exc:
+            raise ParseError(str(exc), self.text, op_token.position) from exc
+
+    def _in_list(self, attribute: str) -> Node:
+        """``x in (v1, v2, …)`` — a disjunction of equalities."""
+        self.expect(TokenKind.LPAREN)
+        leaves = [Leaf(Predicate(attribute, Operator.EQ, self.value()))]
+        while self.current.kind is TokenKind.COMMA:
+            self.advance()
+            leaves.append(Leaf(Predicate(attribute, Operator.EQ, self.value())))
+        self.expect(TokenKind.RPAREN)
+        return leaves[0] if len(leaves) == 1 else Or(leaves)
+
+    def _between(self, attribute: str, at: Token) -> Node:
+        """``x between lo and hi`` — an inclusive range conjunction."""
+        lo = self.value()
+        self.expect(TokenKind.AND)
+        hi = self.value()
+        try:
+            return And(
+                [
+                    Leaf(Predicate(attribute, Operator.GE, lo)),
+                    Leaf(Predicate(attribute, Operator.LE, hi)),
+                ]
+            )
+        except Exception as exc:
+            raise ParseError(str(exc), self.text, at.position) from exc
+
+    def value(self) -> Any:
+        token = self.current
+        if token.kind in (TokenKind.NUMBER, TokenKind.STRING):
+            self.advance()
+            return token.value
+        if token.kind is TokenKind.IDENT:
+            # Bare words are treated as string constants: movie = comedy.
+            self.advance()
+            return token.value
+        raise ParseError(
+            f"expected a value, found {token.text or 'end of input'!r}",
+            self.text,
+            token.position,
+        )
+
+    def event(self) -> Event:
+        pairs = []
+        while True:
+            ident = self.expect(TokenKind.IDENT)
+            op_token = self.expect(TokenKind.OP)
+            if op_token.text not in ("=", "=="):
+                raise ParseError(
+                    "events use '=' pairs only", self.text, op_token.position
+                )
+            pairs.append((str(ident.value), self.value()))
+            if self.current.kind is TokenKind.COMMA:
+                self.advance()
+                continue
+            break
+        self.expect(TokenKind.END)
+        return Event(pairs)
+
+    def finish(self) -> None:
+        self.expect(TokenKind.END)
+
+
+def parse_formula(text: str) -> Node:
+    """Parse a boolean formula into its AST."""
+    parser = _Parser(text)
+    node = parser.formula()
+    parser.finish()
+    return node
+
+
+def parse_subscriptions(text: str, sub_id: Any) -> List[Subscription]:
+    """Parse a formula into DNF subscriptions.
+
+    One subscription per disjunct; a single conjunction keeps *sub_id*
+    verbatim, multiple disjuncts get ``{sub_id}#0``, ``{sub_id}#1``, …
+    """
+    disjuncts = parse_formula(text).dnf()
+    if len(disjuncts) == 1:
+        return [Subscription(sub_id, disjuncts[0])]
+    return [
+        Subscription(f"{sub_id}#{k}", preds) for k, preds in enumerate(disjuncts)
+    ]
+
+
+def parse_subscription(text: str, sub_id: Any) -> Subscription:
+    """Parse a pure conjunction (raises if the formula needs DNF)."""
+    subs = parse_subscriptions(text, sub_id)
+    if len(subs) != 1:
+        raise ParseError(
+            f"formula expands to {len(subs)} conjunctions; "
+            "use parse_subscriptions for or/not formulas"
+        )
+    return subs[0]
+
+
+def parse_event(text: str) -> Event:
+    """Parse ``attr = value, attr = value, …`` into an Event."""
+    return _Parser(text).event()

@@ -1,0 +1,56 @@
+"""User-facing matching engines, one per algorithm in the paper's §6."""
+
+from typing import Optional
+
+from repro.algorithms.counting import CountingMatcher
+from repro.algorithms.propagation import (
+    PrefetchPropagationMatcher,
+    PropagationMatcher,
+)
+from repro.algorithms.testnetwork import TreeMatcher
+from repro.core.matcher import Matcher
+from repro.core.oracle import OracleMatcher
+from repro.matchers.clustered import ClusteredMatcher
+from repro.matchers.dynamic import DynamicMatcher
+from repro.matchers.static import StaticMatcher
+
+#: Algorithm name → factory, as used by benchmarks and examples.
+MATCHER_FACTORIES = {
+    "oracle": OracleMatcher,
+    "counting": CountingMatcher,
+    "propagation": PropagationMatcher,
+    "propagation-wp": PrefetchPropagationMatcher,
+    "static": StaticMatcher,
+    "dynamic": DynamicMatcher,
+    "test-network": TreeMatcher,
+}
+
+
+def make_matcher(name: str, **kwargs) -> Matcher:
+    """Build a matcher by algorithm name (see :data:`MATCHER_FACTORIES`).
+
+    ``static`` requires a ``statistics`` argument; ``dynamic`` creates an
+    online :class:`~repro.clustering.statistics.EventStatistics` when none
+    is given.
+    """
+    try:
+        factory = MATCHER_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(MATCHER_FACTORIES))
+        raise ValueError(f"unknown matcher {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "ClusteredMatcher",
+    "CountingMatcher",
+    "DynamicMatcher",
+    "MATCHER_FACTORIES",
+    "Matcher",
+    "OracleMatcher",
+    "PrefetchPropagationMatcher",
+    "PropagationMatcher",
+    "StaticMatcher",
+    "TreeMatcher",
+    "make_matcher",
+]

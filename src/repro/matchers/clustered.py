@@ -1,0 +1,206 @@
+"""Base matcher for multi-attribute schema-based clustering (Section 3).
+
+Subscriptions are placed in cluster lists reached through the tables of a
+:class:`HashingConfiguration`; matching an event probes every table whose
+schema the event covers, then checks only the members of the probed
+cluster lists.  The static and dynamic matchers differ solely in *how the
+set of tables evolves*; placement, probing and removal live here.
+
+Both use the vectorized (prefetch-analogue) check kernel — in the paper
+"Both algorithms are implemented with prefetching."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.algorithms.base import TwoPhaseMatcher
+from repro.algorithms.clusters import ClusterList
+from repro.clustering.access import Key, Schema, access_for_schema
+from repro.clustering.hashconfig import HashingConfiguration
+from repro.clustering.statistics import Statistics
+from repro.core.errors import ClusteringError
+from repro.core.types import Event, Predicate, Subscription
+from repro.indexes.ordered import IndexKind
+
+
+class ClusteredMatcher(TwoPhaseMatcher):
+    """Phase-2 storage behind multi-attribute hash tables."""
+
+    name = "clustered"
+    vectorized = True
+
+    def __init__(
+        self,
+        statistics: Statistics,
+        index_kind: IndexKind = IndexKind.SORTED_ARRAY,
+        vectorized: bool = True,
+    ) -> None:
+        super().__init__(index_kind)
+        # Check kernel: vectorized (prefetch-analogue, default) or scalar.
+        # The scalar kernel is the regime where per-subscription work
+        # dominates fixed per-table overhead — useful for studying
+        # clustering effects at laptop-scale populations.
+        self.vectorized = vectorized
+        self.statistics = statistics
+        self.config = HashingConfiguration()
+        self._universal = ClusterList(key=None)
+        # sub id -> (schema or None, probe key, residual size).
+        self._placement: Dict[Any, Tuple[Optional[Schema], Key, int]] = {}
+
+    # ------------------------------------------------------------------
+    # schema choice (subclass hook)
+    # ------------------------------------------------------------------
+    def _choose_schema(self, sub: Subscription) -> Optional[Schema]:
+        """Schema to cluster *sub* under; None → universal list.
+
+        Default policy: cheapest *existing* eligible table by the
+        subscription's concrete ν (its own access-key probability).
+        """
+        eq_attrs = sub.equality_attributes
+        if not eq_attrs:
+            return None
+        eligible = self.config.eligible_schemas(eq_attrs)
+        if not eligible:
+            return None
+        # Schema-level expected ν, quantized to log-scale buckets: tables
+        # whose estimated cost differs only by sampling noise must compare
+        # equal, so the lexical tie-break concentrates same-schema
+        # subscriptions into one table — without concentration no cluster
+        # ever crosses the maintenance thresholds and the engine cannot
+        # learn which multi-attribute tables to build.
+        return min(eligible, key=lambda s: (self._nu_bucket(s), s))
+
+    def _nu_bucket(self, schema: Schema) -> int:
+        """Expected ν of *schema*, bucketed by factor-e steps."""
+        nu = max(1e-300, self.statistics.expected_nu_schema(schema))
+        return math.floor(math.log(nu))
+
+    def _sub_nu(self, sub: Subscription, schema: Schema) -> float:
+        """ν of the subscription's concrete access predicate over *schema*."""
+        ap = access_for_schema(sub, schema)
+        return self.statistics.nu_of_pairs(zip(ap.schema, ap.key))
+
+    # ------------------------------------------------------------------
+    # placement plumbing
+    # ------------------------------------------------------------------
+    def _slots_of(self, sub: Subscription) -> Dict[Predicate, int]:
+        """Current registry slots for an already-interned subscription."""
+        slots = {}
+        for pred in sub.predicates:
+            bit = self.registry.slot(pred)
+            if bit is None:
+                raise ClusteringError(f"predicate not interned: {pred!r}")
+            slots[pred] = bit
+        return slots
+
+    def _place(self, sub: Subscription, slots: Dict[Predicate, int]) -> None:
+        self._place_under(sub, slots, self._choose_schema(sub))
+
+    def _place_under(
+        self,
+        sub: Subscription,
+        slots: Dict[Predicate, int],
+        schema: Optional[Schema],
+    ) -> None:
+        """Insert *sub* into the given schema's table (or the universal list)."""
+        if schema is None:
+            refs = self.ordered_residual_bits(sub, slots, ())
+            self._universal.add(sub.id, refs)
+            self._placement[sub.id] = (None, (), len(refs))
+            return
+        ap = access_for_schema(sub, schema)
+        refs = self.ordered_residual_bits(sub, slots, ap.predicates)
+        table = self.config.ensure_table(schema)
+        table.add(sub.id, ap.key, refs)
+        self._placement[sub.id] = (schema, ap.key, len(refs))
+
+    def _displace(self, sub: Subscription) -> None:
+        schema, key, size = self._placement.pop(sub.id)
+        if schema is None:
+            self._universal.remove(sub.id, size)
+            return
+        table = self.config.table(schema)
+        if table is None:
+            raise ClusteringError(f"placement references dropped table {schema!r}")
+        table.remove(sub.id, key, size)
+
+    def move_subscription(self, sub_id: Any, new_schema: Optional[Schema]) -> None:
+        """Re-cluster one live subscription under another schema.
+
+        Predicates stay interned (the subscription itself is unchanged);
+        only phase-2 placement moves.
+        """
+        sub = self.get(sub_id)
+        self._displace(sub)
+        self._place_under(sub, self._slots_of(sub), new_schema)
+
+    def placement_of(self, sub_id: Any) -> Tuple[Optional[Schema], Key, int]:
+        """(schema, key, residual size) of a live subscription."""
+        return self._placement[sub_id]
+
+    # ------------------------------------------------------------------
+    # phase 2
+    # ------------------------------------------------------------------
+    def _match_phase2(self, event: Event) -> List[Any]:
+        out: List[Any] = []
+        bits = self.bits.array
+        reads = 0
+        if len(self._universal):
+            reads += self._universal.match(bits, out, self.vectorized)
+        for table in self.config.tables():
+            if not len(table):
+                continue  # drained singletons keep their slot but hold nobody
+            lst = table.probe(event)
+            if lst is not None:
+                reads += lst.match(bits, out, self.vectorized)
+        self.counters["subscription_checks"] += reads
+        return out
+
+    # ------------------------------------------------------------------
+    # debugging
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        assert set(self._placement) == set(self._subs), "placement key drift"
+        stored = set()
+        for table in self.config.tables():
+            for _key, lst in table.entries():
+                assert lst, "empty entry retained"
+                for cluster in lst.clusters():
+                    for sid in cluster.ids():
+                        assert sid not in stored, f"{sid!r} stored twice"
+                        stored.add(sid)
+        for cluster in self._universal.clusters():
+            for sid in cluster.ids():
+                assert sid not in stored, f"{sid!r} stored twice"
+                stored.add(sid)
+        assert stored == set(self._subs), "table membership drift"
+        for sid, (schema, key, size) in self._placement.items():
+            sub = self._subs[sid]
+            if schema is None:
+                assert key == ()
+                assert size == sub.size
+                continue
+            table = self.config.table(schema)
+            assert table is not None, f"placement points at missing table {schema!r}"
+            lst = table.entry(key)
+            assert lst is not None, f"placement points at missing entry {key!r}"
+            assert sub.equality_attributes.issuperset(schema)
+            assert size == sub.size - len(schema), f"residual drift for {sid!r}"
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def table_sizes(self) -> Dict[Schema, int]:
+        """Subscription count per table (the paper's |H| values)."""
+        return {t.schema: len(t) for t in self.config.tables()}
+
+    def stats(self) -> Dict[str, Any]:
+        base = super().stats()
+        base.update(
+            tables={"/".join(t.schema): len(t) for t in self.config.tables()},
+            universal_members=len(self._universal),
+        )
+        return base

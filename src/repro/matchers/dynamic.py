@@ -1,0 +1,367 @@
+"""The dynamic algorithm: incrementally self-optimizing clustering (§4).
+
+Starts from the natural clustering (singleton tables, created lazily as
+equality attributes appear) and adapts online:
+
+* every insert lands in the cheapest *existing* eligible table;
+* when a cluster entry's benefit margin ``BM = ν(p)·|entry|`` exceeds
+  ``BMmax``, its subscriptions are redistributed to better existing
+  tables, and subscriptions that cannot improve vote for *potential*
+  multi-attribute tables;
+* a potential table is created once its accumulated benefit reaches
+  ``Bcreate``; its candidate entries are redistributed into it;
+* a (non-singleton) table whose population falls below ``Bdelete`` is
+  dropped and its members redistributed;
+* all ν estimates come from an online :class:`EventStatistics`, so the
+  same machinery adapts to value skew (Figure 4(b)) and to schema drift
+  (Figure 4(a)).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.clustering.access import Key, Schema
+from repro.clustering.dynamic import DynamicParams, EntryId, PotentialTableTracker
+from repro.clustering.statistics import EventStatistics, Statistics
+from repro.core.types import Event, Subscription
+from repro.indexes.ordered import IndexKind
+from repro.matchers.clustered import ClusteredMatcher
+
+
+class DynamicMatcher(ClusteredMatcher):
+    """Self-adapting multi-attribute clustering."""
+
+    name = "dynamic"
+
+    def __init__(
+        self,
+        statistics: Optional[Statistics] = None,
+        params: DynamicParams = DynamicParams(),
+        index_kind: IndexKind = IndexKind.SORTED_ARRAY,
+        observe_events: bool = True,
+        observe_every: int = 4,
+        vectorized: bool = True,
+    ) -> None:
+        if statistics is None:
+            statistics = EventStatistics()
+        super().__init__(statistics, index_kind, vectorized)
+        self.params = params
+        self._tracker = PotentialTableTracker()
+        self._ops = 0
+        self._last_handled: Dict[EntryId, float] = {}
+        self._observe = observe_events and isinstance(statistics, EventStatistics)
+        # Statistics are estimates; sampling every k-th event keeps the
+        # estimator current at a fraction of the census cost.
+        self._observe_every = max(1, observe_every)
+        self._event_seq = 0
+        self._frozen = False
+        # min_improvement as a log-bucket gap: a move/potential-table vote
+        # requires the subscription's ν to drop by at least this many
+        # factor-e steps.  Online ν estimates for individual values are
+        # noisy (few observations per value); comparing quantized buckets
+        # keeps noise from causing move thrash while real structural
+        # improvements (singleton → pair ≈ e^3.5) pass easily.
+        self._gap = max(1, round(-math.log(params.min_improvement)))
+        #: Maintenance counters exposed through stats().
+        self.maintenance: Dict[str, int] = {
+            "moves": 0,
+            "tables_created": 0,
+            "tables_dropped": 0,
+            "distributions": 0,
+            "sweeps": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # schema choice: cheapest existing table; singletons created lazily
+    # ------------------------------------------------------------------
+    def _choose_schema(self, sub: Subscription) -> Optional[Schema]:
+        eq_attrs = sub.equality_attributes
+        if not eq_attrs:
+            return None
+        for attribute in eq_attrs:
+            self.config.ensure_table((attribute,))
+        eligible = self.config.eligible_schemas(eq_attrs)
+        # Same quantized schema-level choice as the base class (see
+        # ClusteredMatcher._choose_schema for why value-specific estimates
+        # must not drive insertion).
+        return min(eligible, key=lambda s: (self._nu_bucket(s), s))
+
+    # ------------------------------------------------------------------
+    # operation hooks
+    # ------------------------------------------------------------------
+    def add(self, subscription: Subscription) -> None:
+        super().add(subscription)
+        schema, key, _size = self._placement[subscription.id]
+        if schema is not None:
+            self._maybe_handle_entry(schema, key)
+        self._tick()
+
+    def remove(self, sub_id: Any) -> Subscription:
+        sub = super().remove(sub_id)
+        self._tracker.unmark(sub_id)
+        self._tick()
+        return sub
+
+    def match(self, event: Event) -> List[Any]:
+        self._event_seq += 1
+        if self._observe and self._event_seq % self._observe_every == 0:
+            self.statistics.observe(event)
+        result = super().match(event)
+        self._tick()
+        return result
+
+    def _tick(self) -> None:
+        self._ops += 1
+        if not self._frozen and self._ops % self.params.maintenance_interval == 0:
+            self.sweep()
+
+    # ------------------------------------------------------------------
+    # the "no change" strategy of Figure 4
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        """Stop adapting: keep the current table configuration forever.
+
+        Inserts still use the cheapest existing table (and still create
+        missing *singleton* tables — those are the free natural
+        clustering the paper's predicate indexes imply), but no
+        redistribution, creation of multi-attribute tables, or deletion
+        happens.  This is the Figure 4 "no change" strategy.
+        """
+        self._frozen = True
+
+    def unfreeze(self) -> None:
+        """Resume adaptive maintenance."""
+        self._frozen = False
+
+    @property
+    def frozen(self) -> bool:
+        """Is maintenance disabled?"""
+        return self._frozen
+
+    # ------------------------------------------------------------------
+    # benefit-margin handling
+    # ------------------------------------------------------------------
+    def _entry_nu(self, schema: Schema, key: Key) -> float:
+        return self.statistics.nu_of_pairs(zip(schema, key))
+
+    def benefit_margin(self, schema: Schema, key: Key) -> float:
+        """``BM`` of one entry: expected checks per event it causes.
+
+        This is the paper's *first approximation* ``BM(c) ≈ ν(p_c)·|c|``,
+        used by the maintenance loop; :meth:`exact_benefit_margin` has
+        the exact form.
+        """
+        table = self.config.table(schema)
+        if table is None:
+            return 0.0
+        lst = table.entry(key)
+        if lst is None:
+            return 0.0
+        return self._entry_nu(schema, key) * len(lst)
+
+    def exact_benefit_margin(self, schema: Schema, key: Key) -> float:
+        """The paper's exact ``BM(c) = Σ_{s∈c} (ν(p_c) − ν(P(s)))``.
+
+        The checks that could still be saved if every member were
+        clustered under its *maximal* equality conjunction.  More
+        expensive than the approximation (touches every member), so the
+        maintenance loop uses :meth:`benefit_margin`; this exists for
+        inspection and for validating the approximation in tests.
+        """
+        table = self.config.table(schema)
+        if table is None:
+            return 0.0
+        lst = table.entry(key)
+        if lst is None:
+            return 0.0
+        entry_nu = self._entry_nu(schema, key)
+        total = 0.0
+        for cluster in lst.clusters():
+            for sid in cluster.ids():
+                sub = self.get(sid)
+                full = self.statistics.nu_of_pairs(
+                    (p.attribute, p.value) for p in sub.equality_predicates()
+                )
+                total += max(0.0, entry_nu - full)
+        return total
+
+    def _maybe_handle_entry(self, schema: Schema, key: Key) -> None:
+        """Distribute an entry when its BM is excessive and still growing.
+
+        An entry whose residents cannot improve yet keeps an excessive
+        BM after distribution; re-handling it on every touch would be
+        quadratic, so the BM at the last handling is recorded and the
+        entry is reconsidered only after growing past it by
+        ``growth_factor`` (covers both population growth and ν growth
+        under event skew).
+        """
+        if self._frozen:
+            return
+        table = self.config.table(schema)
+        if table is None:
+            return
+        lst = table.entry(key)
+        if lst is None:
+            return
+        bm = self._entry_nu(schema, key) * len(lst)
+        if bm <= self.params.bm_max:
+            return
+        entry: EntryId = (schema, key)
+        last = self._last_handled.get(entry, 0.0)
+        if last and bm < last * self.params.growth_factor:
+            return
+        self._distribute_entry(schema, key)
+        self._last_handled[entry] = self.benefit_margin(schema, key)
+
+    def _distribute_entry(self, schema: Schema, key: Key) -> None:
+        """The paper's ``Cluster_distribute`` for one oversized entry."""
+        params = self.params
+        table = self.config.table(schema)
+        if table is None:
+            return
+        lst = table.entry(key)
+        if lst is None:
+            return
+        self.maintenance["distributions"] += 1
+        entry: EntryId = (schema, key)
+        entry_nu = self._entry_nu(schema, key)
+        members = [sid for cluster in lst.clusters() for sid in cluster.ids()]
+        stayers: List[Any] = []
+        for sid in members:
+            sub = self.get(sid)
+            eligible = self.config.eligible_schemas(sub.equality_attributes)
+            best_schema = None
+            best_bucket = self._sub_nu_bucket(sub, schema)
+            for cand in eligible:
+                if cand == schema:
+                    continue
+                bucket = self._sub_nu_bucket(sub, cand)
+                if bucket <= best_bucket - self._gap:
+                    best_schema, best_bucket = cand, bucket
+            if best_schema is not None:
+                self.move_subscription(sid, best_schema)
+                if self._tracker.is_marked(sid):
+                    self._tracker.reset_votes(sub.equality_attributes)
+                    self._tracker.unmark(sid)
+                self.maintenance["moves"] += 1
+            else:
+                stayers.append(sid)
+        # Redistribution not enough: vote for potential tables.
+        if entry_nu * len(stayers) > params.bm_max:
+            for sid in stayers:
+                if self._tracker.is_marked(sid):
+                    continue
+                sub = self.get(sid)
+                potentials = self._potential_schemas(sub, entry_nu)
+                self._tracker.note(sid, potentials, entry)
+            for new_schema in self._tracker.ready(params.b_create):
+                self._create_table(new_schema)
+
+    def _sub_nu_bucket(self, sub: Subscription, schema: Schema) -> int:
+        """Value-specific ν of *sub* over *schema*, log-bucketed."""
+        return math.floor(math.log(max(1e-300, self._sub_nu(sub, schema))))
+
+    def _potential_schemas(self, sub: Subscription, entry_nu: float) -> List[Schema]:
+        """Uncreated schemas over A(s) that would clearly beat the entry."""
+        params = self.params
+        attrs = sorted(sub.equality_attributes)
+        entry_bucket = math.floor(math.log(max(1e-300, entry_nu)))
+        out: List[Schema] = []
+        for k in range(2, min(len(attrs), params.max_schema_size) + 1):
+            for combo in itertools.combinations(attrs, k):
+                if combo in self.config:
+                    continue
+                if self._sub_nu_bucket(sub, combo) <= entry_bucket - self._gap:
+                    out.append(combo)
+        return out
+
+    # ------------------------------------------------------------------
+    # table creation / deletion
+    # ------------------------------------------------------------------
+    def _create_table(self, schema: Schema) -> None:
+        """Create a potential table and pull in its candidates' members."""
+        params = self.params
+        candidates = self._tracker.candidates_of(schema)
+        self._tracker.clear_schema(schema)
+        if schema in self.config:
+            return
+        self.config.ensure_table(schema)
+        self.maintenance["tables_created"] += 1
+        for src_schema, src_key in candidates:
+            table = self.config.table(src_schema)
+            if table is None:
+                continue
+            lst = table.entry(src_key)
+            if lst is None:
+                continue
+            movers = [sid for cluster in lst.clusters() for sid in cluster.ids()]
+            for sid in movers:
+                sub = self.get(sid)
+                if not sub.equality_attributes.issuperset(schema):
+                    continue
+                cur_bucket = self._sub_nu_bucket(sub, src_schema)
+                new_bucket = self._sub_nu_bucket(sub, schema)
+                if new_bucket <= cur_bucket - self._gap:
+                    self.move_subscription(sid, schema)
+                    self._tracker.unmark(sid)
+                    self.maintenance["moves"] += 1
+
+    def _drop_table(self, schema: Schema) -> None:
+        """Delete a table, redistributing its members to the best rest."""
+        table = self.config.table(schema)
+        if table is None:
+            return
+        members = [
+            sid
+            for _key, lst in list(table.entries())
+            for cluster in lst.clusters()
+            for sid in cluster.ids()
+        ]
+        for sid in members:
+            sub = self.get(sid)
+            eligible = [
+                s
+                for s in self.config.eligible_schemas(sub.equality_attributes)
+                if s != schema
+            ]
+            target = (
+                min(eligible, key=lambda s: (self._nu_bucket(s), s))
+                if eligible
+                else None
+            )
+            self.move_subscription(sid, target)
+            self.maintenance["moves"] += 1
+        self.config.drop_table(schema)
+        self.maintenance["tables_dropped"] += 1
+
+    # ------------------------------------------------------------------
+    # periodic sweep
+    # ------------------------------------------------------------------
+    def sweep(self) -> None:
+        """Periodic maintenance: oversized entries, underused tables."""
+        params = self.params
+        self.maintenance["sweeps"] += 1
+        for table in list(self.config.tables()):
+            for key, lst in list(table.entries()):
+                # ν ≤ 1, so BM = ν·|entry| can only exceed the threshold
+                # when the entry itself does — skipping small entries keeps
+                # sweeps O(large entries), not O(all entries).
+                if len(lst) > params.bm_max:
+                    self._maybe_handle_entry(table.schema, key)
+        # Drop starved multi-attribute tables (singletons are the free
+        # natural clustering and stay).
+        for table in list(self.config.tables()):
+            if len(table.schema) > 1 and len(table) < params.b_delete:
+                self._drop_table(table.schema)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        base = super().stats()
+        base["maintenance"] = dict(self.maintenance)
+        base["potential_tables"] = self._tracker.potential_count
+        return base

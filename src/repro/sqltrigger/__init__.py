@@ -1,0 +1,6 @@
+"""The database-trigger strawman of Section 1.2."""
+
+from repro.sqltrigger.matcher import TriggerMatcher
+from repro.sqltrigger.minidb import Trigger, UniversalTable
+
+__all__ = ["Trigger", "TriggerMatcher", "UniversalTable"]

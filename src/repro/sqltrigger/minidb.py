@@ -1,0 +1,110 @@
+"""The Section 1.2 strawman: a universal table with per-row triggers.
+
+A tiny in-memory "database": one universal table ``D(A_1 … A_n)`` and a
+trigger per subscription, fired FOR EACH ROW on insert.  Inserting a data
+item evaluates *every* trigger's condition against the new row — the
+behaviour whose non-scalability motivates the whole paper.  Implemented
+honestly (no index over trigger conditions) so the trigger-baseline
+benchmark shows the gap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import DuplicateSubscriptionError, UnknownSubscriptionError
+from repro.core.types import Event, Predicate, Value
+
+#: A trigger action receives (trigger name, inserted row).
+TriggerAction = Callable[[str, Dict[str, Value]], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class Trigger:
+    """AFTER INSERT … FOR EACH ROW trigger with a conjunctive WHEN clause."""
+
+    name: str
+    condition: Tuple[Predicate, ...]
+    action: Optional[TriggerAction] = None
+
+    def fires_on(self, row: Dict[str, Value]) -> bool:
+        """Evaluate the WHEN clause against one row (NULL fails)."""
+        for p in self.condition:
+            value = row.get(p.attribute)
+            if value is None:
+                return False
+            if not p.matches(value):
+                return False
+        return True
+
+
+class UniversalTable:
+    """``D(A_1, …, A_n)`` with trigger evaluation on insert."""
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = tuple(columns)
+        self._column_set = frozenset(columns)
+        self._rows: List[Dict[str, Value]] = []
+        self._triggers: Dict[str, Trigger] = {}
+
+    # ------------------------------------------------------------------
+    # triggers
+    # ------------------------------------------------------------------
+    def create_trigger(
+        self,
+        name: str,
+        condition: Sequence[Predicate],
+        action: Optional[TriggerAction] = None,
+    ) -> Trigger:
+        """CREATE TRIGGER *name* … WHEN *condition* DO *action*."""
+        if name in self._triggers:
+            raise DuplicateSubscriptionError(name)
+        for p in condition:
+            if p.attribute not in self._column_set:
+                raise KeyError(f"unknown column {p.attribute!r}")
+        trigger = Trigger(name, tuple(condition), action)
+        self._triggers[name] = trigger
+        return trigger
+
+    def drop_trigger(self, name: str) -> Trigger:
+        """DROP TRIGGER *name*."""
+        try:
+            return self._triggers.pop(name)
+        except KeyError:
+            raise UnknownSubscriptionError(name) from None
+
+    @property
+    def trigger_count(self) -> int:
+        """Number of live triggers."""
+        return len(self._triggers)
+
+    # ------------------------------------------------------------------
+    # inserts
+    # ------------------------------------------------------------------
+    def insert(self, row: Dict[str, Value], store: bool = False) -> List[str]:
+        """Insert one row; returns the names of the triggers that fired.
+
+        Every trigger is evaluated — this linear scan is the point.
+        """
+        unknown = set(row) - self._column_set
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}")
+        if store:
+            self._rows.append(dict(row))
+        fired = []
+        for trigger in self._triggers.values():
+            if trigger.fires_on(row):
+                fired.append(trigger.name)
+                if trigger.action is not None:
+                    trigger.action(trigger.name, row)
+        return fired
+
+    def insert_event(self, event: Event, store: bool = False) -> List[str]:
+        """Insert an Event's pairs as a row."""
+        return self.insert(dict(event.items()), store=store)
+
+    @property
+    def row_count(self) -> int:
+        """Stored rows (only when inserts asked to store)."""
+        return len(self._rows)

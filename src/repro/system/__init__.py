@@ -1,0 +1,36 @@
+"""The publish/subscribe system around the matcher: broker, clocks, delivery."""
+
+from repro.system.broker import PubSubBroker, SubscriptionLike
+from repro.system.clock import Clock, SystemClock, VirtualClock
+from repro.system.event_store import EventStore
+from repro.system.notifier import (
+    CallbackNotifier,
+    FanoutNotifier,
+    Notification,
+    Notifier,
+    NullNotifier,
+    QueueNotifier,
+)
+from repro.system.server import BatchReply, BatchServer, ServerClosedError
+from repro.system.snapshot import SnapshotError, load_snapshot, save_snapshot
+
+__all__ = [
+    "BatchReply",
+    "BatchServer",
+    "CallbackNotifier",
+    "Clock",
+    "EventStore",
+    "ServerClosedError",
+    "FanoutNotifier",
+    "Notification",
+    "Notifier",
+    "NullNotifier",
+    "PubSubBroker",
+    "QueueNotifier",
+    "SnapshotError",
+    "SubscriptionLike",
+    "SystemClock",
+    "VirtualClock",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,274 @@
+"""The publish/subscribe broker: validity intervals over any matcher.
+
+Implements the system model of Section 1: a stream of subscriptions and
+a stream of events, each valid for an interval.  Two complementary
+functionalities:
+
+* ``publish`` — find the live subscriptions the event satisfies and
+  notify their owners (optionally retaining the event);
+* ``subscribe`` — register the subscription and, when events are being
+  retained, immediately evaluate it against the still-valid events
+  (retroactive notifications).
+
+The matching engine is pluggable (:class:`DynamicMatcher` by default —
+the paper's recommended configuration); expiry is lazy, driven by the
+injected clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import (
+    ExpiredError,
+    InvalidSubscriptionError,
+    UnknownSubscriptionError,
+)
+from repro.core.matcher import Matcher
+from repro.core.types import Event, Predicate, Subscription
+from repro.lang.parser import parse_subscriptions
+from repro.matchers.dynamic import DynamicMatcher
+from repro.system.clock import Clock, SystemClock
+from repro.system.event_store import EventStore
+from repro.system.notifier import Notification, Notifier, QueueNotifier
+
+#: Things subscribe() accepts: a full Subscription or bare predicates.
+SubscriptionLike = Union[Subscription, Sequence[Predicate]]
+
+
+class PubSubBroker:
+    """Validity-windowed publish/subscribe over a matching engine."""
+
+    def __init__(
+        self,
+        matcher: Optional[Matcher] = None,
+        clock: Optional[Clock] = None,
+        notifier: Optional[Notifier] = None,
+        default_subscription_ttl: Optional[float] = None,
+        event_retention_ttl: Optional[float] = None,
+    ) -> None:
+        """Create a broker.
+
+        Parameters
+        ----------
+        matcher:
+            matching engine; defaults to a fresh :class:`DynamicMatcher`.
+        clock:
+            time source; defaults to :class:`SystemClock`.
+        notifier:
+            delivery sink; defaults to a :class:`QueueNotifier` (drain it
+            via :attr:`notifier`).
+        default_subscription_ttl:
+            lifetime of subscriptions subscribed without an explicit
+            ``ttl``; None = immortal.
+        event_retention_ttl:
+            how long published events stay matchable against *new*
+            subscriptions; None = events are not retained.
+        """
+        self.matcher = matcher if matcher is not None else DynamicMatcher()
+        self.clock = clock if clock is not None else SystemClock()
+        self.notifier = notifier if notifier is not None else QueueNotifier()
+        self.default_subscription_ttl = default_subscription_ttl
+        self.event_retention_ttl = event_retention_ttl
+        self._events = EventStore()
+        self._sub_expiry_heap: List[Tuple[float, Any]] = []
+        self._sub_expires: Dict[Any, float] = {}
+        self._auto_id = itertools.count()
+        # DNF formula support: logical id <-> disjunct subscription ids.
+        self._formula_disjuncts: Dict[Any, List[Any]] = {}
+        self._logical_of: Dict[Any, Any] = {}
+        #: Lifetime counters.
+        self.counters: Dict[str, int] = {
+            "published": 0,
+            "subscribed": 0,
+            "unsubscribed": 0,
+            "expired_subscriptions": 0,
+            "notifications": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # expiry plumbing
+    # ------------------------------------------------------------------
+    def purge_expired(self) -> int:
+        """Drop every expired subscription and event; returns subs dropped."""
+        now = self.clock.now()
+        self._events.purge(now)
+        dropped = 0
+        heap = self._sub_expiry_heap
+        while heap and heap[0][0] <= now:
+            _exp, sub_id = heapq.heappop(heap)
+            # The heap may hold stale entries for re-subscribed ids.
+            expires = self._sub_expires.get(sub_id)
+            if expires is not None and expires <= now:
+                del self._sub_expires[sub_id]
+                self._logical_of.pop(sub_id, None)
+                try:
+                    self.matcher.remove(sub_id)
+                    dropped += 1
+                except KeyError:
+                    # Already unsubscribed explicitly; the heap entry is stale.
+                    pass
+        self.counters["expired_subscriptions"] += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # subscribe / unsubscribe
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        subscription: SubscriptionLike,
+        ttl: Optional[float] = None,
+        notify_retained: bool = True,
+    ) -> Any:
+        """Register a subscription; returns its id.
+
+        Bare predicate sequences get an auto-generated id.  When events
+        are retained, still-valid past events are matched immediately and
+        notified (set ``notify_retained=False`` to skip).
+        """
+        self.purge_expired()
+        if not isinstance(subscription, Subscription):
+            preds = list(subscription)
+            if not preds:
+                raise InvalidSubscriptionError("empty predicate list")
+            subscription = Subscription(f"sub-{next(self._auto_id)}", preds)
+        ttl = self.default_subscription_ttl if ttl is None else ttl
+        if ttl is not None and ttl <= 0:
+            raise ExpiredError(f"subscription ttl must be positive, got {ttl}")
+        self.matcher.add(subscription)
+        if ttl is not None:
+            expires_at = self.clock.now() + ttl
+            self._sub_expires[subscription.id] = expires_at
+            heapq.heappush(self._sub_expiry_heap, (expires_at, subscription.id))
+        self.counters["subscribed"] += 1
+        if notify_retained and len(self._events):
+            now = self.clock.now()
+            for event in self._events.retro_match(subscription, now):
+                self._notify(subscription.id, event, now)
+        return subscription.id
+
+    def subscribe_formula(
+        self, text: str, sub_id: Any = None, ttl: Optional[float] = None
+    ) -> Any:
+        """Register a boolean formula (``and``/``or``/``not``) as one
+        logical subscription.
+
+        The formula is expanded to DNF (the paper's conclusion notes the
+        prototype "already provides an efficient support to a
+        subscription language consisting of disjunctive normal form
+        conditions"); each disjunct becomes an internal subscription,
+        but notifications carry the one logical id and each event
+        notifies it at most once.
+        """
+        if sub_id is None:
+            sub_id = f"sub-{next(self._auto_id)}"
+        disjuncts = parse_subscriptions(text, f"{sub_id}~dnf")
+        ids = []
+        for disjunct in disjuncts:
+            ids.append(self.subscribe(disjunct, ttl=ttl, notify_retained=False))
+        self._formula_disjuncts[sub_id] = ids
+        for did in ids:
+            self._logical_of[did] = sub_id
+        # Retro-match once at the logical level (deduplicated).
+        if len(self._events):
+            now = self.clock.now()
+            for event in self._events.valid_events(now):
+                if any(d.is_satisfied_by(event) for d in disjuncts):
+                    self._notify(sub_id, event, now)
+        return sub_id
+
+    def unsubscribe(self, sub_id: Any) -> Subscription:
+        """Remove a subscription before its interval ends.
+
+        For formula subscriptions every disjunct is removed and the
+        first disjunct's Subscription is returned.
+        """
+        disjuncts = self._formula_disjuncts.pop(sub_id, None)
+        if disjuncts is not None:
+            removed = []
+            for did in disjuncts:
+                self._logical_of.pop(did, None)
+                self._sub_expires.pop(did, None)
+                try:
+                    removed.append(self.matcher.remove(did))
+                except KeyError:
+                    # The disjunct already expired; fine.
+                    pass
+            if not removed:
+                raise UnknownSubscriptionError(sub_id)
+            self.counters["unsubscribed"] += 1
+            return removed[0]
+        sub = self.matcher.remove(sub_id)
+        self._sub_expires.pop(sub_id, None)
+        self.counters["unsubscribed"] += 1
+        return sub
+
+    def subscribe_batch(
+        self, subscriptions: Iterable[SubscriptionLike], ttl: Optional[float] = None
+    ) -> List[Any]:
+        """Batch submission (the paper submits in ``n_S_b`` batches)."""
+        return [self.subscribe(s, ttl=ttl) for s in subscriptions]
+
+    # ------------------------------------------------------------------
+    # publish
+    # ------------------------------------------------------------------
+    def publish(self, event: Event, ttl: Optional[float] = None) -> List[Any]:
+        """Match *event* against live subscriptions; returns matched ids.
+
+        Every match produces a notification through the configured sink.
+        When retention is on (constructor or per-call ``ttl``), the event
+        stays matchable against future subscriptions until it expires.
+        """
+        self.purge_expired()
+        now = self.clock.now()
+        raw = self.matcher.match(event)
+        # Collapse formula disjuncts onto their logical id, once per event.
+        matched: List[Any] = []
+        seen = set()
+        logical_of = self._logical_of
+        for sub_id in raw:
+            logical = logical_of.get(sub_id, sub_id)
+            if logical not in seen:
+                seen.add(logical)
+                matched.append(logical)
+        for sub_id in matched:
+            self._notify(sub_id, event, now)
+        ttl = self.event_retention_ttl if ttl is None else ttl
+        if ttl is not None and ttl > 0:
+            self._events.add(event, now + ttl)
+        self.counters["published"] += 1
+        return matched
+
+    def publish_batch(
+        self, events: Iterable[Event], ttl: Optional[float] = None
+    ) -> List[List[Any]]:
+        """Publish many events; returns the per-event match lists."""
+        return [self.publish(e, ttl=ttl) for e in events]
+
+    def _notify(self, sub_id: Any, event: Event, now: float) -> None:
+        self.notifier.deliver(Notification(sub_id, event, now))
+        self.counters["notifications"] += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def subscription_count(self) -> int:
+        """Live subscriptions (before lazy expiry)."""
+        return len(self.matcher)
+
+    @property
+    def retained_event_count(self) -> int:
+        """Events currently retained for retro-matching."""
+        return len(self._events)
+
+    def stats(self) -> Dict[str, Any]:
+        """Broker counters plus the engine's own statistics."""
+        return {
+            "subscriptions": self.subscription_count,
+            "retained_events": self.retained_event_count,
+            "counters": dict(self.counters),
+            "matcher": self.matcher.stats(),
+        }

@@ -1,0 +1,109 @@
+"""Validity-windowed event retention with a retro-matching index.
+
+The paper's system "stores both valid subscriptions and valid events";
+retained events let a *new subscription* be evaluated against what was
+recently published (the complementary half of the matching problem).
+Expiry is a lazy min-heap: each operation first pops events whose
+interval ended.
+
+Retro-matching uses an inverted index over the events' concrete
+``(attribute, value)`` pairs: a new subscription with equality
+predicates probes its rarest pair and verifies only those candidates —
+the mirror image of the forward path's access-predicate idea.
+Subscriptions without equality predicates fall back to a scan.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.types import Event, Subscription, Value
+
+#: Inverted-index key: one concrete event pair.
+Pair = Tuple[str, Value]
+
+
+class EventStore:
+    """Ordered store of events with per-event expiry and a pair index."""
+
+    def __init__(self) -> None:
+        # (expires_at, seq) heap + seq -> (event, expires_at) map.
+        self._heap: List[Tuple[float, int]] = []
+        self._live: Dict[int, Tuple[Event, float]] = {}
+        self._seq = itertools.count()
+        # (attribute, value) -> seqs of live events carrying that pair.
+        self._by_pair: Dict[Pair, Set[int]] = {}
+
+    def add(self, event: Event, expires_at: float) -> int:
+        """Retain *event* until *expires_at*; returns its sequence number."""
+        seq = next(self._seq)
+        self._live[seq] = (event, expires_at)
+        heapq.heappush(self._heap, (expires_at, seq))
+        for pair in event.items():
+            self._by_pair.setdefault(pair, set()).add(seq)
+        return seq
+
+    def _forget(self, seq: int) -> bool:
+        entry = self._live.pop(seq, None)
+        if entry is None:
+            return False
+        event, _expires = entry
+        for pair in event.items():
+            bucket = self._by_pair.get(pair)
+            if bucket is not None:
+                bucket.discard(seq)
+                if not bucket:
+                    del self._by_pair[pair]
+        return True
+
+    def purge(self, now: float) -> int:
+        """Drop everything expired at *now*; returns how many."""
+        dropped = 0
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _exp, seq = heapq.heappop(heap)
+            if self._forget(seq):
+                dropped += 1
+        return dropped
+
+    def valid_events(self, now: float) -> Iterator[Event]:
+        """Iterate events still valid at *now* (publication order)."""
+        for seq in sorted(self._live):
+            event, expires_at = self._live[seq]
+            if expires_at > now:
+                yield event
+
+    # ------------------------------------------------------------------
+    # retro-matching
+    # ------------------------------------------------------------------
+    def retro_match(self, subscription: Subscription, now: float) -> List[Event]:
+        """Valid events satisfying *subscription*, in publication order.
+
+        Equality predicates narrow the candidate set through the pair
+        index (probing the rarest pair); the survivors get a full check.
+        """
+        candidates: Optional[Set[int]] = None
+        for pred in subscription.equality_predicates():
+            bucket = self._by_pair.get((pred.attribute, pred.value))
+            if not bucket:
+                return []
+            if candidates is None or len(bucket) < len(candidates):
+                candidates = bucket
+        seqs = sorted(candidates) if candidates is not None else sorted(self._live)
+        out = []
+        for seq in seqs:
+            entry = self._live.get(seq)
+            if entry is None:
+                continue
+            event, expires_at = entry
+            if expires_at > now and subscription.is_satisfied_by(event):
+                out.append(event)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __repr__(self) -> str:
+        return f"EventStore(live={len(self._live)}, pairs={len(self._by_pair)})"

@@ -1,0 +1,87 @@
+"""Notification delivery: what happens after a match.
+
+The paper's system "sends the event to the owners of subscriptions
+satisfied by those events"; here delivery is in-process and pluggable so
+examples can print, tests can collect, and benchmarks can discard.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections import deque
+from typing import Any, Callable, Deque, Iterable, List
+
+from repro.core.types import Event
+
+
+@dataclasses.dataclass(frozen=True)
+class Notification:
+    """One delivery: *event* matched the subscription with *sub_id*."""
+
+    sub_id: Any
+    event: Event
+    timestamp: float
+
+
+class Notifier(abc.ABC):
+    """Delivery sink for notifications."""
+
+    @abc.abstractmethod
+    def deliver(self, notification: Notification) -> None:
+        """Handle one notification."""
+
+    def deliver_all(self, notifications: Iterable[Notification]) -> int:
+        """Deliver many; returns the count."""
+        n = 0
+        for notification in notifications:
+            self.deliver(notification)
+            n += 1
+        return n
+
+
+class NullNotifier(Notifier):
+    """Discards everything (benchmark mode)."""
+
+    def deliver(self, notification: Notification) -> None:
+        pass
+
+
+class QueueNotifier(Notifier):
+    """Collects notifications in order for later draining."""
+
+    def __init__(self, maxlen: int = 0) -> None:
+        self._queue: Deque[Notification] = deque(maxlen=maxlen or None)
+
+    def deliver(self, notification: Notification) -> None:
+        self._queue.append(notification)
+
+    def drain(self) -> List[Notification]:
+        """Pop and return everything queued so far."""
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class CallbackNotifier(Notifier):
+    """Invokes a user callback per notification."""
+
+    def __init__(self, callback: Callable[[Notification], None]) -> None:
+        self._callback = callback
+
+    def deliver(self, notification: Notification) -> None:
+        self._callback(notification)
+
+
+class FanoutNotifier(Notifier):
+    """Forwards each notification to several sinks."""
+
+    def __init__(self, sinks: Iterable[Notifier]) -> None:
+        self._sinks = list(sinks)
+
+    def deliver(self, notification: Notification) -> None:
+        for sink in self._sinks:
+            sink.deliver(notification)

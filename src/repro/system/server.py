@@ -1,0 +1,134 @@
+"""A loopback batch server: the paper's measurement boundary.
+
+Section 6.1: "The workload generation task ran as a separate process …
+timings therefore include the interprocess communication times and
+individual timings account for the processing of an entire batch."
+This module provides the in-process equivalent: the matcher runs on a
+dedicated worker thread, clients submit fixed-size batches through
+queues, and the reply carries both the results and the server-side
+processing time — so harnesses can measure *with* the submission hop
+(like the paper) or subtract it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from typing import Any, List, Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.core.matcher import Matcher
+from repro.core.types import Event, Subscription
+from repro.matchers.dynamic import DynamicMatcher
+
+
+class ServerClosedError(ReproError, RuntimeError):
+    """A batch was submitted to a server that has shut down."""
+
+
+@dataclasses.dataclass
+class BatchReply:
+    """Outcome of one submitted batch."""
+
+    #: Per-event match lists (events) or accepted count (subscriptions).
+    results: Any
+    #: Seconds the worker spent processing the batch (excl. queueing).
+    processing_seconds: float
+    #: Seconds from submit to reply as seen by the client (incl. hop).
+    round_trip_seconds: float
+
+
+@dataclasses.dataclass
+class _Request:
+    kind: str
+    payload: Any
+    reply_queue: "queue.Queue[Any]"
+    submitted_at: float
+
+
+class BatchServer:
+    """Matcher on a worker thread, fed through a request queue."""
+
+    def __init__(self, matcher: Optional[Matcher] = None) -> None:
+        self.matcher = matcher if matcher is not None else DynamicMatcher()
+        self._requests: "queue.Queue[Optional[_Request]]" = queue.Queue()
+        self._closed = False
+        self._worker = threading.Thread(target=self._serve, daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # worker
+    # ------------------------------------------------------------------
+    def _serve(self) -> None:
+        while True:
+            request = self._requests.get()
+            if request is None:
+                return
+            start = time.perf_counter()
+            try:
+                if request.kind == "subscribe":
+                    n = 0
+                    for sub in request.payload:
+                        self.matcher.add(sub)
+                        n += 1
+                    results: Any = n
+                elif request.kind == "unsubscribe":
+                    results = [self.matcher.remove(sid).id for sid in request.payload]
+                elif request.kind == "publish":
+                    results = [self.matcher.match(e) for e in request.payload]
+                else:  # pragma: no cover - guarded by the submit methods
+                    raise AssertionError(request.kind)
+                elapsed = time.perf_counter() - start
+                request.reply_queue.put((results, elapsed, None))
+            except Exception as exc:  # deliver failures to the caller
+                request.reply_queue.put((None, 0.0, exc))
+
+    # ------------------------------------------------------------------
+    # client surface
+    # ------------------------------------------------------------------
+    def _submit(self, kind: str, payload: Any) -> BatchReply:
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        reply: "queue.Queue[Any]" = queue.Queue()
+        submitted = time.perf_counter()
+        self._requests.put(_Request(kind, payload, reply, submitted))
+        results, processing, error = reply.get()
+        if error is not None:
+            raise error
+        return BatchReply(
+            results=results,
+            processing_seconds=processing,
+            round_trip_seconds=time.perf_counter() - submitted,
+        )
+
+    def submit_subscriptions(self, batch: Sequence[Subscription]) -> BatchReply:
+        """Insert a subscription batch (the paper's ``n_S_b`` unit)."""
+        return self._submit("subscribe", list(batch))
+
+    def submit_unsubscriptions(self, sub_ids: Sequence[Any]) -> BatchReply:
+        """Remove a batch of subscriptions by id."""
+        return self._submit("unsubscribe", list(sub_ids))
+
+    def submit_events(self, batch: Sequence[Event]) -> BatchReply:
+        """Match an event batch (the paper's ``n_E_b`` unit); the reply's
+        results hold one id-list per event."""
+        return self._submit("publish", list(batch))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker (idempotent); pending batches finish first."""
+        if self._closed:
+            return
+        self._closed = True
+        self._requests.put(None)
+        self._worker.join(timeout=10.0)
+
+    def __enter__(self) -> "BatchServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,93 @@
+"""Broker snapshots: persist and restore the live subscription state.
+
+A snapshot is JSON lines: one header record, then one record per live
+subscription carrying its predicates, its remaining validity (relative,
+so restore re-anchors on the new broker's clock) and, for formula
+disjuncts, the logical subscription id they belong to.
+
+Retained *events* are deliberately not persisted: their validity
+windows are short-lived by nature and the paper's system model treats
+them as stream state, not durable state.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TextIO
+
+from repro.core.errors import ReproError
+from repro.io import SerializationError, subscription_from_dict, subscription_to_dict
+from repro.system.broker import PubSubBroker
+
+#: Snapshot format version (bump on incompatible changes).
+FORMAT_VERSION = 1
+
+
+class SnapshotError(ReproError, ValueError):
+    """Malformed snapshot stream or non-empty restore target."""
+
+
+def save_snapshot(broker: PubSubBroker, fp: TextIO) -> int:
+    """Write the broker's live subscriptions; returns how many."""
+    broker.purge_expired()
+    now = broker.clock.now()
+    header = {"type": "repro-broker-snapshot", "version": FORMAT_VERSION}
+    fp.write(json.dumps(header) + "\n")
+    count = 0
+    for sub_id, sub in broker.matcher._subs.items():
+        expires_at = broker._sub_expires.get(sub_id)
+        record: Dict[str, Any] = {
+            "type": "subscription",
+            "subscription": subscription_to_dict(sub),
+            "ttl_remaining": None if expires_at is None else max(0.0, expires_at - now),
+        }
+        logical = broker._logical_of.get(sub_id)
+        if logical is not None:
+            record["logical"] = logical
+        fp.write(json.dumps(record, sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def load_snapshot(broker: PubSubBroker, fp: TextIO) -> int:
+    """Restore a snapshot into an *empty* broker; returns subscriptions.
+
+    Validity windows resume with their remaining duration measured from
+    the restoring broker's current clock.  Retro-matching is skipped —
+    the restored subscriptions already saw their past.
+    """
+    if broker.subscription_count:
+        raise SnapshotError("snapshot restore requires an empty broker")
+    first = fp.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"bad snapshot header: {exc}") from exc
+    if header.get("type") != "repro-broker-snapshot":
+        raise SnapshotError("not a broker snapshot")
+    if header.get("version") != FORMAT_VERSION:
+        raise SnapshotError(f"unsupported snapshot version {header.get('version')!r}")
+    count = 0
+    for lineno, line in enumerate(fp, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"line {lineno}: invalid JSON: {exc}") from exc
+        if record.get("type") != "subscription":
+            raise SnapshotError(f"line {lineno}: unexpected record type")
+        try:
+            sub = subscription_from_dict(record["subscription"])
+        except SerializationError as exc:
+            raise SnapshotError(f"line {lineno}: {exc}") from exc
+        ttl = record.get("ttl_remaining")
+        broker.subscribe(sub, ttl=ttl if ttl is None or ttl > 0 else None,
+                         notify_retained=False)
+        logical = record.get("logical")
+        if logical is not None:
+            broker._logical_of[sub.id] = logical
+            broker._formula_disjuncts.setdefault(logical, []).append(sub.id)
+        count += 1
+    return count

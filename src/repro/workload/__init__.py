@@ -1,0 +1,46 @@
+"""Workload generation: Table 1 specs, generators, scenarios, churn."""
+
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.scenarios import paper_workloads, w0, w1, w2, w3, w4, w5, w6
+from repro.workload.spec import (
+    FixedPredicateSpec,
+    WorkloadSpec,
+    attribute_name,
+)
+from repro.workload.streams import (
+    ChurnPhase,
+    SubscriptionChurn,
+    TransitionSchedule,
+)
+from repro.workload.trace import (
+    ReplayResult,
+    TraceError,
+    TraceOp,
+    TraceRecorder,
+    read_trace,
+    replay,
+)
+
+__all__ = [
+    "ChurnPhase",
+    "FixedPredicateSpec",
+    "ReplayResult",
+    "SubscriptionChurn",
+    "TraceError",
+    "TraceOp",
+    "TraceRecorder",
+    "TransitionSchedule",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "attribute_name",
+    "paper_workloads",
+    "read_trace",
+    "replay",
+    "w0",
+    "w1",
+    "w2",
+    "w3",
+    "w4",
+    "w5",
+    "w6",
+]

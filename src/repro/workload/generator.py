@@ -1,0 +1,150 @@
+"""Random subscription/event generation driven by a WorkloadSpec.
+
+Faithful to Section 6.1: fixed predicates go on the common attributes
+with their designated operators; the remaining ``n_P - n_P_fix`` free
+predicates draw distinct attributes from the pool and operators from the
+configured weights; all values are uniform over the (possibly overridden)
+per-attribute domain.  Everything is deterministic in the spec's seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.types import Event, Operator, Predicate, Subscription
+from repro.workload.spec import WorkloadSpec
+
+
+class ZipfSampler:
+    """Rank-frequency sampling over an integer interval.
+
+    P(rank k) ∝ 1/k^s over values ``lo..hi`` (rank 1 = ``lo``).  Uses a
+    precomputed CDF + bisect, so each draw is O(log n).
+    """
+
+    def __init__(self, lo: int, hi: int, s: float) -> None:
+        self.lo = lo
+        weights = [1.0 / (k ** s) for k in range(1, hi - lo + 2)]
+        total = sum(weights)
+        acc = 0.0
+        self._cdf = []
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one value."""
+        return self.lo + bisect_left(self._cdf, rng.random())
+
+
+class WorkloadGenerator:
+    """Streams subscriptions and events for one workload specification."""
+
+    def __init__(self, spec: WorkloadSpec, id_prefix: str = "") -> None:
+        self.spec = spec
+        self._id_prefix = id_prefix
+        # Independent deterministic streams so consuming extra events
+        # never perturbs the subscription stream (and vice versa).
+        self._sub_rng = random.Random(f"{spec.seed}-subscriptions")
+        self._event_rng = random.Random(f"{spec.seed}-events")
+        self._next_id = itertools.count()
+        pool = spec.subscription_attribute_pool
+        self._pool: Sequence[str] = tuple(pool) if pool else spec.attribute_names
+        self._free_pool = [a for a in self._pool if a not in set(spec.fixed_attributes)]
+        self._free_ops = [
+            Operator.from_symbol(sym) for sym in spec.free_operator_weights
+        ]
+        self._free_weights = list(spec.free_operator_weights.values())
+        self._event_attrs = list(spec.attribute_names)
+        self._zipf_s = spec.zipf_exponent()
+        self._zipf_cache: Dict[Tuple[int, int], ZipfSampler] = {}
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def _draw_value(self, rng: random.Random, attr: str, event_side: bool) -> int:
+        lo, hi = (
+            self.spec.event_domain(attr) if event_side else self.spec.predicate_domain(attr)
+        )
+        if self._zipf_s is None:
+            return rng.randint(lo, hi)
+        sampler = self._zipf_cache.get((lo, hi))
+        if sampler is None:
+            sampler = self._zipf_cache[(lo, hi)] = ZipfSampler(lo, hi, self._zipf_s)
+        return sampler.sample(rng)
+
+    def next_subscription(self) -> Subscription:
+        """Generate one subscription."""
+        spec = self.spec
+        rng = self._sub_rng
+        preds: List[Predicate] = []
+        for fixed in spec.fixed_predicates:
+            preds.append(
+                Predicate(
+                    fixed.attribute,
+                    fixed.operator,
+                    self._draw_value(rng, fixed.attribute, event_side=False),
+                )
+            )
+        n_free = spec.free_predicates_per_subscription
+        if n_free:
+            attrs = rng.sample(self._free_pool, n_free)
+            for attr in attrs:
+                if len(self._free_ops) == 1:
+                    op = self._free_ops[0]
+                else:
+                    op = rng.choices(self._free_ops, weights=self._free_weights, k=1)[0]
+                preds.append(Predicate(attr, op, self._draw_value(rng, attr, False)))
+        sub_id = f"{self._id_prefix}{next(self._next_id)}"
+        return Subscription(sub_id, preds)
+
+    def subscriptions(self, n: Optional[int] = None) -> Iterator[Subscription]:
+        """Stream *n* subscriptions (default: the spec's ``n_S``)."""
+        count = self.spec.n_subscriptions if n is None else n
+        for _ in range(count):
+            yield self.next_subscription()
+
+    def subscription_batches(self, n: Optional[int] = None) -> Iterator[List[Subscription]]:
+        """Stream subscriptions in ``n_S_b``-sized batches."""
+        yield from _batched(self.subscriptions(n), self.spec.subscription_batch)
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def next_event(self) -> Event:
+        """Generate one event with ``n_A`` attribute/value pairs."""
+        spec = self.spec
+        rng = self._event_rng
+        if spec.attributes_per_event == spec.n_attributes:
+            attrs = self._event_attrs
+        else:
+            attrs = rng.sample(self._event_attrs, spec.attributes_per_event)
+        return Event(
+            {attr: self._draw_value(rng, attr, event_side=True) for attr in attrs}
+        )
+
+    def events(self, n: Optional[int] = None) -> Iterator[Event]:
+        """Stream *n* events (default: the spec's ``n_E``)."""
+        count = self.spec.n_events if n is None else n
+        for _ in range(count):
+            yield self.next_event()
+
+    def event_batches(self, n: Optional[int] = None) -> Iterator[List[Event]]:
+        """Stream events in ``n_E_b``-sized batches."""
+        yield from _batched(self.events(n), self.spec.event_batch)
+
+
+def _batched(items: Iterator, size: int) -> Iterator[List]:
+    """Chunk an iterator into lists of at most *size* elements."""
+    batch: List = []
+    for item in items:
+        batch.append(item)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

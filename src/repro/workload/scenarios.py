@@ -1,0 +1,215 @@
+"""The paper's named workloads W0–W6 (Section 6.2).
+
+Specs are given at *paper scale* (millions of subscriptions); callers
+shrink with :meth:`WorkloadSpec.scaled` — the benchmark harness reads the
+``REPRO_SCALE`` environment variable for that.
+
+* **W0** — throughput/scalability base: 5 all-equality predicates, 2
+  fixed, uniform domain 1..35, events over all 32 attributes.
+* **W1** — operator mix: 4 predicates = 2 fixed ``=`` + 1 fixed ``<=`` +
+  1 free ``=``.
+* **W2** — heavier mix: 9 predicates = 2 fixed ``=`` + 5 fixed ``<=`` +
+  1 fixed ``>=`` + 1 free ``=``.
+* **W3/W4** — schema drift (Figure 4(a)): same shape, subscriptions
+  focused on the first / last 16 of the 32 attributes, 1 fixed predicate.
+* **W5/W6** — value skew (Figure 4(b)): W5 uniform over 35 values;
+  W6 narrows one fixed attribute to 2 values on both the subscription
+  and the event side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.types import Operator
+from repro.workload.spec import FixedPredicateSpec, WorkloadSpec, attribute_name
+
+
+def w0(n_subscriptions: int = 6_000_000, seed: int = 0) -> WorkloadSpec:
+    """Base throughput workload (Figures 3(a), 3(c), 3(d))."""
+    return WorkloadSpec(
+        name="W0",
+        n_attributes=32,
+        n_subscriptions=n_subscriptions,
+        subscription_batch=10_000,
+        predicates_per_subscription=5,
+        fixed_predicates=(
+            FixedPredicateSpec(attribute_name(0), Operator.EQ),
+            FixedPredicateSpec(attribute_name(1), Operator.EQ),
+        ),
+        free_operator_weights={"=": 1.0},
+        value_low=1,
+        value_high=35,
+        n_events=1111,
+        event_batch=100,
+        attributes_per_event=32,
+        event_value_low=1,
+        event_value_high=35,
+        seed=seed,
+    )
+
+
+def w1(n_subscriptions: int = 3_000_000, seed: int = 1) -> WorkloadSpec:
+    """Light operator mix (Figure 3(b) left group)."""
+    return WorkloadSpec(
+        name="W1",
+        n_attributes=32,
+        n_subscriptions=n_subscriptions,
+        subscription_batch=10_000,
+        predicates_per_subscription=4,
+        fixed_predicates=(
+            FixedPredicateSpec(attribute_name(0), Operator.EQ),
+            FixedPredicateSpec(attribute_name(1), Operator.EQ),
+            FixedPredicateSpec(attribute_name(2), Operator.LE),
+        ),
+        free_operator_weights={"=": 1.0},
+        value_low=1,
+        value_high=35,
+        n_events=1111,
+        event_batch=100,
+        attributes_per_event=32,
+        event_value_low=1,
+        event_value_high=35,
+        seed=seed,
+    )
+
+
+def w2(n_subscriptions: int = 3_000_000, seed: int = 2) -> WorkloadSpec:
+    """Heavy operator mix (Figure 3(b) right group)."""
+    fixed = [
+        FixedPredicateSpec(attribute_name(0), Operator.EQ),
+        FixedPredicateSpec(attribute_name(1), Operator.EQ),
+    ]
+    fixed += [
+        FixedPredicateSpec(attribute_name(2 + i), Operator.LE) for i in range(5)
+    ]
+    fixed.append(FixedPredicateSpec(attribute_name(7), Operator.GE))
+    return WorkloadSpec(
+        name="W2",
+        n_attributes=32,
+        n_subscriptions=n_subscriptions,
+        subscription_batch=10_000,
+        predicates_per_subscription=9,
+        fixed_predicates=tuple(fixed),
+        free_operator_weights={"=": 1.0},
+        value_low=1,
+        value_high=35,
+        n_events=1111,
+        event_batch=100,
+        attributes_per_event=32,
+        event_value_low=1,
+        event_value_high=35,
+        seed=seed,
+    )
+
+
+def w3(n_subscriptions: int = 3_000_000, seed: int = 3) -> WorkloadSpec:
+    """Schema-drift start state: subscriptions over the first 16 attributes."""
+    pool = tuple(attribute_name(i) for i in range(16))
+    return WorkloadSpec(
+        name="W3",
+        n_attributes=32,
+        n_subscriptions=n_subscriptions,
+        subscription_batch=10_000,
+        predicates_per_subscription=5,
+        fixed_predicates=(FixedPredicateSpec(attribute_name(0), Operator.EQ),),
+        free_operator_weights={"=": 1.0},
+        subscription_attribute_pool=pool,
+        value_low=1,
+        value_high=35,
+        n_events=1111,
+        event_batch=100,
+        attributes_per_event=32,
+        event_value_low=1,
+        event_value_high=35,
+        seed=seed,
+    )
+
+
+def w4(n_subscriptions: int = 3_000_000, seed: int = 4) -> WorkloadSpec:
+    """Schema-drift end state: subscriptions over the last 16 attributes."""
+    pool = tuple(attribute_name(i) for i in range(16, 32))
+    return WorkloadSpec(
+        name="W4",
+        n_attributes=32,
+        n_subscriptions=n_subscriptions,
+        subscription_batch=10_000,
+        predicates_per_subscription=5,
+        fixed_predicates=(FixedPredicateSpec(attribute_name(16), Operator.EQ),),
+        free_operator_weights={"=": 1.0},
+        subscription_attribute_pool=pool,
+        value_low=1,
+        value_high=35,
+        n_events=1111,
+        event_batch=100,
+        attributes_per_event=32,
+        event_value_low=1,
+        event_value_high=35,
+        seed=seed,
+    )
+
+
+def w5(n_subscriptions: int = 3_000_000, seed: int = 5) -> WorkloadSpec:
+    """Skew-drift start state: uniform values (like W0, 2 fixed attrs)."""
+    return WorkloadSpec(
+        name="W5",
+        n_attributes=32,
+        n_subscriptions=n_subscriptions,
+        subscription_batch=10_000,
+        predicates_per_subscription=5,
+        fixed_predicates=(
+            FixedPredicateSpec(attribute_name(0), Operator.EQ),
+            FixedPredicateSpec(attribute_name(1), Operator.EQ),
+        ),
+        free_operator_weights={"=": 1.0},
+        value_low=1,
+        value_high=35,
+        n_events=1111,
+        event_batch=100,
+        attributes_per_event=32,
+        event_value_low=1,
+        event_value_high=35,
+        seed=seed,
+    )
+
+
+def w6(n_subscriptions: int = 3_000_000, seed: int = 6) -> WorkloadSpec:
+    """Skew-drift end state: one fixed attribute narrowed to 2 hot values
+    on both subscription and event side (the election scenario)."""
+    hot = attribute_name(0)
+    base = w5(n_subscriptions, seed)
+    return WorkloadSpec(
+        name="W6",
+        n_attributes=base.n_attributes,
+        n_subscriptions=base.n_subscriptions,
+        subscription_batch=base.subscription_batch,
+        predicates_per_subscription=base.predicates_per_subscription,
+        fixed_predicates=base.fixed_predicates,
+        free_operator_weights=base.free_operator_weights,
+        value_low=base.value_low,
+        value_high=base.value_high,
+        predicate_domain_overrides={hot: (1, 2)},
+        n_events=base.n_events,
+        event_batch=base.event_batch,
+        attributes_per_event=base.attributes_per_event,
+        event_value_low=base.event_value_low,
+        event_value_high=base.event_value_high,
+        event_domain_overrides={hot: (1, 2)},
+        seed=seed,
+    )
+
+
+def paper_workloads(scale: float = 1.0) -> Dict[str, WorkloadSpec]:
+    """All named workloads, optionally scaled down from paper size."""
+    specs = {
+        "W0": w0(),
+        "W1": w1(),
+        "W2": w2(),
+        "W3": w3(),
+        "W4": w4(),
+        "W5": w5(),
+        "W6": w6(),
+    }
+    if scale != 1.0:
+        specs = {name: spec.scaled(scale) for name, spec in specs.items()}
+    return specs

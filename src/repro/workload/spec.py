@@ -1,0 +1,246 @@
+"""Workload specifications — the parameter space of the paper's Table 1.
+
+A :class:`WorkloadSpec` captures everything the paper's generator is
+driven by: the attribute name pool (``n_t``), subscription shape
+(``n_P`` predicates, of which ``n_P_fix`` are *fixed* — on common
+attributes shared by every subscription, each with a designated
+operator), per-predicate value domains (``l_P``/``u_P``, overridable per
+attribute to create *subscription skew*), and the event side (``n_A``
+pairs, ``l_A``/``u_A`` domains, overridable per attribute for *event
+skew*), plus the batch sizes used for submission.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.errors import InvalidWorkloadError
+from repro.core.types import Operator
+
+
+def attribute_name(i: int) -> str:
+    """Canonical generated attribute name (zero-padded for sortability)."""
+    return f"attr{i:02d}"
+
+
+@dataclasses.dataclass(frozen=True)
+class FixedPredicateSpec:
+    """One fixed (common-attribute) predicate all subscriptions carry.
+
+    ``n_P_fix`` in the paper is broken down by operator
+    (``n_P_fix=``, ``n_P_fix<=``, …); here each fixed slot names its
+    attribute and operator explicitly.
+    """
+
+    attribute: str
+    operator: Operator = Operator.EQ
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise InvalidWorkloadError("fixed predicate needs an attribute name")
+        if not isinstance(self.operator, Operator):
+            object.__setattr__(self, "operator", Operator.from_symbol(self.operator))
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Full workload description (Table 1 parameters).
+
+    Attributes map to the paper as: ``n_attributes`` = ``n_t``;
+    ``n_subscriptions`` = ``n_S``; ``subscription_batch`` = ``n_S_b``;
+    ``predicates_per_subscription`` = ``n_P``; ``fixed_predicates`` =
+    the ``n_P_fix`` breakdown; ``value_low``/``value_high`` =
+    ``l_P``/``u_P``; ``n_events``/``event_batch`` = ``n_E``/``n_E_b``;
+    ``attributes_per_event`` = ``n_A``; ``event_value_low``/
+    ``event_value_high`` = ``l_A``/``u_A``.
+
+    ``subscription_attribute_pool`` restricts which attributes
+    subscriptions may reference (the Figure 4(a) schema-drift workloads
+    W3/W4 use disjoint 16-attribute pools); None means all attributes.
+
+    ``predicate_domain_overrides`` / ``event_domain_overrides`` narrow
+    the value domain of individual attributes — the paper's subscription
+    and event skew (W6 narrows one fixed attribute to 2 values).
+    """
+
+    name: str = "custom"
+    # global
+    n_attributes: int = 32
+    seed: int = 0
+    #: Value-sampling law for both sides: "uniform" (the paper's) or
+    #: "zipf:<s>" (rank-frequency skew with exponent s — an extension
+    #: beyond the paper's two-hot-values skew model).
+    value_distribution: str = "uniform"
+    # subscription side
+    n_subscriptions: int = 100_000
+    subscription_batch: int = 10_000
+    predicates_per_subscription: int = 5
+    fixed_predicates: Tuple[FixedPredicateSpec, ...] = ()
+    free_operator_weights: Mapping[str, float] = dataclasses.field(
+        default_factory=lambda: {"=": 1.0}
+    )
+    subscription_attribute_pool: Optional[Tuple[str, ...]] = None
+    value_low: int = 1
+    value_high: int = 35
+    predicate_domain_overrides: Mapping[str, Tuple[int, int]] = dataclasses.field(
+        default_factory=dict
+    )
+    # event side
+    n_events: int = 1111
+    event_batch: int = 100
+    attributes_per_event: int = 32
+    event_value_low: int = 1
+    event_value_high: int = 35
+    event_domain_overrides: Mapping[str, Tuple[int, int]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "free_operator_weights", dict(self.free_operator_weights)
+        )
+        object.__setattr__(
+            self, "predicate_domain_overrides", dict(self.predicate_domain_overrides)
+        )
+        object.__setattr__(
+            self, "event_domain_overrides", dict(self.event_domain_overrides)
+        )
+        if self.n_attributes < 1:
+            raise InvalidWorkloadError("n_attributes must be >= 1")
+        if self.n_subscriptions < 0 or self.n_events < 0:
+            raise InvalidWorkloadError("counts must be non-negative")
+        if self.subscription_batch < 1 or self.event_batch < 1:
+            raise InvalidWorkloadError("batch sizes must be >= 1")
+        if self.predicates_per_subscription < 1:
+            raise InvalidWorkloadError("predicates_per_subscription must be >= 1")
+        if len(self.fixed_predicates) > self.predicates_per_subscription:
+            raise InvalidWorkloadError(
+                "more fixed predicates than predicates per subscription"
+            )
+        fixed_attrs = [f.attribute for f in self.fixed_predicates]
+        if len(set(fixed_attrs)) != len(fixed_attrs):
+            raise InvalidWorkloadError("fixed predicate attributes must be distinct")
+        if not 1 <= self.attributes_per_event <= self.n_attributes:
+            raise InvalidWorkloadError(
+                "attributes_per_event must be in [1, n_attributes]"
+            )
+        self._check_domain(self.value_low, self.value_high, "predicate")
+        self._check_domain(self.event_value_low, self.event_value_high, "event")
+        for attr, (lo, hi) in {
+            **self.predicate_domain_overrides,
+            **self.event_domain_overrides,
+        }.items():
+            self._check_domain(lo, hi, f"override for {attr!r}")
+        pool = self.subscription_attribute_pool
+        if pool is not None:
+            names = set(self.attribute_names)
+            unknown = [a for a in pool if a not in names]
+            if unknown:
+                raise InvalidWorkloadError(
+                    f"subscription pool names unknown attributes: {unknown}"
+                )
+            if len(pool) < self.predicates_per_subscription:
+                raise InvalidWorkloadError(
+                    "subscription pool smaller than predicates per subscription"
+                )
+        else:
+            if self.predicates_per_subscription > self.n_attributes:
+                raise InvalidWorkloadError(
+                    "predicates_per_subscription exceeds attribute count"
+                )
+        free_ops = set(self.free_operator_weights)
+        for symbol in free_ops:
+            Operator.from_symbol(symbol)
+        if (
+            self.predicates_per_subscription > len(self.fixed_predicates)
+            and not free_ops
+        ):
+            raise InvalidWorkloadError(
+                "free predicates requested but no free operator weights given"
+            )
+        self.zipf_exponent()  # validates value_distribution
+
+    @staticmethod
+    def _check_domain(lo: int, hi: int, what: str) -> None:
+        if lo > hi:
+            raise InvalidWorkloadError(f"{what} domain empty: [{lo}, {hi}]")
+
+    # ------------------------------------------------------------------
+    # derived values
+    # ------------------------------------------------------------------
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """All ``n_t`` attribute names."""
+        return tuple(attribute_name(i) for i in range(self.n_attributes))
+
+    @property
+    def fixed_attributes(self) -> Tuple[str, ...]:
+        """Attributes of the fixed predicates (the common attributes)."""
+        return tuple(f.attribute for f in self.fixed_predicates)
+
+    @property
+    def free_predicates_per_subscription(self) -> int:
+        """``n_P - n_P_fix``."""
+        return self.predicates_per_subscription - len(self.fixed_predicates)
+
+    def predicate_domain(self, attr: str) -> Tuple[int, int]:
+        """Inclusive value bounds for subscription predicates on *attr*."""
+        return self.predicate_domain_overrides.get(attr, (self.value_low, self.value_high))
+
+    def event_domain(self, attr: str) -> Tuple[int, int]:
+        """Inclusive value bounds for event values on *attr*."""
+        return self.event_domain_overrides.get(
+            attr, (self.event_value_low, self.event_value_high)
+        )
+
+    def event_domain_sizes(self) -> Dict[str, int]:
+        """attribute → number of distinct event values (for UniformStatistics)."""
+        out = {}
+        for attr in self.attribute_names:
+            lo, hi = self.event_domain(attr)
+            out[attr] = hi - lo + 1
+        return out
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """Copy with subscription and event counts scaled by *factor*.
+
+        Benchmarks use this to shrink the paper's 6 M-subscription
+        workloads to laptop scale while keeping every other parameter.
+        """
+        if factor <= 0:
+            raise InvalidWorkloadError("scale factor must be positive")
+        return dataclasses.replace(
+            self,
+            n_subscriptions=max(1, int(self.n_subscriptions * factor)),
+            n_events=max(1, int(self.n_events * factor)) if self.n_events else 0,
+            subscription_batch=min(
+                self.subscription_batch, max(1, int(self.n_subscriptions * factor))
+            ),
+        )
+
+    def zipf_exponent(self) -> Optional[float]:
+        """Zipf exponent when ``value_distribution`` is zipfian, else None."""
+        dist = self.value_distribution
+        if dist == "uniform":
+            return None
+        if dist.startswith("zipf:"):
+            try:
+                s = float(dist.split(":", 1)[1])
+            except ValueError:
+                raise InvalidWorkloadError(
+                    f"bad zipf exponent in {dist!r}"
+                ) from None
+            if s <= 0:
+                raise InvalidWorkloadError("zipf exponent must be positive")
+            return s
+        raise InvalidWorkloadError(
+            f"unknown value_distribution {dist!r} (uniform | zipf:<s>)"
+        )
+
+    def with_seed(self, seed: int) -> "WorkloadSpec":
+        """Copy with a different RNG seed."""
+        return dataclasses.replace(self, seed=seed)

@@ -1,0 +1,166 @@
+"""Operation traces: record a broker's input stream, replay it later.
+
+A trace is JSON lines of timestamped operations (``subscribe``,
+``unsubscribe``, ``publish``).  Recording wraps a live broker;
+replaying drives any matcher/broker with the same sequence — the basis
+for regression benchmarks on production-shaped streams and for
+debugging ("replay yesterday's trace against the new engine").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO, Union
+
+from repro.core.errors import ReproError
+from repro.core.matcher import Matcher
+from repro.core.types import Event, Subscription
+from repro.io import (
+    event_from_dict,
+    event_to_dict,
+    subscription_from_dict,
+    subscription_to_dict,
+)
+from repro.system.broker import PubSubBroker
+
+
+class TraceError(ReproError, ValueError):
+    """Malformed trace stream."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceOp:
+    """One recorded operation."""
+
+    kind: str  # subscribe | unsubscribe | publish
+    at: float  # seconds since trace start
+    payload: Any  # Subscription | sub id | Event
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.kind == "subscribe":
+            body: Any = subscription_to_dict(self.payload)
+        elif self.kind == "publish":
+            body = event_to_dict(self.payload)
+        else:
+            body = self.payload
+        return {"op": self.kind, "at": round(self.at, 6), "body": body}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "TraceOp":
+        try:
+            kind = data["op"]
+            at = float(data["at"])
+            body = data["body"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"bad trace record: {exc}") from exc
+        if kind == "subscribe":
+            return TraceOp(kind, at, subscription_from_dict(body))
+        if kind == "publish":
+            return TraceOp(kind, at, event_from_dict(body))
+        if kind == "unsubscribe":
+            return TraceOp(kind, at, body)
+        raise TraceError(f"unknown trace op {kind!r}")
+
+
+class TraceRecorder:
+    """Wraps a broker; every operation is forwarded and logged."""
+
+    def __init__(self, broker: PubSubBroker, fp: TextIO) -> None:
+        self.broker = broker
+        self._fp = fp
+        self._t0 = broker.clock.now()
+        self.operations = 0
+
+    def _write(self, op: TraceOp) -> None:
+        self._fp.write(json.dumps(op.to_dict(), sort_keys=True) + "\n")
+        self.operations += 1
+
+    def subscribe(self, subscription: Subscription, ttl: Optional[float] = None) -> Any:
+        sid = self.broker.subscribe(subscription, ttl=ttl)
+        self._write(
+            TraceOp("subscribe", self.broker.clock.now() - self._t0, subscription)
+        )
+        return sid
+
+    def unsubscribe(self, sub_id: Any) -> Subscription:
+        sub = self.broker.unsubscribe(sub_id)
+        self._write(TraceOp("unsubscribe", self.broker.clock.now() - self._t0, sub_id))
+        return sub
+
+    def publish(self, event: Event, ttl: Optional[float] = None) -> List[Any]:
+        matched = self.broker.publish(event, ttl=ttl)
+        self._write(TraceOp("publish", self.broker.clock.now() - self._t0, event))
+        return matched
+
+
+def read_trace(fp: TextIO) -> Iterator[TraceOp]:
+    """Stream operations from a trace file."""
+    for lineno, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"line {lineno}: invalid JSON: {exc}") from exc
+        yield TraceOp.from_dict(record)
+
+
+@dataclasses.dataclass
+class ReplayResult:
+    """Summary of one replay run."""
+
+    operations: int
+    publishes: int
+    total_matches: int
+    seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        """Replay throughput (timing excludes any pacing sleeps)."""
+        return self.operations / self.seconds if self.seconds else float("inf")
+
+
+def replay(
+    trace: Union[TextIO, Iterator[TraceOp]],
+    target: Union[Matcher, PubSubBroker],
+    on_match: Optional[Callable[[Event, List[Any]], None]] = None,
+) -> ReplayResult:
+    """Drive *target* with a recorded trace as fast as possible.
+
+    Works against a bare matcher (add/remove/match) or a full broker
+    (subscribe/unsubscribe/publish).  ``on_match`` observes each
+    publish's results.
+    """
+    ops = trace if not hasattr(trace, "readline") else read_trace(trace)
+    is_broker = isinstance(target, PubSubBroker)
+    operations = publishes = total_matches = 0
+    start = time.perf_counter()
+    for op in ops:
+        operations += 1
+        if op.kind == "subscribe":
+            if is_broker:
+                target.subscribe(op.payload)
+            else:
+                target.add(op.payload)
+        elif op.kind == "unsubscribe":
+            if is_broker:
+                target.unsubscribe(op.payload)
+            else:
+                target.remove(op.payload)
+        else:
+            matched = (
+                target.publish(op.payload) if is_broker else target.match(op.payload)
+            )
+            publishes += 1
+            total_matches += len(matched)
+            if on_match is not None:
+                on_match(op.payload, matched)
+    return ReplayResult(
+        operations=operations,
+        publishes=publishes,
+        total_matches=total_matches,
+        seconds=time.perf_counter() - start,
+    )

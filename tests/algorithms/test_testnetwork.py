@@ -1,0 +1,151 @@
+"""The test-network (Gryphon-style) baseline."""
+
+import random
+
+import pytest
+
+from repro.algorithms.testnetwork import TreeMatcher
+from repro.core import (
+    DuplicateSubscriptionError,
+    Event,
+    OracleMatcher,
+    Subscription,
+    UnknownSubscriptionError,
+    eq,
+    ge,
+    le,
+)
+from tests.conftest import make_event, make_subscription
+
+
+class TestBasics:
+    def test_single_subscription(self):
+        t = TreeMatcher()
+        t.add(Subscription("s", [eq("movie", "gd"), le("price", 10)]))
+        assert t.match(Event({"movie": "gd", "price": 8})) == ["s"]
+        assert t.match(Event({"movie": "gd", "price": 20})) == []
+        assert t.match(Event({"price": 8})) == []
+
+    def test_shared_prefix_shares_nodes(self):
+        t = TreeMatcher()
+        t.add(Subscription("a", [eq("x", 1), eq("y", 1)]))
+        before = t.node_count()
+        t.add(Subscription("b", [eq("x", 1), eq("y", 2)]))
+        # only the y edge + leaf are new
+        assert t.node_count() == before + 1
+
+    def test_dont_care_paths(self):
+        t = TreeMatcher()
+        t.add(Subscription("broad", [le("price", 10)]))
+        t.add(Subscription("narrow", [eq("movie", "gd"), le("price", 10)]))
+        got = t.match(Event({"movie": "gd", "price": 5}))
+        assert sorted(got) == ["broad", "narrow"]
+        assert t.match(Event({"movie": "x", "price": 5})) == ["broad"]
+
+    def test_duplicate_rejected(self):
+        t = TreeMatcher()
+        t.add(Subscription("s", [eq("x", 1)]))
+        with pytest.raises(DuplicateSubscriptionError):
+            t.add(Subscription("s", [eq("x", 2)]))
+
+    def test_remove_unknown(self):
+        with pytest.raises(UnknownSubscriptionError):
+            TreeMatcher().remove("nope")
+
+    def test_same_attribute_interval(self):
+        t = TreeMatcher()
+        t.add(Subscription("s", [ge("p", 5), le("p", 9)]))
+        assert t.match(Event({"p": 7})) == ["s"]
+        assert t.match(Event({"p": 4})) == []
+        assert t.match(Event({"p": 10})) == []
+
+
+class TestSplicing:
+    """Insertion order that forces node splicing (earlier attribute
+    arriving after a later one already owns the node)."""
+
+    def test_splice_preserves_existing_subscription(self):
+        t = TreeMatcher()
+        t.add(Subscription("later", [eq("a", 1), eq("c", 3)]))  # ranks a, c
+        t.add(Subscription("earlier", [eq("a", 1), eq("b", 2)]))  # splices b over c
+        e_both = Event({"a": 1, "b": 2, "c": 3})
+        assert sorted(t.match(e_both)) == ["earlier", "later"]
+        assert t.match(Event({"a": 1, "c": 3})) == ["later"]
+        assert t.match(Event({"a": 1, "b": 2})) == ["earlier"]
+
+    def test_removal_of_spliced_terminal(self):
+        t = TreeMatcher()
+        t.add(Subscription("stub", [eq("a", 1)]))
+        t.add(Subscription("deep", [eq("a", 1), eq("c", 3)]))
+        # "stub" terminates at a node later specialized for c.
+        t.remove("stub")
+        assert t.match(Event({"a": 1})) == []
+        assert t.match(Event({"a": 1, "c": 3})) == ["deep"]
+
+    def test_empty_after_removing_everything(self):
+        t = TreeMatcher()
+        rng = random.Random(1)
+        subs = [make_subscription(rng, f"s{i}") for i in range(50)]
+        for s in subs:
+            t.add(s)
+        for s in subs:
+            t.remove(s.id)
+        assert len(t) == 0
+        assert t.node_count() <= 50  # pruned (root + chain remnants allowed)
+        assert t.match(make_event(rng)) == []
+
+
+class TestAgreement:
+    def test_matches_oracle_random(self, rng):
+        oracle, tree = OracleMatcher(), TreeMatcher()
+        for i in range(300):
+            s = make_subscription(rng, f"s{i}")
+            oracle.add(s)
+            tree.add(s)
+        for _ in range(60):
+            e = make_event(rng)
+            assert sorted(tree.match(e), key=str) == sorted(oracle.match(e), key=str)
+
+    def test_matches_oracle_under_churn(self, rng):
+        oracle, tree = OracleMatcher(), TreeMatcher()
+        live = []
+        for step in range(300):
+            r = rng.random()
+            if r < 0.35 and live:
+                sid = live.pop(rng.randrange(len(live)))
+                oracle.remove(sid)
+                tree.remove(sid)
+            elif r < 0.65:
+                s = make_subscription(rng, f"c{step}")
+                live.append(s.id)
+                oracle.add(s)
+                tree.add(s)
+            else:
+                e = make_event(rng)
+                assert sorted(tree.match(e), key=str) == sorted(
+                    oracle.match(e), key=str
+                )
+
+
+class TestPaperCritique:
+    """Section 5's qualitative points, measured."""
+
+    def test_space_exceeds_clustered_structures(self, rng):
+        from repro.bench.memory import matcher_memory_bytes
+        from repro.matchers import PrefetchPropagationMatcher
+
+        tree, prop = TreeMatcher(), PrefetchPropagationMatcher()
+        for i in range(500):
+            s = make_subscription(rng, f"s{i}")
+            tree.add(s)
+            prop.add(s)
+        # one node per predicate-ish vs shared columnar arrays
+        assert tree.node_count() > 500
+
+    def test_stats(self):
+        t = TreeMatcher()
+        t.add(Subscription("s", [eq("x", 1)]))
+        t.match(Event({"x": 1}))
+        s = t.stats()
+        assert s["name"] == "test-network"
+        assert s["nodes"] >= 2 and s["nodes_visited"] >= 1

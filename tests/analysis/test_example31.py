@@ -1,0 +1,112 @@
+"""Example 3.1 reproduced analytically.
+
+Paper numbers: C1 tables each serve 2.33 M subscriptions with clusters
+of 23,300; C2 populations A/B/C/AB/BC = 1.5/1/1.5/1.5/1.5 M with
+singleton clusters of 15,000/10,000/15,000; an A∧B event costs
+2 lookups + 46,600 checks under C1 vs 3 lookups + 26,500 under C2.
+
+The pair-cluster size the paper prints (1,500) divides the 1.5 M
+population by 1,000 instead of the 100×100 = 10,000 value combinations
+its own setup implies; the consistent value is 150 (and the C2 event
+cost 25,150).  These tests pin the *consistent* arithmetic and the
+paper's qualitative conclusion (C2 wins).
+"""
+
+import pytest
+
+from repro.analysis import AnalyticClustering, GroupSpec, example_31
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return example_31()
+
+
+class TestC1:
+    def test_population_per_table(self, instances):
+        c1 = instances["C1"]
+        for attr in ("A", "B", "C"):
+            # 1M own + 0.5M from each pair + 1/3M from the triple.
+            assert c1.table_population((attr,)) == pytest.approx(2_333_333.33, rel=1e-4)
+
+    def test_cluster_size(self, instances):
+        assert instances["C1"].cluster_size(("A",)) == pytest.approx(23_333.33, rel=1e-4)
+
+    def test_ab_event_cost(self, instances):
+        lookups, checks = instances["C1"].event_cost({"A", "B"})
+        assert lookups == 2
+        assert checks == pytest.approx(46_666.67, rel=1e-4)
+
+
+class TestC2:
+    def test_populations(self, instances):
+        c2 = instances["C2"]
+        assert c2.table_population(("A",)) == pytest.approx(1_500_000)
+        assert c2.table_population(("B",)) == pytest.approx(1_000_000)
+        assert c2.table_population(("C",)) == pytest.approx(1_500_000)
+        assert c2.table_population(("A", "B")) == pytest.approx(1_500_000)
+        assert c2.table_population(("B", "C")) == pytest.approx(1_500_000)
+
+    def test_singleton_cluster_sizes(self, instances):
+        c2 = instances["C2"]
+        assert c2.cluster_size(("A",)) == pytest.approx(15_000)
+        assert c2.cluster_size(("B",)) == pytest.approx(10_000)
+        assert c2.cluster_size(("C",)) == pytest.approx(15_000)
+
+    def test_pair_cluster_size_consistent_value(self, instances):
+        # 1.5 M / (100 × 100) — not the paper's 1,500 (see module docstring).
+        assert instances["C2"].cluster_size(("A", "B")) == pytest.approx(150)
+
+    def test_ab_event_cost(self, instances):
+        lookups, checks = instances["C2"].event_cost({"A", "B"})
+        assert lookups == 3
+        assert checks == pytest.approx(25_150)
+
+    def test_c2_beats_c1(self, instances):
+        _l1, checks1 = instances["C1"].event_cost({"A", "B"})
+        _l2, checks2 = instances["C2"].event_cost({"A", "B"})
+        assert checks2 < checks1
+
+
+class TestAnalyticClusteringGeneric:
+    def test_maximal_schema_placement(self):
+        inst = AnalyticClustering(
+            [GroupSpec(frozenset({"A", "B"}), 100)],
+            [("A",), ("A", "B")],
+            {"A": 10, "B": 10},
+        )
+        assert inst.table_population(("A", "B")) == 100
+        assert inst.table_population(("A",)) == 0
+
+    def test_uniform_split_over_ties(self):
+        inst = AnalyticClustering(
+            [GroupSpec(frozenset({"A", "B"}), 100)],
+            [("A",), ("B",)],
+            {"A": 10, "B": 10},
+        )
+        assert inst.table_population(("A",)) == 50
+        assert inst.table_population(("B",)) == 50
+
+    def test_no_eligible_schema_rejected(self):
+        with pytest.raises(ValueError):
+            AnalyticClustering(
+                [GroupSpec(frozenset({"Z"}), 1)], [("A",)], {"A": 10}
+            )
+
+    def test_event_without_coverage_costs_nothing(self):
+        inst = AnalyticClustering(
+            [GroupSpec(frozenset({"A"}), 10)], [("A",)], {"A": 10}
+        )
+        assert inst.event_cost({"B"}) == (0, 0.0)
+
+    def test_group_validation(self):
+        with pytest.raises(ValueError):
+            GroupSpec(frozenset(), 1)
+        with pytest.raises(ValueError):
+            GroupSpec(frozenset({"A"}), -1)
+
+    def test_duplicate_schemas_rejected(self):
+        with pytest.raises(ValueError):
+            AnalyticClustering(
+                [GroupSpec(frozenset({"A"}), 1)], [("A",), ("A",)], {"A": 10}
+            )

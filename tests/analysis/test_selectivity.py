@@ -1,0 +1,87 @@
+"""The analytical work model vs the real engines' counters."""
+
+import pytest
+
+from repro.analysis.selectivity import expected_checks, predicate_match_probability
+from repro.core import Operator
+from repro.workload.scenarios import w0
+
+
+class TestPredicateProbability:
+    def test_equality(self):
+        spec = w0()
+        assert predicate_match_probability(spec, "attr00", Operator.EQ) == pytest.approx(
+            1 / 35
+        )
+
+    def test_not_equal(self):
+        spec = w0()
+        assert predicate_match_probability(spec, "attr00", Operator.NE) == pytest.approx(
+            34 / 35
+        )
+
+    def test_le_exceeds_half(self):
+        spec = w0()
+        p = predicate_match_probability(spec, "attr00", Operator.LE)
+        assert p == pytest.approx(36 / 70)
+
+    def test_strict_below_half(self):
+        spec = w0()
+        p = predicate_match_probability(spec, "attr00", Operator.LT)
+        assert p == pytest.approx(34 / 70)
+
+    def test_le_ge_complement_with_eq(self):
+        spec = w0()
+        le = predicate_match_probability(spec, "attr00", Operator.LE)
+        gt = predicate_match_probability(spec, "attr00", Operator.GT)
+        assert le + gt == pytest.approx(1.0)
+
+
+class TestExpectedChecks:
+    def test_w0_closed_forms(self):
+        spec = w0(n_subscriptions=35_000)
+        model = expected_checks(spec)
+        # counting: 5 equality predicates/sub, each 1/35 → n·5/35
+        assert model["counting"] == pytest.approx(35_000 * 5 / 35)
+        # propagation: single-pair access → n/35
+        assert model["propagation"] == pytest.approx(1000)
+        # clustered over the fixed pair → n/35²
+        assert model["clustered"] == pytest.approx(35_000 / 1225)
+
+    def test_ordering_matches_figure3a(self):
+        model = expected_checks(w0(n_subscriptions=100_000))
+        assert model["clustered"] < model["propagation"] < model["counting"]
+
+
+class TestModelAgainstImplementation:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        from repro.bench.experiments.common import materialize
+        from repro.bench.harness import load_subscriptions, matcher_for
+
+        spec = w0(seed=6, n_subscriptions=8000)
+        subs, events = materialize(spec, 8000, 40)
+        out = {}
+        for name in ("counting", "propagation", "dynamic"):
+            m = matcher_for(name, spec)
+            load_subscriptions(m, subs)
+            for e in events:
+                m.match(e)
+            out[name] = m.counters["subscription_checks"] / m.counters["events"]
+        return spec, out
+
+    def test_counting_within_factor_two(self, measured):
+        spec, got = measured
+        predicted = expected_checks(spec)["counting"]
+        assert predicted / 2 <= got["counting"] <= predicted * 2
+
+    def test_propagation_within_factor_two(self, measured):
+        spec, got = measured
+        predicted = expected_checks(spec)["propagation"]
+        assert predicted / 2 <= got["propagation"] <= predicted * 2
+
+    def test_dynamic_bounded_by_propagation_model(self, measured):
+        spec, got = measured
+        # dynamic sits between the pair-clustered ideal and propagation.
+        assert got["dynamic"] < expected_checks(spec)["propagation"]
+        assert got["dynamic"] >= expected_checks(spec)["clustered"] * 0.5

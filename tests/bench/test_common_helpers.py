@@ -1,0 +1,56 @@
+"""Shared experiment plumbing (common.py) and the matcher registry."""
+
+import pytest
+
+from repro.bench.experiments.common import (
+    PAPER_SUB_COUNTS,
+    materialize,
+    scaled_sub_counts,
+    shape_summary,
+)
+from repro.matchers import MATCHER_FACTORIES, make_matcher
+from repro.workload.scenarios import w0
+
+
+class TestScaledCounts:
+    def test_explicit_scale(self):
+        got = scaled_sub_counts(scale=0.001)
+        assert got == [max(500, int(c * 0.001)) for c in PAPER_SUB_COUNTS]
+
+    def test_minimum_floor(self):
+        got = scaled_sub_counts(scale=1e-9, minimum=123)
+        assert all(x == 123 for x in got)
+
+    def test_monotone(self):
+        got = scaled_sub_counts(scale=0.01)
+        assert got == sorted(got)
+
+
+class TestMaterialize:
+    def test_counts_and_prefix(self):
+        subs, events = materialize(w0(seed=1), 25, 7, id_prefix="pfx-")
+        assert len(subs) == 25 and len(events) == 7
+        assert all(s.id.startswith("pfx-") for s in subs)
+
+    def test_deterministic(self):
+        a, _ = materialize(w0(seed=1), 10, 0)
+        b, _ = materialize(w0(seed=1), 10, 0)
+        assert [s.predicates for s in a] == [s.predicates for s in b]
+
+
+class TestShapeSummary:
+    def test_means(self):
+        got = shape_summary({"a": [1.0, 3.0], "b": []})
+        assert got == {"a": 2.0, "b": 0.0}
+
+
+class TestMakeMatcher:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown matcher"):
+            make_matcher("quantum")
+
+    @pytest.mark.parametrize(
+        "name", [n for n in sorted(MATCHER_FACTORIES) if n != "static"]
+    )
+    def test_known_names_build(self, name):
+        assert make_matcher(name).name == name

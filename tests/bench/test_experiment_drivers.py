@@ -1,0 +1,101 @@
+"""Smoke-tests of each experiment driver at tiny scale.
+
+Each driver must run end-to-end, print a table, and return structured
+series with the right keys.  The *shape* assertions (who wins) live in
+tests/integration/test_paper_shapes.py; these only prove the drivers
+are runnable everywhere.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    cache_ablation,
+    example31_driver,
+    fig3a,
+    fig3b,
+    fig3c,
+    fig3d,
+    phase_split,
+    trigger_baseline,
+)
+
+
+def sink():
+    lines = []
+    return lines, lines.append
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "example3.1",
+            "fig3a",
+            "fig3b",
+            "fig3c",
+            "fig3d",
+            "fig4a",
+            "fig4b",
+            "phase-split",
+            "cache-ablation",
+            "trigger-baseline",
+        }
+        assert all(hasattr(mod, "run") for mod in EXPERIMENTS.values())
+
+
+class TestDriversRunTiny:
+    def test_fig3a(self):
+        lines, out = sink()
+        r = fig3a.run(sub_counts=[150, 300], n_events=5, out=out)
+        assert r["sub_counts"] == [150, 300]
+        assert set(r["events_per_second"]) == set(r["algorithms"])
+        assert all(len(v) == 2 for v in r["events_per_second"].values())
+        assert lines and "Figure 3(a)" in lines[0]
+
+    def test_fig3b(self):
+        lines, out = sink()
+        r = fig3b.run(n_subs=200, n_events=5, out=out)
+        assert set(r["events_per_second"]) == {"W1", "W2"}
+        for cells in r["events_per_second"].values():
+            assert set(cells) == {"propagation-wp", "dynamic"}
+
+    def test_fig3c(self):
+        lines, out = sink()
+        r = fig3c.run(sub_counts=[100, 200], out=out)
+        for series in r["megabytes"].values():
+            assert series[1] > series[0]  # memory grows with |S|
+
+    def test_fig3d(self):
+        lines, out = sink()
+        r = fig3d.run(sub_counts=[100, 200], out=out)
+        assert "static" in r["seconds"]
+        assert all(s > 0 for series in r["seconds"].values() for s in series)
+
+    def test_phase_split(self):
+        lines, out = sink()
+        r = phase_split.run(n_subs=200, n_events=5, out=out)
+        assert set(r["split"]) == {
+            "counting", "propagation", "propagation-wp", "dynamic",
+        }
+        for cell in r["split"].values():
+            assert cell["predicate_ms"] >= 0
+
+    def test_cache_ablation(self):
+        lines, out = sink()
+        r = cache_ablation.run(size=2, count=256, lookaheads=(0, 8), out=out)
+        assert set(r["layouts"]) == {
+            "columnar+prefetch", "columnar", "rowwise+prefetch", "rowwise",
+        }
+        assert set(r["lookahead_cycles"]) == {0, 8}
+        assert set(r["wide_prefetch_cycles"]) == {"all rows", "first 2 rows"}
+
+    def test_trigger_baseline(self):
+        lines, out = sink()
+        r = trigger_baseline.run(sub_counts=(50, 100), n_events=3, out=out)
+        assert len(r["trigger_ms_per_event"]) == 2
+
+    def test_example31_driver(self):
+        lines, out = sink()
+        r = example31_driver.run(out=out)
+        assert r["C1"]["event_cost"][0] == 2
+        assert r["C2"]["event_cost"][0] == 3

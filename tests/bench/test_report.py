@@ -1,0 +1,34 @@
+"""The Markdown report generator."""
+
+import io
+
+import pytest
+
+from repro.bench.report import REPORT_ORDER, generate_report, main
+from repro.bench.experiments import EXPERIMENTS
+
+
+class TestGenerateReport:
+    def test_order_covers_all_experiments(self):
+        assert set(REPORT_ORDER) == set(EXPERIMENTS)
+
+    def test_single_cheap_experiment(self):
+        buf = io.StringIO()
+        n = generate_report(buf, ["example3.1"], timestamp="T")
+        text = buf.getvalue()
+        assert n == 1
+        assert "# Experiment report" in text
+        assert "generated: T" in text
+        assert "## example3.1" in text
+        assert "Example 3.1" in text  # the driver's table made it in
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(io.StringIO(), ["figZZ"])
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        rc = main(["--output", str(target), "-e", "example3.1"])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "## example3.1" in target.read_text()

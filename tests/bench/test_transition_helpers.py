@@ -1,0 +1,52 @@
+"""Helpers of the Figure 4 transition runner."""
+
+import pytest
+
+from repro.bench.experiments.transition import bucket_means, report, run_transition
+from repro.workload.scenarios import w3, w4
+from repro.workload.streams import TransitionSchedule
+
+
+class TestBucketMeans:
+    def test_even_split(self):
+        assert bucket_means([1, 1, 2, 2, 3, 3], 3) == [1, 2, 3]
+
+    def test_remainder_folded(self):
+        got = bucket_means([1, 2, 3, 4, 5], 2)
+        assert got == [1.5, 3.5]
+
+    def test_more_buckets_than_items(self):
+        assert bucket_means([5.0], 4) == [5.0]
+
+    def test_empty(self):
+        assert bucket_means([], 3) == []
+        assert bucket_means([1.0], 0) == []
+
+
+class TestRunTransition:
+    @pytest.fixture(scope="class")
+    def tiny_results(self):
+        schedule = TransitionSchedule.figure4(
+            old_spec=w3(),
+            new_spec=w4(seed=99),
+            population=300,
+            churn_rate=100,
+            stable_steps=1,
+            transition_steps=3,
+        )
+        return run_transition(schedule, events_per_step=5)
+
+    def test_both_strategies_present(self, tiny_results):
+        assert set(tiny_results) == {"dynamic", "no change"}
+
+    def test_series_length_matches_schedule(self, tiny_results):
+        assert all(len(v) == 5 for v in tiny_results.values())
+
+    def test_throughputs_positive(self, tiny_results):
+        assert all(x > 0 for v in tiny_results.values() for x in v)
+
+    def test_report_prints_and_buckets(self, tiny_results):
+        lines = []
+        payload = report("T", tiny_results, buckets=5, out=lines.append)
+        assert lines and "T" in lines[0]
+        assert set(payload["buckets"]) == {"dynamic", "no change"}

@@ -1,0 +1,142 @@
+"""Array layouts and the simulated scan kernels."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    Arena,
+    CacheConfig,
+    CacheSimulator,
+    ClusterLayout,
+    KernelParams,
+    compare_layouts,
+    scan_cluster,
+    synthesize_cluster,
+)
+
+
+class TestArena:
+    def test_alignment(self):
+        arena = Arena(base=100, alignment=64)
+        a = arena.allocate(10)
+        b = arena.allocate(10)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 10
+
+    def test_disjoint_ranges(self):
+        arena = Arena()
+        a = arena.allocate(1000)
+        b = arena.allocate(1000)
+        assert b >= a + 1000
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Arena(alignment=0)
+        with pytest.raises(ValueError):
+            Arena().allocate(-1)
+
+
+class TestClusterLayout:
+    def _layout(self, columnar):
+        return ClusterLayout.build(3, 8, 64, Arena(), columnar=columnar)
+
+    def test_columnar_rows_contiguous(self):
+        lay = self._layout(columnar=True)
+        # consecutive columns of one row are 4 bytes apart
+        assert lay.ref_address(0, 1) - lay.ref_address(0, 0) == 4
+        # consecutive rows of one column are count*4 apart
+        assert lay.ref_address(1, 0) - lay.ref_address(0, 0) == 8 * 4
+
+    def test_rowwise_columns_contiguous(self):
+        lay = self._layout(columnar=False)
+        assert lay.ref_address(1, 0) - lay.ref_address(0, 0) == 4
+        assert lay.ref_address(0, 1) - lay.ref_address(0, 0) == 3 * 4
+
+    def test_bounds_checked(self):
+        lay = self._layout(True)
+        with pytest.raises(IndexError):
+            lay.ref_address(3, 0)
+        with pytest.raises(IndexError):
+            lay.ref_address(0, 8)
+
+    def test_bit_and_id_addresses(self):
+        lay = self._layout(True)
+        assert lay.bit_address(5) - lay.bit_address(0) == 5
+        assert lay.id_address(2) - lay.id_address(0) == 16
+
+    def test_row_line_span(self):
+        lay = self._layout(True)
+        assert lay.row_line_span(32) == 1  # 8 cols × 4B = 32B
+
+
+class TestSynthesize:
+    def test_selectivity_controls_set_fraction(self):
+        _refs, bits = synthesize_cluster(3, 100, 1000, selectivity=0.0, seed=1)
+        assert bits.sum() == 0
+        _refs, bits = synthesize_cluster(3, 100, 1000, selectivity=1.0, seed=1)
+        assert bits.sum() == 1000
+
+    def test_shapes(self):
+        refs, bits = synthesize_cluster(4, 50, 128, 0.5, seed=2)
+        assert refs.shape == (4, 50) and bits.shape == (128,)
+        assert refs.max() < 128
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(ValueError):
+            synthesize_cluster(3, 10, 10, 1.5)
+
+
+class TestScanKernel:
+    def test_shape_mismatch_rejected(self):
+        lay = ClusterLayout.build(3, 8, 64, Arena())
+        refs = np.zeros((2, 8), dtype=np.int32)
+        with pytest.raises(ValueError):
+            scan_cluster(CacheSimulator(), lay, refs, np.zeros(64, dtype=np.uint8))
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            KernelParams(unfold=0)
+        with pytest.raises(ValueError):
+            KernelParams(lookahead=-1)
+        with pytest.raises(ValueError):
+            KernelParams(prefetch_rows=-1)
+
+    def test_metrics_are_deltas(self):
+        refs, bits = synthesize_cluster(3, 256, 256, 0.5, seed=3)
+        lay = ClusterLayout.build(3, 256, 256, Arena())
+        sim = CacheSimulator()
+        m1 = scan_cluster(sim, lay, refs, bits, KernelParams(prefetch=False))
+        m2 = scan_cluster(sim, lay, refs, bits, KernelParams(prefetch=False))
+        # second scan is warm: strictly fewer misses
+        assert m2.misses < m1.misses
+        assert sim.metrics.accesses == m1.accesses + m2.accesses
+
+
+class TestPaperClaims:
+    """The Section 2.2/2.3 shapes the simulator must reproduce."""
+
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        return compare_layouts(size=3, count=2048, selectivity=0.25, seed=0)
+
+    def test_prefetch_speeds_up_columnar(self, ablation):
+        speedup = ablation["columnar"].cycles / ablation["columnar+prefetch"].cycles
+        assert speedup > 1.2  # paper reports ≈1.5×
+
+    def test_columnar_beats_rowwise(self, ablation):
+        assert ablation["columnar"].cycles < ablation["rowwise"].cycles
+
+    def test_columnar_fewer_misses_when_selective(self, ablation):
+        assert ablation["columnar"].misses < ablation["rowwise"].misses
+
+    def test_prefetches_mostly_useful(self, ablation):
+        m = ablation["columnar+prefetch"]
+        assert m.prefetches_issued > 0
+        assert m.prefetches_useful > 0
+
+    def test_small_bitvector_stays_resident(self):
+        from repro.cache import bitvector_residency_sweep
+
+        rates = bitvector_residency_sweep([256, 1 << 20], count=1024)
+        # §2.3: a small bit vector is cache-resident; a huge one thrashes.
+        assert rates[256] < 0.5 * rates[1 << 20]

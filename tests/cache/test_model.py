@@ -1,0 +1,158 @@
+"""The set-associative cache simulator."""
+
+import pytest
+
+from repro.cache import CacheConfig, CacheSimulator
+
+
+def tiny_config(**kw):
+    defaults = dict(
+        size_bytes=4 * 64,  # 4 lines
+        line_size=64,
+        associativity=2,   # 2 sets × 2 ways
+        hit_cycles=1,
+        miss_penalty=10,
+        max_outstanding_prefetches=2,
+    )
+    defaults.update(kw)
+    return CacheConfig(**defaults)
+
+
+class TestConfig:
+    def test_n_sets(self):
+        assert tiny_config().n_sets == 2
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"size_bytes": 0},
+            {"line_size": 0},
+            {"associativity": 0},
+            {"size_bytes": 100},  # not a multiple
+            {"hit_cycles": -1},
+            {"miss_penalty": -1},
+            {"max_outstanding_prefetches": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ValueError):
+            tiny_config(**kw)
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        sim = CacheSimulator(tiny_config())
+        assert sim.access(0) is False
+        assert sim.access(0) is True
+        assert sim.access(63) is True  # same line
+        assert sim.metrics.accesses == 3
+        assert sim.metrics.misses == 1 and sim.metrics.hits == 2
+
+    def test_miss_costs_penalty(self):
+        sim = CacheSimulator(tiny_config())
+        sim.access(0)
+        assert sim.metrics.cycles == 11  # 1 hit cycle + 10 penalty
+        assert sim.metrics.stall_cycles == 10
+
+    def test_lru_eviction_within_set(self):
+        cfg = tiny_config()
+        sim = CacheSimulator(cfg)
+        # lines 0, 2, 4 map to set 0 (even line numbers with 2 sets)
+        sim.access(0 * 64)
+        sim.access(2 * 64)
+        sim.access(4 * 64)  # evicts line 0
+        assert not sim.resident(0)
+        assert sim.resident(2 * 64) and sim.resident(4 * 64)
+
+    def test_touch_refreshes_lru(self):
+        sim = CacheSimulator(tiny_config())
+        sim.access(0 * 64)
+        sim.access(2 * 64)
+        sim.access(0 * 64)      # 0 becomes MRU
+        sim.access(4 * 64)      # evicts 2, not 0
+        assert sim.resident(0)
+        assert not sim.resident(2 * 64)
+
+    def test_different_sets_do_not_interfere(self):
+        sim = CacheSimulator(tiny_config())
+        sim.access(0 * 64)  # set 0
+        sim.access(1 * 64)  # set 1
+        sim.access(3 * 64)  # set 1
+        assert sim.resident(0)
+
+    def test_compute_advances_time_only(self):
+        sim = CacheSimulator(tiny_config())
+        sim.compute(7)
+        assert sim.metrics.cycles == 7 and sim.metrics.accesses == 0
+
+
+class TestPrefetch:
+    def test_prefetch_hides_latency_when_early(self):
+        cfg = tiny_config()
+        sim = CacheSimulator(cfg)
+        sim.prefetch(0)
+        sim.compute(cfg.miss_penalty + 1)
+        assert sim.access(0) is True  # arrived during compute
+        assert sim.metrics.stall_cycles == 0
+
+    def test_late_access_stalls_partially(self):
+        cfg = tiny_config()
+        sim = CacheSimulator(cfg)
+        sim.prefetch(0)
+        sim.compute(4)
+        sim.access(0)  # 10-cycle fetch, 5 cycles elapsed (issue+4+1)
+        assert 0 < sim.metrics.stall_cycles < cfg.miss_penalty
+        assert sim.metrics.prefetches_useful == 1
+
+    def test_outstanding_limit_drops(self):
+        sim = CacheSimulator(tiny_config())
+        assert sim.prefetch(0 * 64)
+        assert sim.prefetch(1 * 64)
+        assert sim.prefetch(2 * 64) is False
+        assert sim.metrics.prefetches_dropped == 1
+        assert sim.metrics.prefetches_issued == 2
+
+    def test_prefetch_of_resident_line_is_noop(self):
+        sim = CacheSimulator(tiny_config())
+        sim.access(0)
+        assert sim.prefetch(0)
+        assert sim.metrics.prefetches_issued == 0
+
+    def test_duplicate_prefetch_not_double_counted(self):
+        sim = CacheSimulator(tiny_config())
+        sim.prefetch(0)
+        assert sim.prefetch(0)
+        assert sim.metrics.prefetches_issued == 1
+
+    def test_zero_limit_drops_everything(self):
+        sim = CacheSimulator(tiny_config(max_outstanding_prefetches=0))
+        assert sim.prefetch(0) is False
+
+
+class TestMetricsAndFlush:
+    def test_invariant_hits_plus_misses(self):
+        sim = CacheSimulator(tiny_config())
+        for a in [0, 64, 0, 128, 64, 256]:
+            sim.access(a)
+        m = sim.metrics
+        assert m.hits + m.misses == m.accesses
+
+    def test_miss_rate_and_stall_fraction(self):
+        sim = CacheSimulator(tiny_config())
+        sim.access(0)
+        sim.access(0)
+        assert sim.metrics.miss_rate == pytest.approx(0.5)
+        assert 0 < sim.metrics.stall_fraction < 1
+
+    def test_merged(self):
+        sim = CacheSimulator(tiny_config())
+        sim.access(0)
+        merged = sim.metrics.merged(sim.metrics)
+        assert merged.accesses == 2 and merged.cycles == 2 * sim.metrics.cycles
+
+    def test_flush_empties_cache(self):
+        sim = CacheSimulator(tiny_config())
+        sim.access(0)
+        sim.flush()
+        assert not sim.resident(0)
+        assert sim.metrics.accesses == 1  # metrics survive

@@ -1,0 +1,171 @@
+"""Cost model (Section 3.1) and the greedy optimizer (Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.clustering import (
+    CostConstants,
+    CostModel,
+    GreedyClusteringOptimizer,
+    SignatureGroup,
+    UniformStatistics,
+    candidate_schemas,
+    group_signatures,
+)
+from repro.core import Subscription, eq, le
+
+
+def stats10():
+    return UniformStatistics(default_domain=10)
+
+
+class TestCostModel:
+    def test_check_cost_linear_in_residual(self):
+        cm = CostModel(stats10(), CostConstants(c_check=1.0, k_check=2.0))
+        assert cm.check_cost(0) == 1.0
+        assert cm.check_cost(3) == 7.0
+
+    def test_table_overhead_grows_with_schema(self):
+        cm = CostModel(stats10())
+        assert cm.table_overhead(("a", "b")) > cm.table_overhead(("a",))
+
+    def test_group_cost_drops_with_bigger_schema(self):
+        cm = CostModel(stats10())
+        g = SignatureGroup(frozenset({"a", "b"}), 4, 100)
+        assert cm.expected_group_check_cost(g, ("a", "b")) < cm.expected_group_check_cost(
+            g, ("a",)
+        )
+
+    def test_matching_cost_sums_components(self):
+        cm = CostModel(stats10())
+        g = SignatureGroup(frozenset({"a"}), 2, 10)
+        total = cm.matching_cost([("a",)], {g: ("a",)})
+        assert total == pytest.approx(
+            cm.table_overhead(("a",)) + cm.expected_group_check_cost(g, ("a",))
+        )
+
+    def test_space_cost_components(self):
+        cm = CostModel(stats10())
+        g = SignatureGroup(frozenset({"a"}), 3, 10)
+        space = cm.space_cost({g: ("a",)}, {("a",): 5.0})
+        c = cm.constants
+        expected = c.i_space + 5.0 * c.h_space + 10 * (c.k_space * 2 + c.id_space)
+        assert space == pytest.approx(expected)
+
+    def test_estimate_entries_bounds(self):
+        cm = CostModel(stats10())
+        # cannot exceed subscriptions
+        assert cm.estimate_entries(("a",), 3, {"a": 100}) <= 3.0
+        # cannot exceed combinations
+        assert cm.estimate_entries(("a",), 10_000, {"a": 5}) <= 5.0
+        # zero subscriptions -> zero entries
+        assert cm.estimate_entries(("a",), 0, {"a": 5}) == 0.0
+
+
+class TestSignatures:
+    def test_group_signatures_aggregates(self):
+        obs = [
+            (frozenset({"a"}), 3),
+            (frozenset({"a"}), 3),
+            (frozenset({"a", "b"}), 3),
+        ]
+        groups = group_signatures(obs)
+        assert groups[(frozenset({"a"}), 3)].count == 2
+        assert groups[(frozenset({"a", "b"}), 3)].count == 1
+
+    def test_residual(self):
+        g = SignatureGroup(frozenset({"a", "b"}), 5, 1)
+        assert g.residual(2) == 3
+
+
+class TestCandidateSchemas:
+    def test_all_subsets_up_to_cap(self):
+        got = candidate_schemas([frozenset({"a", "b", "c"})], max_schema_size=2)
+        assert got == [
+            ("a",), ("a", "b"), ("a", "c"), ("b",), ("b", "c"), ("c",),
+        ]
+
+    def test_cap_respected(self):
+        got = candidate_schemas([frozenset({"a", "b", "c"})], max_schema_size=3)
+        assert ("a", "b", "c") in got
+
+    def test_dedup_across_groups(self):
+        got = candidate_schemas(
+            [frozenset({"a", "b"}), frozenset({"a", "c"})], max_schema_size=2
+        )
+        assert got.count(("a",)) == 1
+
+
+def common_pair_population(n=60):
+    """Subscriptions that all fix equality on (f1, f2) plus one free attr."""
+    subs = []
+    for i in range(n):
+        subs.append(
+            Subscription(
+                f"s{i}",
+                [
+                    eq("f1", i % 10),
+                    eq("f2", i % 7),
+                    eq(f"x{i % 5}", i % 10),
+                    le("price", 10 + i),
+                ],
+            )
+        )
+    return subs
+
+
+class TestGreedy:
+    def test_prefers_common_pair(self):
+        plan = GreedyClusteringOptimizer(stats10()).optimize(common_pair_population())
+        multi = [s for s in plan.schemas if len(s) > 1]
+        assert ("f1", "f2") in multi
+
+    def test_singletons_always_present(self):
+        plan = GreedyClusteringOptimizer(stats10()).optimize(common_pair_population())
+        assert ("f1",) in plan.schemas and ("f2",) in plan.schemas
+
+    def test_space_bound_limits_tables(self):
+        tight = GreedyClusteringOptimizer(stats10(), max_space=1.0).optimize(
+            common_pair_population()
+        )
+        loose = GreedyClusteringOptimizer(stats10(), max_space=math.inf).optimize(
+            common_pair_population()
+        )
+        assert len(tight.schemas) <= len(loose.schemas)
+
+    def test_plan_cost_improves_on_singletons_only(self):
+        subs = common_pair_population()
+        opt = GreedyClusteringOptimizer(stats10())
+        plan = opt.optimize(subs)
+        # recompute the singleton-only cost for comparison
+        singleton_plan = GreedyClusteringOptimizer(
+            stats10(), max_space=0.0
+        ).optimize(subs)
+        assert plan.matching_cost <= singleton_plan.matching_cost
+
+    def test_choose_schema_prefers_assignment(self):
+        subs = common_pair_population()
+        plan = GreedyClusteringOptimizer(stats10()).optimize(subs)
+        chosen = plan.choose_schema(subs[0])
+        assert chosen is not None
+        assert set(chosen) <= subs[0].equality_attributes
+
+    def test_choose_schema_handles_unseen_signature(self):
+        plan = GreedyClusteringOptimizer(stats10()).optimize(common_pair_population())
+        new_sub = Subscription("new", [eq("f1", 3), le("q", 2)])
+        assert plan.choose_schema(new_sub) == ("f1",)
+
+    def test_choose_schema_none_without_equality(self):
+        plan = GreedyClusteringOptimizer(stats10()).optimize(common_pair_population())
+        assert plan.choose_schema(Subscription("r", [le("q", 2)])) is None
+
+    def test_empty_population(self):
+        plan = GreedyClusteringOptimizer(stats10()).optimize([])
+        assert plan.schemas == () and plan.matching_cost == 0.0
+
+    def test_max_schema_size_respected(self):
+        plan = GreedyClusteringOptimizer(stats10(), max_schema_size=1).optimize(
+            common_pair_population()
+        )
+        assert all(len(s) == 1 for s in plan.schemas)

@@ -1,0 +1,98 @@
+"""DynamicParams validation and the potential-table tracker."""
+
+import pytest
+
+from repro.clustering import DynamicParams, PotentialTableTracker
+
+
+class TestDynamicParams:
+    def test_defaults_valid(self):
+        p = DynamicParams()
+        assert p.bm_max > 0 and p.b_create >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bm_max": 0},
+            {"bm_max": -1},
+            {"b_create": 0},
+            {"b_delete": -1},
+            {"min_improvement": 0.0},
+            {"min_improvement": 1.5},
+            {"growth_factor": 0.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DynamicParams(**kwargs)
+
+    def test_frozen(self):
+        p = DynamicParams()
+        with pytest.raises(Exception):
+            p.bm_max = 9
+
+
+class TestPotentialTableTracker:
+    def test_note_accumulates_and_marks(self):
+        t = PotentialTableTracker()
+        t.note("s1", [("a", "b")], (("a",), (1,)))
+        t.note("s2", [("a", "b")], (("a",), (2,)))
+        assert t.benefit_of(("a", "b")) == 2
+        assert t.is_marked("s1") and t.is_marked("s2")
+
+    def test_marked_sub_not_counted_twice(self):
+        t = PotentialTableTracker()
+        t.note("s1", [("a", "b")], (("a",), (1,)))
+        t.note("s1", [("a", "b")], (("a",), (1,)))
+        assert t.benefit_of(("a", "b")) == 1
+
+    def test_note_without_schemas_does_not_mark(self):
+        t = PotentialTableTracker()
+        t.note("s1", [], (("a",), (1,)))
+        assert not t.is_marked("s1")
+
+    def test_ready_sorted_by_benefit(self):
+        t = PotentialTableTracker()
+        for i in range(3):
+            t.note(f"x{i}", [("a", "b")], (("a",), (1,)))
+        for i in range(5):
+            t.note(f"y{i}", [("b", "c")], (("b",), (1,)))
+        assert t.ready(3) == [("b", "c"), ("a", "b")]
+        assert t.ready(4) == [("b", "c")]
+        assert t.ready(100) == []
+
+    def test_candidates_recorded(self):
+        t = PotentialTableTracker()
+        t.note("s1", [("a", "b")], (("a",), (1,)))
+        t.note("s2", [("a", "b")], (("a",), (2,)))
+        assert t.candidates_of(("a", "b")) == ((("a",), (1,)), (("a",), (2,)))
+
+    def test_clear_schema(self):
+        t = PotentialTableTracker()
+        t.note("s1", [("a", "b")], (("a",), (1,)))
+        t.clear_schema(("a", "b"))
+        assert t.benefit_of(("a", "b")) == 0
+        assert t.candidates_of(("a", "b")) == ()
+        assert t.potential_count == 0
+
+    def test_unmark_allows_recount(self):
+        t = PotentialTableTracker()
+        t.note("s1", [("a", "b")], (("a",), (1,)))
+        t.unmark("s1")
+        t.note("s1", [("a", "b")], (("a",), (1,)))
+        assert t.benefit_of(("a", "b")) == 2
+
+    def test_reset_votes_scoped_to_eligible(self):
+        t = PotentialTableTracker()
+        for i in range(5):
+            t.note(f"x{i}", [("a", "b")], (("a",), (1,)))
+            t.note(f"y{i}", [("c", "d")], (("c",), (1,)))
+        t.reset_votes(frozenset({"a", "b"}))
+        assert t.benefit_of(("a", "b")) == 1
+        assert t.benefit_of(("c", "d")) == 5
+
+    def test_reset_clears_everything(self):
+        t = PotentialTableTracker()
+        t.note("s1", [("a", "b")], (("a",), (1,)))
+        t.reset()
+        assert t.potential_count == 0 and not t.is_marked("s1")

@@ -1,0 +1,85 @@
+"""Greedy vs exhaustive: how good is the §3.2 local optimum?"""
+
+import random
+
+import pytest
+
+from repro.clustering import GreedyClusteringOptimizer, UniformStatistics
+from repro.clustering.exhaustive import ExhaustiveClusteringOptimizer
+from repro.core import Subscription, eq, le
+
+
+def stats():
+    return UniformStatistics(default_domain=10)
+
+
+def population(seed, n=60, attrs=4):
+    """Subscriptions over a tiny attribute universe (exhaustive-friendly)."""
+    rng = random.Random(seed)
+    names = [f"k{i}" for i in range(attrs)]
+    subs = []
+    for i in range(n):
+        chosen = rng.sample(names, rng.randint(1, min(3, attrs)))
+        preds = [eq(a, rng.randint(1, 10)) for a in chosen]
+        preds.append(le("price", rng.randint(1, 100)))
+        subs.append(Subscription(f"s{i}", preds))
+    return subs
+
+
+class TestExhaustive:
+    def test_never_worse_than_greedy(self):
+        for seed in range(5):
+            subs = population(seed)
+            greedy = GreedyClusteringOptimizer(stats()).optimize(subs)
+            exact = ExhaustiveClusteringOptimizer(stats()).optimize(subs)
+            assert exact.matching_cost <= greedy.matching_cost + 1e-9
+
+    def test_greedy_close_to_optimum(self):
+        """The local optimum the paper settles for stays within 25 % of
+        the true optimum on these instances."""
+        for seed in range(5):
+            subs = population(seed)
+            greedy = GreedyClusteringOptimizer(stats()).optimize(subs)
+            exact = ExhaustiveClusteringOptimizer(stats()).optimize(subs)
+            assert greedy.matching_cost <= 1.25 * exact.matching_cost
+
+    def test_includes_singletons(self):
+        plan = ExhaustiveClusteringOptimizer(stats()).optimize(population(1))
+        for attr in ("k0", "k1", "k2", "k3"):
+            present = any(s == (attr,) for s in plan.schemas)
+            used = any(attr in g for g, _ in plan.assignment.items() for g in [g[0]])
+            assert present or not used
+
+    def test_space_bound_respected(self):
+        subs = population(2)
+        tight = ExhaustiveClusteringOptimizer(stats(), max_space=2000.0).optimize(subs)
+        loose = ExhaustiveClusteringOptimizer(stats()).optimize(subs)
+        assert len(tight.schemas) <= len(loose.schemas)
+        assert tight.matching_cost >= loose.matching_cost - 1e-9
+
+    def test_candidate_bound_enforced(self):
+        rng = random.Random(0)
+        names = [f"a{i}" for i in range(12)]
+        subs = [
+            Subscription(
+                f"s{i}", [eq(a, 1) for a in rng.sample(names, 3)]
+            )
+            for i in range(50)
+        ]
+        with pytest.raises(ValueError, match="exhaustive bound"):
+            ExhaustiveClusteringOptimizer(stats(), max_candidates=10).optimize(subs)
+
+    def test_empty_population(self):
+        plan = ExhaustiveClusteringOptimizer(stats()).optimize([])
+        assert plan.schemas == ()
+
+    def test_agrees_with_greedy_on_obvious_instance(self):
+        # Everyone shares the (f1, f2) pair: both must pick it.
+        subs = [
+            Subscription(f"s{i}", [eq("f1", i % 5), eq("f2", i % 3), le("p", i)])
+            for i in range(80)
+        ]
+        greedy = GreedyClusteringOptimizer(stats()).optimize(subs)
+        exact = ExhaustiveClusteringOptimizer(stats()).optimize(subs)
+        assert ("f1", "f2") in exact.schemas
+        assert ("f1", "f2") in greedy.schemas

@@ -1,0 +1,45 @@
+"""Shared fixtures and deterministic random-model helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core import Event, Operator, Predicate, Subscription
+
+ATTRS = [f"a{i}" for i in range(8)]
+
+
+def make_subscription(rng: random.Random, sub_id, max_preds: int = 5) -> Subscription:
+    """Random subscription over the small shared attribute pool."""
+    chosen = rng.sample(ATTRS, rng.randint(1, max_preds))
+    preds = [
+        Predicate(a, rng.choice(list(Operator)), rng.randint(1, 10)) for a in chosen
+    ]
+    return Subscription(sub_id, preds)
+
+
+def make_event(rng: random.Random, min_attrs: int = 3) -> Event:
+    """Random event over the small shared attribute pool."""
+    attrs = rng.sample(ATTRS, rng.randint(min_attrs, len(ATTRS)))
+    return Event({a: rng.randint(1, 10) for a in attrs})
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Per-test deterministic RNG."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_population(rng) -> List[Subscription]:
+    """200 random subscriptions."""
+    return [make_subscription(rng, f"s{i}") for i in range(200)]
+
+
+@pytest.fixture
+def small_events(rng) -> List[Event]:
+    """50 random events."""
+    return [make_event(rng) for _ in range(50)]

@@ -1,0 +1,114 @@
+"""The predicate bit vector."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitVector
+
+
+class TestSizing:
+    def test_starts_empty(self):
+        bv = BitVector()
+        assert bv.size == 0 and len(bv) == 0
+
+    def test_allocate_returns_consecutive_slots(self):
+        bv = BitVector()
+        assert [bv.allocate() for _ in range(5)] == [0, 1, 2, 3, 4]
+        assert bv.size == 5
+
+    def test_grow_to_is_monotonic(self):
+        bv = BitVector()
+        bv.grow_to(10)
+        bv.grow_to(3)
+        assert bv.size == 10
+
+    def test_growth_beyond_capacity(self):
+        bv = BitVector(capacity=2)
+        bv.grow_to(1000)
+        assert bv.capacity >= 1000
+        assert not bv.get(999)
+
+    def test_growth_preserves_bits(self):
+        bv = BitVector(capacity=2)
+        bv.grow_to(2)
+        bv.set(1)
+        bv.grow_to(5000)
+        assert bv.get(1)
+
+    def test_min_capacity_clamped(self):
+        assert BitVector(capacity=0).capacity >= 1
+
+
+class TestBits:
+    def test_set_get(self):
+        bv = BitVector()
+        bv.grow_to(8)
+        bv.set(3)
+        assert bv.get(3) and bv[3]
+        assert not bv.get(2)
+
+    def test_set_many(self):
+        bv = BitVector()
+        bv.grow_to(8)
+        bv.set_many([1, 4, 6])
+        assert [bv.get(i) for i in range(8)] == [
+            False, True, False, False, True, False, True, False,
+        ]
+
+    def test_reset_clears_only_dirty(self):
+        bv = BitVector()
+        bv.grow_to(16)
+        bv.set_many(range(4))
+        bv.reset()
+        assert all(not bv.get(i) for i in range(16))
+        assert bv.count_set() == 0
+
+    def test_dense_reset_path(self):
+        bv = BitVector()
+        bv.grow_to(64)
+        bv.set_many(range(64))
+        bv.reset()
+        assert all(not bv.get(i) for i in range(64))
+
+    def test_idempotent_set_counts_once(self):
+        bv = BitVector()
+        bv.grow_to(4)
+        bv.set(2)
+        bv.set(2)
+        assert bv.count_set() == 1
+
+    def test_set_indexes_order(self):
+        bv = BitVector()
+        bv.grow_to(8)
+        bv.set_many([5, 1, 7])
+        assert list(bv.set_indexes()) == [5, 1, 7]
+
+    def test_reset_twice_is_noop(self):
+        bv = BitVector()
+        bv.grow_to(4)
+        bv.set(0)
+        bv.reset()
+        bv.reset()
+        assert bv.count_set() == 0
+
+
+class TestBulk:
+    def test_gather(self):
+        bv = BitVector()
+        bv.grow_to(8)
+        bv.set_many([1, 3])
+        refs = np.array([[1, 3], [0, 3]], dtype=np.int32)
+        got = bv.gather(refs)
+        assert got.tolist() == [[1, 1], [0, 1]]
+
+    def test_array_view_reflects_sets(self):
+        bv = BitVector()
+        bv.grow_to(4)
+        bv.set(2)
+        assert bv.array[2] == 1
+
+    def test_repr(self):
+        bv = BitVector()
+        bv.grow_to(4)
+        bv.set(0)
+        assert "set=1" in repr(bv)

@@ -1,0 +1,95 @@
+"""The command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["match", "--subscriptions", "s", "--events", "e", "--engine", "warp"]
+            )
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_demo_runs(self):
+        out = io.StringIO()
+        assert main(["demo"], out=out) == 0
+        assert "matched" in out.getvalue() and "s1" in out.getvalue()
+
+
+class TestGenerate:
+    def test_generate_subscriptions(self):
+        out = io.StringIO()
+        rc = main(
+            ["generate", "--kind", "subscriptions", "--count", "7", "--workload", "W0"],
+            out=out,
+        )
+        assert rc == 0
+        lines = [l for l in out.getvalue().splitlines() if l]
+        assert len(lines) == 7
+        record = json.loads(lines[0])
+        assert "id" in record and "predicates" in record
+
+    def test_generate_events(self):
+        out = io.StringIO()
+        assert main(["generate", "--kind", "events", "--count", "3"], out=out) == 0
+        lines = [l for l in out.getvalue().splitlines() if l]
+        assert len(lines) == 3
+        assert "pairs" in json.loads(lines[0])
+
+    def test_generate_deterministic_by_seed(self):
+        a, b = io.StringIO(), io.StringIO()
+        main(["generate", "--kind", "events", "--count", "2", "--seed", "9"], out=a)
+        main(["generate", "--kind", "events", "--count", "2", "--seed", "9"], out=b)
+        assert a.getvalue() == b.getvalue()
+
+
+class TestMatch:
+    @pytest.mark.parametrize("engine", ["oracle", "dynamic", "static"])
+    def test_match_files(self, tmp_path, engine):
+        subs_file = tmp_path / "subs.jsonl"
+        subs_file.write_text(
+            '{"id": "s1", "predicates": [["movie", "=", "gd"], ["price", "<=", 10]]}\n'
+            '{"id": "s2", "predicates": [["movie", "=", "other"]]}\n'
+        )
+        events_file = tmp_path / "events.jsonl"
+        events_file.write_text(
+            '{"pairs": {"movie": "gd", "price": 8}}\n'
+            '{"pairs": {"movie": "gd", "price": 50}}\n'
+        )
+        out = io.StringIO()
+        rc = main(
+            [
+                "match",
+                "--subscriptions", str(subs_file),
+                "--events", str(events_file),
+                "--engine", engine,
+            ],
+            out=out,
+        )
+        assert rc == 0
+        lines = [json.loads(l) for l in out.getvalue().splitlines() if l]
+        assert lines[0]["matched"] == ["s1"]
+        assert lines[1]["matched"] == []
+
+
+class TestBenchCommand:
+    def test_bench_example31(self):
+        out = io.StringIO()
+        assert main(["bench", "example3.1"], out=out) == 0
+        assert "Example 3.1" in out.getvalue()

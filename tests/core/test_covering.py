@@ -1,0 +1,119 @@
+"""Subscription covering (subsumption)."""
+
+import pytest
+
+from repro.core import Subscription, eq, ge, gt, le, lt, ne
+from repro.core.covering import CoverageIndex, covers
+
+
+def sub(sid, *preds):
+    return Subscription(sid, list(preds))
+
+
+class TestCovers:
+    def test_reflexive(self):
+        s = sub("a", eq("x", 1), le("y", 5))
+        assert covers(s, s)
+
+    def test_looser_bound_covers_tighter(self):
+        assert covers(sub("b", le("p", 100)), sub("n", le("p", 50)))
+        assert not covers(sub("b", le("p", 50)), sub("n", le("p", 100)))
+
+    def test_fewer_attributes_covers_more(self):
+        broad = sub("b", eq("movie", "gd"))
+        narrow = sub("n", eq("movie", "gd"), le("price", 10))
+        assert covers(broad, narrow)
+        assert not covers(narrow, broad)
+
+    def test_range_covers_equality_point(self):
+        assert covers(sub("b", le("p", 10)), sub("n", eq("p", 7)))
+        assert not covers(sub("b", le("p", 10)), sub("n", eq("p", 11)))
+
+    def test_interval_containment(self):
+        broad = sub("b", ge("p", 0), le("p", 100))
+        narrow = sub("n", ge("p", 10), le("p", 20))
+        assert covers(broad, narrow)
+        assert not covers(narrow, broad)
+
+    def test_strictness_at_boundary(self):
+        assert covers(sub("b", le("p", 10)), sub("n", lt("p", 10)))
+        assert not covers(sub("b", lt("p", 10)), sub("n", le("p", 10)))
+
+    def test_ne_covered_by_disjoint_range(self):
+        assert covers(sub("b", ne("p", 5)), sub("n", gt("p", 5)))
+        assert not covers(sub("b", ne("p", 5)), sub("n", gt("p", 4)))
+
+    def test_different_attributes_incomparable(self):
+        assert not covers(sub("b", eq("x", 1)), sub("n", eq("y", 1)))
+
+    def test_unsatisfiable_narrow_vacuously_covered(self):
+        impossible = sub("n", eq("x", 1), eq("x", 2))
+        assert covers(sub("b", eq("zzz", 9)), impossible)
+
+    def test_unsatisfiable_broad_covers_nothing_satisfiable(self):
+        impossible = sub("b", eq("x", 1), eq("x", 2))
+        assert not covers(impossible, sub("n", eq("x", 1)))
+
+    def test_redundant_predicates_do_not_confuse(self):
+        broad = sub("b", le("p", 100), le("p", 90))
+        narrow = sub("n", le("p", 95), le("p", 80))
+        assert covers(broad, narrow)
+
+    def test_semantic_soundness_sampled(self, rng):
+        """If covers() says yes, no sampled event may contradict it."""
+        from tests.conftest import make_event, make_subscription
+
+        pairs = 0
+        for i in range(150):
+            a = make_subscription(rng, f"a{i}", max_preds=3)
+            b = make_subscription(rng, f"b{i}", max_preds=3)
+            if covers(a, b):
+                pairs += 1
+                for _ in range(30):
+                    e = make_event(rng)
+                    if b.is_satisfied_by(e):
+                        assert a.is_satisfied_by(e), (a, b, e)
+
+
+class TestCoverageIndex:
+    def test_redundant_detection(self):
+        idx = CoverageIndex()
+        idx.add(sub("broad", le("p", 100)))
+        redundant, covered = idx.add(sub("narrow", le("p", 50)))
+        assert redundant and covered == []
+
+    def test_newly_covered_reported(self):
+        idx = CoverageIndex()
+        idx.add(sub("narrow", le("p", 50)))
+        redundant, covered = idx.add(sub("broad", le("p", 100)))
+        assert not redundant and covered == ["narrow"]
+
+    def test_covering_set_minimal(self):
+        idx = CoverageIndex()
+        idx.add(sub("a", le("p", 100)))
+        idx.add(sub("b", le("p", 50)))
+        idx.add(sub("c", eq("q", 1)))
+        kept = {s.id for s in idx.covering_set()}
+        assert kept == {"a", "c"}
+
+    def test_equivalent_subscriptions_keep_one(self):
+        idx = CoverageIndex()
+        idx.add(sub("first", le("p", 10)))
+        idx.add(sub("second", le("p", 10)))
+        assert [s.id for s in idx.covering_set()] == ["first"]
+
+    def test_remove(self):
+        idx = CoverageIndex()
+        idx.add(sub("a", le("p", 100)))
+        idx.remove("a")
+        assert len(idx) == 0 and "a" not in idx
+        with pytest.raises(KeyError):
+            idx.remove("a")
+
+    def test_duplicate_id_rejected(self):
+        from repro.core import InvalidSubscriptionError
+
+        idx = CoverageIndex()
+        idx.add(sub("a", le("p", 1)))
+        with pytest.raises(InvalidSubscriptionError):
+            idx.add(sub("a", le("p", 2)))

@@ -1,0 +1,89 @@
+"""JSON serialization round-trips."""
+
+import io
+
+import pytest
+
+from repro.io import (
+    SerializationError,
+    dump_events,
+    dump_spec,
+    dump_subscriptions,
+    event_from_dict,
+    event_to_dict,
+    load_events,
+    load_spec,
+    load_subscriptions,
+    spec_from_dict,
+    spec_to_dict,
+    subscription_from_dict,
+    subscription_to_dict,
+)
+from repro.core import Event, Subscription, eq, le, ne
+from repro.workload import w3, w6
+
+
+class TestSubscriptions:
+    def test_roundtrip_dict(self):
+        s = Subscription("s1", [eq("movie", "gd"), le("price", 10), ne("city", "x")])
+        assert subscription_from_dict(subscription_to_dict(s)) == s
+
+    def test_roundtrip_stream(self):
+        subs = [Subscription(f"s{i}", [eq("x", i)]) for i in range(5)]
+        buf = io.StringIO()
+        assert dump_subscriptions(subs, buf) == 5
+        buf.seek(0)
+        assert load_subscriptions(buf) == subs
+
+    def test_blank_lines_ignored(self):
+        buf = io.StringIO('\n{"id": "a", "predicates": [["x", "=", 1]]}\n\n')
+        assert len(load_subscriptions(buf)) == 1
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SerializationError):
+            load_subscriptions(io.StringIO("{nope\n"))
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(SerializationError):
+            subscription_from_dict({"id": "a"})
+        with pytest.raises(SerializationError):
+            subscription_from_dict({"id": "a", "predicates": [["x", "<>", 1]]})
+
+
+class TestEvents:
+    def test_roundtrip_dict(self):
+        e = Event({"movie": "gd", "price": 8})
+        assert event_from_dict(event_to_dict(e)) == e
+
+    def test_roundtrip_stream(self):
+        events = [Event({"x": i}) for i in range(4)]
+        buf = io.StringIO()
+        assert dump_events(events, buf) == 4
+        buf.seek(0)
+        assert load_events(buf) == events
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(SerializationError):
+            event_from_dict({"wrong": 1})
+        with pytest.raises(SerializationError):
+            load_events(io.StringIO("not json\n"))
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("factory", [w3, w6])
+    def test_roundtrip(self, factory):
+        spec = factory()
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_stream_roundtrip(self):
+        spec = w6()
+        buf = io.StringIO()
+        dump_spec(spec, buf)
+        buf.seek(0)
+        assert load_spec(buf) == spec
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SerializationError):
+            load_spec(io.StringIO("["))
+        with pytest.raises(SerializationError):
+            spec_from_dict({"fixed_predicates": [{"oops": 1}]})

@@ -1,0 +1,76 @@
+"""Predicate registry: dedup, refcounts, slot recycling."""
+
+import pytest
+
+from repro.core import PredicateRegistry, eq, le
+
+
+class TestIntern:
+    def test_first_intern_allocates(self):
+        r = PredicateRegistry()
+        slot, added = r.intern(eq("x", 1))
+        assert added and slot == 0
+        assert len(r) == 1
+
+    def test_second_intern_reuses(self):
+        r = PredicateRegistry()
+        s1, _ = r.intern(eq("x", 1))
+        s2, added = r.intern(eq("x", 1))
+        assert s2 == s1 and not added
+        assert r.refcount(eq("x", 1)) == 2
+
+    def test_distinct_predicates_get_distinct_slots(self):
+        r = PredicateRegistry()
+        s1, _ = r.intern(eq("x", 1))
+        s2, _ = r.intern(le("x", 1))
+        assert s1 != s2
+
+    def test_inverse_lookup(self):
+        r = PredicateRegistry()
+        slot, _ = r.intern(eq("x", 1))
+        assert r.predicate(slot) == eq("x", 1)
+        assert r.slot(eq("x", 1)) == slot
+
+    def test_contains_and_items(self):
+        r = PredicateRegistry()
+        r.intern(eq("x", 1))
+        assert eq("x", 1) in r
+        assert dict(r.items()) == {eq("x", 1): 0}
+
+
+class TestRelease:
+    def test_release_drops_to_zero_frees(self):
+        r = PredicateRegistry()
+        r.intern(eq("x", 1))
+        slot, removed = r.release(eq("x", 1))
+        assert removed and slot == 0
+        assert eq("x", 1) not in r
+
+    def test_release_with_remaining_refs(self):
+        r = PredicateRegistry()
+        r.intern(eq("x", 1))
+        r.intern(eq("x", 1))
+        _slot, removed = r.release(eq("x", 1))
+        assert not removed
+        assert r.refcount(eq("x", 1)) == 1
+
+    def test_release_unknown_raises(self):
+        r = PredicateRegistry()
+        with pytest.raises(KeyError):
+            r.release(eq("x", 1))
+
+    def test_freed_slot_is_recycled(self):
+        r = PredicateRegistry()
+        s1, _ = r.intern(eq("x", 1))
+        r.release(eq("x", 1))
+        s2, _ = r.intern(le("y", 2))
+        assert s2 == s1
+
+    def test_refcount_zero_when_absent(self):
+        assert PredicateRegistry().refcount(eq("x", 1)) == 0
+
+    def test_grows_bitvector(self):
+        r = PredicateRegistry()
+        for i in range(100):
+            r.intern(eq("x", i))
+        assert r.bits.size >= 100

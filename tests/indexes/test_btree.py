@@ -1,0 +1,123 @@
+"""B-tree structure, scans and invariants."""
+
+import random
+
+import pytest
+
+from repro.indexes import BTree
+
+
+class TestBasics:
+    def test_insert_get(self):
+        t = BTree(order=3)
+        t.insert(5, "a")
+        assert t.get(5) == "a"
+        assert t.get(6) is None
+        assert t.get(6, "dflt") == "dflt"
+
+    def test_contains_and_len(self):
+        t = BTree(order=3)
+        for k in range(20):
+            t.insert(k, k)
+        assert len(t) == 20
+        assert 7 in t and 99 not in t
+
+    def test_duplicate_rejected(self):
+        t = BTree(order=3)
+        t.insert(1, "a")
+        with pytest.raises(KeyError):
+            t.insert(1, "b")
+
+    def test_duplicate_rejected_even_at_split_boundary(self):
+        t = BTree(order=2)
+        for k in range(20):
+            t.insert(k, k)
+        for k in range(20):
+            with pytest.raises(KeyError):
+                t.insert(k, k)
+
+    def test_order_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            BTree(order=1)
+
+
+class TestScans:
+    @pytest.fixture
+    def tree(self):
+        t = BTree(order=3)
+        for k in [5, 1, 9, 3, 7, 2, 8, 4, 6, 0]:
+            t.insert(k, k * 10)
+        return t
+
+    def test_items_sorted(self, tree):
+        assert [k for k, _v in tree.items()] == list(range(10))
+
+    def test_items_greater_exclusive(self, tree):
+        assert [k for k, _ in tree.items_greater(4)] == [5, 6, 7, 8, 9]
+
+    def test_items_greater_inclusive(self, tree):
+        assert [k for k, _ in tree.items_greater(4, inclusive=True)] == [4, 5, 6, 7, 8, 9]
+
+    def test_items_greater_between_keys(self, tree):
+        tree2 = BTree()
+        for k in (10, 20, 30):
+            tree2.insert(k, k)
+        assert [k for k, _ in tree2.items_greater(15)] == [20, 30]
+
+    def test_items_less(self, tree):
+        assert [k for k, _ in tree.items_less(3)] == [0, 1, 2]
+        assert [k for k, _ in tree.items_less(3, inclusive=True)] == [0, 1, 2, 3]
+
+    def test_scan_payloads(self, tree):
+        assert dict(tree.items())[7] == 70
+
+
+class TestDeletion:
+    def test_delete_returns_payload(self):
+        t = BTree(order=3)
+        t.insert(1, "a")
+        assert t.delete(1) == "a"
+        assert len(t) == 0 and 1 not in t
+
+    def test_delete_missing_raises(self):
+        t = BTree(order=3)
+        t.insert(1, "a")
+        with pytest.raises(KeyError):
+            t.delete(2)
+
+    @pytest.mark.parametrize("order", [2, 3, 8])
+    def test_random_insert_delete_matches_dict(self, order):
+        rng = random.Random(order)
+        t = BTree(order=order)
+        model = {}
+        for step in range(2000):
+            k = rng.randint(0, 200)
+            if k in model and rng.random() < 0.5:
+                assert t.delete(k) == model.pop(k)
+            elif k not in model:
+                v = rng.random()
+                t.insert(k, v)
+                model[k] = v
+        assert len(t) == len(model)
+        assert list(t.items()) == sorted(model.items())
+        t.check_invariants()
+
+    def test_delete_everything(self):
+        t = BTree(order=2)
+        keys = list(range(100))
+        random.Random(9).shuffle(keys)
+        for k in keys:
+            t.insert(k, k)
+        random.Random(10).shuffle(keys)
+        for k in keys:
+            t.delete(k)
+        assert len(t) == 0
+        assert list(t.items()) == []
+
+    def test_invariants_under_growth(self):
+        t = BTree(order=2)
+        for k in range(500):
+            t.insert(k, k)
+            if k % 97 == 0:
+                t.check_invariants()
+        t.check_invariants()

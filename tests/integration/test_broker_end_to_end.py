@@ -1,0 +1,66 @@
+"""Broker end-to-end over each engine, plus a mini equilibrium run."""
+
+import pytest
+
+from repro.bench.harness import uniform_statistics_for
+from repro.core import Event, Subscription, eq, le
+from repro.matchers import MATCHER_FACTORIES, StaticMatcher
+from repro.system import PubSubBroker, QueueNotifier, VirtualClock
+from repro.workload import SubscriptionChurn, WorkloadGenerator, w0
+
+
+@pytest.mark.parametrize(
+    "engine", ["oracle", "counting", "propagation", "propagation-wp", "dynamic"]
+)
+class TestBrokerOverEngines:
+    def test_subscribe_publish_expire(self, engine):
+        clock = VirtualClock()
+        inbox = QueueNotifier()
+        broker = PubSubBroker(
+            matcher=MATCHER_FACTORIES[engine](),
+            clock=clock,
+            notifier=inbox,
+        )
+        broker.subscribe(
+            Subscription("a", [eq("movie", "gd"), le("price", 10)]), ttl=100.0
+        )
+        broker.subscribe(Subscription("b", [eq("movie", "gd")]))
+        assert sorted(broker.publish(Event({"movie": "gd", "price": 8}))) == ["a", "b"]
+        clock.advance(101)
+        assert broker.publish(Event({"movie": "gd", "price": 8})) == ["b"]
+        assert len(inbox.drain()) == 3
+
+
+class TestEquilibrium:
+    def test_churned_broker_stays_consistent(self):
+        spec = w0(n_subscriptions=300, seed=11)
+        broker = PubSubBroker()
+        churn = SubscriptionChurn(broker.matcher, churn_rate=30)
+        gen = WorkloadGenerator(spec, id_prefix="eq-")
+        churn.populate(gen)
+        for _ in range(10):
+            churn.step(gen)
+            for event in gen.events(5):
+                matched = set(broker.publish(event))
+                # verify against direct evaluation of the live population
+                live = {
+                    sid
+                    for sid, sub in broker.matcher._subs.items()
+                    if sub.is_satisfied_by(event)
+                }
+                assert matched == live
+        assert broker.subscription_count == 300
+
+
+class TestStaticBrokerRebuild:
+    def test_rebuild_mid_stream(self):
+        spec = w0(n_subscriptions=200, seed=3)
+        matcher = StaticMatcher(uniform_statistics_for(spec))
+        broker = PubSubBroker(matcher=matcher)
+        gen = WorkloadGenerator(spec)
+        broker.subscribe_batch(gen.subscriptions())
+        events = list(gen.events(10))
+        before = [sorted(broker.publish(e), key=str) for e in events]
+        matcher.rebuild()
+        after = [sorted(broker.publish(e), key=str) for e in events]
+        assert before == after

@@ -1,0 +1,100 @@
+"""Section 2.3's analytical claims, checked on the implementation.
+
+* Space cost linear in the number of predicates (bit vector = #distinct
+  predicates; clusters hold one reference per residual predicate).
+* Insertion cost close to event-matching cost (both are: evaluate /
+  intern predicates, then locate one cluster).
+* Deletions are fast because each subscription records its cluster.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.experiments.common import materialize
+from repro.bench.harness import load_subscriptions, matcher_for
+from repro.matchers import DynamicMatcher, PrefetchPropagationMatcher
+from repro.workload.scenarios import w0
+
+
+class TestSpaceLinearity:
+    def test_bitvector_is_exactly_distinct_predicates(self):
+        spec = w0(seed=0)
+        subs, _ = materialize(spec, 2000, 0)
+        m = PrefetchPropagationMatcher()
+        load_subscriptions(m, subs)
+        distinct = len({p for s in subs for p in s.predicates})
+        assert len(m.registry) == distinct
+        assert m.bits.size >= distinct
+
+    def test_cluster_storage_linear_in_predicates(self):
+        """Doubling the population at saturated predicate dedup doubles
+        cluster bytes but leaves the bit vector fixed."""
+        spec = w0(seed=0)
+        sizes = {}
+        bits = {}
+        for n in (4000, 8000):
+            subs, _ = materialize(spec, n, 0)
+            m = PrefetchPropagationMatcher()
+            load_subscriptions(m, subs)
+            total = sum(
+                lst.memory_bytes() for lst in m._lists.values()
+            )
+            sizes[n] = total
+            bits[n] = m.bits.size
+        ratio = sizes[8000] / sizes[4000]
+        assert 1.6 < ratio < 2.6
+        # predicate space saturates: 32 attrs × 35 values
+        assert bits[8000] == bits[4000]
+
+    def test_removal_returns_all_space(self):
+        spec = w0(seed=1)
+        subs, _ = materialize(spec, 1000, 0)
+        m = PrefetchPropagationMatcher()
+        load_subscriptions(m, subs)
+        for s in subs:
+            m.remove(s.id)
+        assert len(m.registry) == 0
+        assert m.cluster_list_sizes() == {}
+
+
+class TestInsertionCost:
+    """'The cost of the insertion algorithm is close to the event
+    matching cost' — within an order of magnitude, both O(predicates +
+    one cluster operation)."""
+
+    @pytest.mark.parametrize("algorithm", ["propagation-wp", "dynamic"])
+    def test_insert_within_10x_of_match(self, algorithm):
+        spec = w0(seed=2)
+        subs, events = materialize(spec, 8000, 200)
+        m = matcher_for(algorithm, spec)
+        load_subscriptions(m, subs)
+
+        extra, _ = materialize(spec, 500, 0, id_prefix="x-")
+        t0 = time.perf_counter()
+        for s in extra:
+            m.add(s)
+        insert_cost = (time.perf_counter() - t0) / len(extra)
+
+        t0 = time.perf_counter()
+        for e in events:
+            m.match(e)
+        match_cost = (time.perf_counter() - t0) / len(events)
+
+        assert insert_cost < 10 * max(match_cost, 1e-6)
+
+    def test_deletion_not_slower_than_insertion_class(self):
+        spec = w0(seed=3)
+        subs, _ = materialize(spec, 4000, 0)
+        m = DynamicMatcher()
+        load_subscriptions(m, subs)
+        t0 = time.perf_counter()
+        for s in subs[:1000]:
+            m.remove(s.id)
+        delete_cost = (time.perf_counter() - t0) / 1000
+        extra, _ = materialize(spec, 1000, 0, id_prefix="y-")
+        t0 = time.perf_counter()
+        for s in extra:
+            m.add(s)
+        insert_cost = (time.perf_counter() - t0) / 1000
+        assert delete_cost < 5 * max(insert_cost, 1e-6)

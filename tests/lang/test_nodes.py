@@ -1,0 +1,70 @@
+"""AST nodes directly: negation pushdown and DNF algebra."""
+
+import pytest
+
+from repro.core import Event, ParseError, Subscription, eq, ge, le, lt, ne
+from repro.lang import And, Leaf, Not, Or
+
+
+def leaf(p):
+    return Leaf(p)
+
+
+class TestNegation:
+    def test_leaf_negates_operator(self):
+        n = leaf(le("x", 5)).negated()
+        assert n.predicate.as_tuple() == ("x", ">", 5)
+
+    def test_and_negates_to_or(self):
+        node = And([leaf(eq("a", 1)), leaf(eq("b", 2))]).negated()
+        assert isinstance(node, Or)
+        assert [l.predicate.as_tuple() for l in node.children] == [
+            ("a", "!=", 1),
+            ("b", "!=", 2),
+        ]
+
+    def test_or_negates_to_and(self):
+        node = Or([leaf(eq("a", 1)), leaf(eq("b", 2))]).negated()
+        assert isinstance(node, And)
+
+    def test_not_negated_is_child(self):
+        inner = leaf(eq("a", 1))
+        assert Not(inner).negated() is inner
+
+
+class TestDnf:
+    def test_leaf(self):
+        assert leaf(eq("a", 1)).dnf() == [(eq("a", 1),)]
+
+    def test_and_distributes_over_or(self):
+        node = And([leaf(eq("a", 1)), Or([leaf(eq("b", 1)), leaf(eq("b", 2))])])
+        disjuncts = node.dnf()
+        assert len(disjuncts) == 2
+        assert all(eq("a", 1) in d for d in disjuncts)
+
+    def test_duplicate_predicates_merged_within_conjunct(self):
+        node = And([leaf(eq("a", 1)), leaf(eq("a", 1))])
+        assert node.dnf() == [(eq("a", 1),)]
+
+    def test_not_eliminated_before_dnf(self):
+        node = Not(And([leaf(ge("x", 5)), leaf(le("x", 9))]))
+        disjuncts = node.dnf()
+        assert len(disjuncts) == 2
+        subs = [Subscription(f"d{i}", d) for i, d in enumerate(disjuncts)]
+        hit = lambda v: any(s.is_satisfied_by(Event({"x": v})) for s in subs)
+        assert hit(4) and hit(10) and not hit(7)
+
+    def test_nested_product_size(self):
+        two = lambda a: Or([leaf(eq(a, 1)), leaf(eq(a, 2))])
+        node = And([two("a"), two("b"), two("c")])
+        assert len(node.dnf()) == 8
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ParseError):
+            And([])
+        with pytest.raises(ParseError):
+            Or([])
+
+    def test_reprs(self):
+        node = Not(And([leaf(eq("a", 1))]))
+        assert "Not" in repr(node) and "And" in repr(node) and "Leaf" in repr(node)

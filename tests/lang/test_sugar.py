@@ -1,0 +1,69 @@
+"""`in` and `between` syntactic sugar."""
+
+import pytest
+
+from repro.core import Event, ParseError, eq, ge, le
+from repro.lang import parse_subscription, parse_subscriptions
+
+
+class TestIn:
+    def test_expands_to_disjunction(self):
+        subs = parse_subscriptions("city in ('nyc', 'sf')", "u")
+        assert [s.predicates for s in subs] == [
+            (eq("city", "nyc"),),
+            (eq("city", "sf"),),
+        ]
+
+    def test_single_element_is_plain_equality(self):
+        sub = parse_subscription("x in (5)", "u")
+        assert sub.predicates == (eq("x", 5),)
+
+    def test_combines_with_conjunction(self):
+        subs = parse_subscriptions("a = 1 and b in (2, 3)", "u")
+        assert len(subs) == 2
+        assert all(eq("a", 1) in s.predicates for s in subs)
+
+    def test_not_in(self):
+        subs = parse_subscriptions("not (x in (1, 2))", "u")
+        # ¬(x=1 ∨ x=2) = x≠1 ∧ x≠2 — a single conjunction.
+        assert len(subs) == 1
+        sub = subs[0]
+        assert not sub.is_satisfied_by(Event({"x": 1}))
+        assert not sub.is_satisfied_by(Event({"x": 2}))
+        assert sub.is_satisfied_by(Event({"x": 3}))
+
+    @pytest.mark.parametrize("text", ["x in ()", "x in (1,", "x in 1"])
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_subscriptions(text, "u")
+
+
+class TestBetween:
+    def test_expands_to_inclusive_range(self):
+        sub = parse_subscription("price between 5 and 10", "u")
+        assert set(sub.predicates) == {ge("price", 5), le("price", 10)}
+
+    def test_boundaries_inclusive(self):
+        sub = parse_subscription("p between 5 and 10", "u")
+        assert sub.is_satisfied_by(Event({"p": 5}))
+        assert sub.is_satisfied_by(Event({"p": 10}))
+        assert not sub.is_satisfied_by(Event({"p": 11}))
+
+    def test_between_and_further_conjunct(self):
+        sub = parse_subscription("p between 5 and 10 and q = 1", "u")
+        assert set(sub.predicates) == {ge("p", 5), le("p", 10), eq("q", 1)}
+
+    def test_not_between(self):
+        subs = parse_subscriptions("not (p between 5 and 10)", "u")
+        assert len(subs) == 2  # p < 5 or p > 10
+        hit = lambda v: any(s.is_satisfied_by(Event({"p": v})) for s in subs)
+        assert hit(4) and hit(11) and not hit(7)
+
+    def test_string_bounds_rejected(self):
+        with pytest.raises(ParseError):
+            parse_subscription("p between 'a' and 'b'", "u")
+
+    @pytest.mark.parametrize("text", ["p between 5", "p between 5 10", "p between and"])
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_subscriptions(text, "u")

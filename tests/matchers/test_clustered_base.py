@@ -1,0 +1,96 @@
+"""Placement plumbing shared by the clustered matchers."""
+
+import pytest
+
+from repro.clustering import UniformStatistics
+from repro.core import Event, Subscription, eq, le
+from repro.core.errors import ClusteringError
+from repro.matchers import StaticMatcher
+from repro.matchers.clustered import ClusteredMatcher
+
+
+def matcher():
+    return ClusteredMatcher(UniformStatistics(default_domain=10))
+
+
+class TestPlacement:
+    def test_no_tables_means_universal(self):
+        m = matcher()
+        m.add(Subscription("s", [eq("a", 1)]))
+        # base class never creates tables on its own
+        assert m.stats()["universal_members"] == 1
+
+    def test_placement_of(self):
+        m = matcher()
+        m.config.ensure_table(("a",))
+        m.add(Subscription("s", [eq("a", 1), le("p", 5)]))
+        schema, key, size = m.placement_of("s")
+        assert schema == ("a",) and key == (1,) and size == 1
+
+    def test_move_subscription(self):
+        m = matcher()
+        m.config.ensure_table(("a",))
+        m.config.ensure_table(("a", "b"))
+        m.add(Subscription("s", [eq("a", 1), eq("b", 2), le("p", 5)]))
+        before_schema, _k, _s = m.placement_of("s")
+        target = ("a",) if before_schema != ("a",) else ("a", "b")
+        m.move_subscription("s", target)
+        schema, _key, size = m.placement_of("s")
+        assert schema == target
+        # moving must not change match results
+        assert m.match(Event({"a": 1, "b": 2, "p": 3})) == ["s"]
+
+    def test_move_to_universal(self):
+        m = matcher()
+        m.config.ensure_table(("a",))
+        m.add(Subscription("s", [eq("a", 1)]))
+        m.move_subscription("s", None)
+        assert m.stats()["universal_members"] == 1
+        assert m.match(Event({"a": 1})) == ["s"]
+
+    def test_residual_excludes_access_bits(self):
+        m = matcher()
+        m.config.ensure_table(("a", "b"))
+        m.add(Subscription("s", [eq("a", 1), eq("b", 2), le("p", 5)]))
+        _schema, _key, size = m.placement_of("s")
+        assert size == 1  # only the range predicate remains
+
+    def test_equality_residuals_before_inequalities(self):
+        m = matcher()
+        m.config.ensure_table(("a",))
+        m.add(Subscription("s", [le("p", 5), eq("a", 1), eq("b", 2)]))
+        # residual is [eq(b), le(p)] — the eq bit must come first
+        table = m.config.table(("a",))
+        lst = table.entry((1,))
+        cluster = next(iter(lst.clusters()))
+        refs = cluster.refs_of("s")
+        from repro.core import Predicate, Operator
+
+        eq_bit = m.registry.slot(eq("b", 2))
+        le_bit = m.registry.slot(le("p", 5))
+        assert refs.tolist() == [eq_bit, le_bit]
+
+    def test_table_sizes(self):
+        m = matcher()
+        m.config.ensure_table(("a",))
+        m.add(Subscription("s1", [eq("a", 1)]))
+        m.add(Subscription("s2", [eq("a", 2)]))
+        assert m.table_sizes() == {("a",): 2}
+
+    def test_displaced_table_missing_raises(self):
+        m = matcher()
+        m.config.ensure_table(("a",))
+        m.add(Subscription("s", [eq("a", 1)]))
+        m.config.drop_table(("a",))
+        with pytest.raises(ClusteringError):
+            m.remove("s")
+
+    def test_failed_place_rolls_back_predicates(self):
+        class Exploding(StaticMatcher):
+            def _place(self, sub, slots):
+                raise RuntimeError("boom")
+
+        m = Exploding(UniformStatistics())
+        with pytest.raises(RuntimeError):
+            m.add(Subscription("s", [eq("a", 1)]))
+        assert len(m.registry) == 0 and len(m) == 0

@@ -1,0 +1,98 @@
+"""Edge cases across engines: wide subscriptions, odd values, big batches."""
+
+import random
+
+import pytest
+
+from repro.bench.harness import uniform_statistics_for
+from repro.core import Event, OracleMatcher, Predicate, Operator, Subscription, eq, le
+from repro.matchers import MATCHER_FACTORIES
+from repro.workload import w0
+
+ENGINES = [n for n in sorted(MATCHER_FACTORIES) if n != "oracle"]
+
+
+def build(engine):
+    if engine == "static":
+        return MATCHER_FACTORIES[engine](uniform_statistics_for(w0()))
+    return MATCHER_FACTORIES[engine]()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestWideSubscriptions:
+    def test_twenty_predicate_subscription(self, engine):
+        """Beyond the paper's ten-or-fewer specialized methods: the
+        generic path must handle arbitrarily wide conjunctions."""
+        m = build(engine)
+        preds = [eq(f"w{i:02d}", i) for i in range(10)]
+        preds += [le(f"r{i:02d}", 100 + i) for i in range(10)]
+        m.add(Subscription("wide", preds))
+        full = {f"w{i:02d}": i for i in range(10)}
+        full.update({f"r{i:02d}": 50 for i in range(10)})
+        assert m.match(Event(full)) == ["wide"]
+        # one miss anywhere kills it
+        broken = dict(full)
+        broken["w05"] = 99
+        assert m.match(Event(broken)) == []
+
+    def test_mixed_sizes_same_access_attribute(self, engine):
+        m = build(engine)
+        for size in range(1, 8):
+            preds = [eq("shared", 1)] + [le(f"x{i}", 10) for i in range(size - 1)]
+            m.add(Subscription(f"s{size}", preds))
+        payload = {"shared": 1}
+        payload.update({f"x{i}": 5 for i in range(7)})
+        got = m.match(Event(payload))
+        assert sorted(got) == [f"s{n}" for n in range(1, 8)]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestValueEdgeCases:
+    def test_negative_and_zero_values(self, engine):
+        m = build(engine)
+        m.add(Subscription("neg", [le("t", -10)]))
+        m.add(Subscription("zero", [eq("t", 0)]))
+        assert m.match(Event({"t": -20})) == ["neg"]
+        assert m.match(Event({"t": 0})) == ["zero"]
+
+    def test_float_boundaries(self, engine):
+        m = build(engine)
+        m.add(Subscription("s", [le("p", 0.1)]))
+        assert m.match(Event({"p": 0.1})) == ["s"]
+        assert m.match(Event({"p": 0.10000001})) == []
+
+    def test_unicode_attributes_and_values(self, engine):
+        m = build(engine)
+        m.add(Subscription("s", [eq("ville", "Zürich"), le("prix", 100)]))
+        assert m.match(Event({"ville": "Zürich", "prix": 50})) == ["s"]
+        assert m.match(Event({"ville": "Genève", "prix": 50})) == []
+
+    def test_large_integer_values(self, engine):
+        m = build(engine)
+        big = 10**15
+        m.add(Subscription("s", [le("n", big)]))
+        assert m.match(Event({"n": big - 1})) == ["s"]
+        assert m.match(Event({"n": big + 1})) == []
+
+
+class TestCrossEngineFuzzWideEvents:
+    def test_agreement_on_wide_events(self, rng):
+        """64-attribute events over many-predicate subscriptions."""
+        attrs = [f"q{i:02d}" for i in range(64)]
+        oracle = OracleMatcher()
+        engines = {name: build(name) for name in ("counting", "propagation-wp", "dynamic")}
+        for i in range(150):
+            chosen = rng.sample(attrs, rng.randint(1, 12))
+            preds = [
+                Predicate(a, rng.choice(list(Operator)), rng.randint(1, 6))
+                for a in chosen
+            ]
+            sub = Subscription(f"s{i}", preds)
+            oracle.add(sub)
+            for m in engines.values():
+                m.add(sub)
+        for _ in range(25):
+            e = Event({a: rng.randint(1, 6) for a in attrs})
+            expected = sorted(oracle.match(e), key=str)
+            for name, m in engines.items():
+                assert sorted(m.match(e), key=str) == expected, name

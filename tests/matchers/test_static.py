@@ -1,0 +1,89 @@
+"""The static matcher: greedy plan, rebuild, frozen-plan inserts."""
+
+import pytest
+
+from repro.clustering import UniformStatistics
+from repro.core import Event, Subscription, eq, le
+from repro.matchers import StaticMatcher
+
+
+def build(n=80):
+    m = StaticMatcher(UniformStatistics(default_domain=10))
+    subs = []
+    for i in range(n):
+        s = Subscription(
+            f"s{i}",
+            [eq("f1", i % 10), eq("f2", i % 7), eq(f"x{i % 4}", i % 10), le("p", i)],
+        )
+        subs.append(s)
+        m.add(s)
+    return m, subs
+
+
+class TestPrePlan:
+    def test_natural_clustering_before_rebuild(self):
+        m, _subs = build(10)
+        assert m.plan is None
+        # everything clustered under singleton schemas
+        assert all(len(s) == 1 for s in m.table_sizes())
+
+    def test_matching_correct_before_rebuild(self):
+        m, subs = build(20)
+        event = Event({"f1": 3, "f2": 3, "x3": 3, "p": 100})
+        expected = sorted(s.id for s in subs if s.is_satisfied_by(event))
+        assert sorted(m.match(event)) == expected
+
+
+class TestRebuild:
+    def test_rebuild_creates_pair_table(self):
+        m, _ = build()
+        plan = m.rebuild()
+        assert ("f1", "f2") in plan.schemas
+        assert m.table_sizes().get(("f1", "f2"), 0) > 0
+
+    def test_rebuild_preserves_matching(self):
+        m, subs = build()
+        events = [
+            Event({"f1": i % 10, "f2": i % 7, "x1": 5, "x2": 3, "p": 50})
+            for i in range(12)
+        ]
+        before = [sorted(m.match(e)) for e in events]
+        m.rebuild()
+        after = [sorted(m.match(e)) for e in events]
+        assert before == after
+
+    def test_add_after_rebuild_uses_plan(self):
+        m, _ = build()
+        m.rebuild()
+        m.add(Subscription("new", [eq("f1", 1), eq("f2", 2), le("p", 5)]))
+        schema, _key, _size = m.placement_of("new")
+        assert schema == ("f1", "f2")
+
+    def test_rebuild_twice_stable(self):
+        m, _ = build()
+        p1 = m.rebuild()
+        p2 = m.rebuild()
+        assert set(p1.schemas) == set(p2.schemas)
+
+    def test_remove_after_rebuild(self):
+        m, subs = build(30)
+        m.rebuild()
+        for s in subs[:10]:
+            m.remove(s.id)
+        assert len(m) == 20
+        event = Event({"f1": 3, "f2": 3, "x3": 3, "p": 100})
+        expected = sorted(s.id for s in subs[10:] if s.is_satisfied_by(event))
+        assert sorted(m.match(event)) == expected
+
+    def test_stats_report_plan(self):
+        m, _ = build()
+        m.rebuild()
+        stats = m.stats()
+        assert "plan_schemas" in stats and "plan_matching_cost" in stats
+
+    def test_no_equality_subscription_universal(self):
+        m = StaticMatcher(UniformStatistics())
+        m.add(Subscription("r", [le("p", 10)]))
+        m.rebuild()
+        assert m.match(Event({"p": 5})) == ["r"]
+        assert m.stats()["universal_members"] == 1

@@ -1,0 +1,39 @@
+"""Hypothesis strategies for the publish/subscribe domain."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import Event, Operator, Predicate, Subscription
+
+#: Small shared attribute pool so predicates collide (exercising dedup).
+ATTRIBUTES = st.sampled_from(["a", "b", "c", "d", "e"])
+
+#: Small value domain so events actually satisfy predicates.
+VALUES = st.integers(min_value=0, max_value=8)
+
+OPERATORS = st.sampled_from(list(Operator))
+
+
+@st.composite
+def predicates(draw) -> Predicate:
+    """A random numeric predicate."""
+    return Predicate(draw(ATTRIBUTES), draw(OPERATORS), draw(VALUES))
+
+
+@st.composite
+def subscriptions(draw, sub_id=None) -> Subscription:
+    """A random subscription of 1–5 predicates."""
+    preds = draw(st.lists(predicates(), min_size=1, max_size=5))
+    if sub_id is None:
+        sub_id = draw(st.integers(min_value=0, max_value=10**9))
+    return Subscription(sub_id, preds)
+
+
+@st.composite
+def events(draw) -> Event:
+    """A random event over a subset of the attribute pool."""
+    attrs = draw(
+        st.lists(ATTRIBUTES, min_size=1, max_size=5, unique=True)
+    )
+    return Event({a: draw(VALUES) for a in attrs})

@@ -1,0 +1,88 @@
+"""Stateful property test: the broker against a transparent model."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.system import PubSubBroker, QueueNotifier, VirtualClock
+from tests.properties.strategies import events, subscriptions
+
+
+class BrokerMachine(RuleBasedStateMachine):
+    """Broker vs a dict-of-subscriptions + list-of-events model.
+
+    Checks, after every operation: publish returns exactly the model's
+    satisfied live subscriptions; expiry removes exactly the timed-out
+    ones; retro-matching on subscribe notifies exactly the valid stored
+    events the subscription satisfies.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.clock = VirtualClock()
+        self.inbox = QueueNotifier()
+        self.broker = PubSubBroker(
+            clock=self.clock, notifier=self.inbox, event_retention_ttl=50.0
+        )
+        self.model_subs = {}      # id -> (subscription, expires_at or None)
+        self.model_events = []    # (event, expires_at)
+        self.counter = 0
+
+    def _live_subs(self):
+        now = self.clock.now()
+        return {
+            sid: sub
+            for sid, (sub, exp) in self.model_subs.items()
+            if exp is None or exp > now
+        }
+
+    @rule(sub=subscriptions(), ttl=st.one_of(st.none(), st.integers(1, 100)))
+    def subscribe(self, sub, ttl):
+        self.counter += 1
+        sid = f"m{self.counter}"
+        sub = type(sub)(sid, sub.predicates)
+        now = self.clock.now()
+        self.inbox.drain()
+        self.broker.subscribe(sub, ttl=ttl)
+        self.model_subs[sid] = (sub, now + ttl if ttl else None)
+        # retro notifications must match the model's valid events
+        expected = [
+            e for e, exp in self.model_events if exp > now and sub.is_satisfied_by(e)
+        ]
+        notes = self.inbox.drain()
+        assert [n.event for n in notes] == expected
+
+    @rule(event=events())
+    def publish(self, event):
+        now = self.clock.now()
+        matched = set(self.broker.publish(event))
+        expected = {
+            sid
+            for sid, sub in self._live_subs().items()
+            if sub.is_satisfied_by(event)
+        }
+        assert matched == expected
+        self.model_events.append((event, now + 50.0))
+        self.inbox.drain()
+
+    @rule(delta=st.integers(1, 40))
+    def advance_time(self, delta):
+        self.clock.advance(delta)
+
+    @rule(data=st.data())
+    def unsubscribe(self, data):
+        live = sorted(self._live_subs())
+        if not live:
+            return
+        sid = data.draw(st.sampled_from(live))
+        self.broker.unsubscribe(sid)
+        del self.model_subs[sid]
+
+    @invariant()
+    def counts_agree(self):
+        self.broker.purge_expired()
+        assert self.broker.subscription_count == len(self._live_subs())
+
+
+TestBroker = BrokerMachine.TestCase
+TestBroker.settings = settings(max_examples=20, stateful_step_count=30, deadline=None)

@@ -1,0 +1,80 @@
+"""Property tests on the cache simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, CacheSimulator
+
+ADDRESSES = st.integers(min_value=0, max_value=1 << 16)
+
+
+def small_config():
+    return CacheConfig(
+        size_bytes=8 * 32,
+        line_size=32,
+        associativity=2,
+        miss_penalty=10,
+        max_outstanding_prefetches=2,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(addresses=st.lists(ADDRESSES, max_size=200))
+def test_counting_invariants(addresses):
+    sim = CacheSimulator(small_config())
+    for a in addresses:
+        sim.access(a)
+    m = sim.metrics
+    assert m.accesses == len(addresses)
+    assert m.hits + m.misses == m.accesses
+    assert m.stall_cycles <= m.cycles
+    assert m.cycles >= m.accesses  # at least one cycle each
+
+
+@settings(max_examples=60, deadline=None)
+@given(addresses=st.lists(ADDRESSES, max_size=100))
+def test_repeat_access_always_hits(addresses):
+    sim = CacheSimulator(small_config())
+    for a in addresses:
+        sim.access(a)
+        assert sim.access(a) is True  # immediately after, always resident
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    addresses=st.lists(ADDRESSES, min_size=1, max_size=80),
+    ops=st.data(),
+)
+def test_prefetch_never_hurts_total_misses(addresses, ops):
+    """With prefetching of the exact future stream, misses can only
+    drop or stay equal versus the cold run."""
+    cold = CacheSimulator(small_config())
+    for a in addresses:
+        cold.access(a)
+
+    warm = CacheSimulator(small_config())
+    for a in addresses:
+        warm.prefetch(a)
+        warm.compute(20)
+        warm.access(a)
+    assert warm.metrics.stall_cycles <= cold.metrics.stall_cycles
+
+
+@settings(max_examples=40, deadline=None)
+@given(addresses=st.lists(ADDRESSES, max_size=60))
+def test_in_flight_bounded_by_limit(addresses):
+    cfg = small_config()
+    sim = CacheSimulator(cfg)
+    for a in addresses:
+        sim.prefetch(a)
+        assert len(sim._in_flight) <= cfg.max_outstanding_prefetches
+
+
+@settings(max_examples=40, deadline=None)
+@given(addresses=st.lists(ADDRESSES, max_size=120))
+def test_flush_resets_residency(addresses):
+    sim = CacheSimulator(small_config())
+    for a in addresses:
+        sim.access(a)
+    sim.flush()
+    assert all(not sim.resident(a) for a in addresses)

@@ -1,0 +1,90 @@
+"""Stateful invariants: matcher bookkeeping stays exact under any ops."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.clustering import DynamicParams
+from repro.matchers import (
+    CountingMatcher,
+    DynamicMatcher,
+    PrefetchPropagationMatcher,
+)
+from tests.properties.strategies import events, subscriptions
+
+
+class _MatcherMachine(RuleBasedStateMachine):
+    """Random add/remove/match interleavings; invariants checked every step."""
+
+    def make_matcher(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __init__(self):
+        super().__init__()
+        self.matcher = self.make_matcher()
+        self.live = {}
+        self.counter = 0
+
+    @rule(sub=subscriptions())
+    def add(self, sub):
+        self.counter += 1
+        sid = f"p{self.counter}"
+        sub = type(sub)(sid, sub.predicates)
+        self.matcher.add(sub)
+        self.live[sid] = sub
+
+    @rule(data=st.data())
+    def remove(self, data):
+        if not self.live:
+            return
+        sid = data.draw(st.sampled_from(sorted(self.live)))
+        removed = self.matcher.remove(sid)
+        assert removed.id == sid
+        del self.live[sid]
+
+    @rule(event=events())
+    def match(self, event):
+        got = set(self.matcher.match(event))
+        expected = {
+            sid for sid, sub in self.live.items() if sub.is_satisfied_by(event)
+        }
+        assert got == expected
+
+    @invariant()
+    def bookkeeping_exact(self):
+        assert len(self.matcher) == len(self.live)
+        self.matcher.check_invariants()
+
+
+class CountingMachine(_MatcherMachine):
+    def make_matcher(self):
+        return CountingMatcher()
+
+
+class PropagationMachine(_MatcherMachine):
+    def make_matcher(self):
+        return PrefetchPropagationMatcher()
+
+
+class DynamicMachine(_MatcherMachine):
+    def make_matcher(self):
+        # Aggressive thresholds: force the maintenance machinery to run
+        # (moves, table creation/deletion) inside the state machine.
+        return DynamicMatcher(
+            params=DynamicParams(bm_max=1.0, b_create=3, b_delete=2,
+                                 maintenance_interval=8)
+        )
+
+
+TestCountingInvariants = CountingMachine.TestCase
+TestCountingInvariants.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+TestPropagationInvariants = PropagationMachine.TestCase
+TestPropagationInvariants.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+TestDynamicInvariants = DynamicMachine.TestCase
+TestDynamicInvariants.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,86 @@
+"""Property tests on matching semantics, parsing, and satisfiability."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Event, Predicate, Subscription
+from repro.lang import parse_event, parse_subscription, parse_subscriptions
+from tests.properties.strategies import events, predicates, subscriptions
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=predicates(), e=events())
+def test_negated_predicate_complements(p, e):
+    """On present attributes, p and ¬p partition the value space."""
+    if not e.has(p.attribute):
+        return
+    negated = Predicate(p.attribute, p.operator.negate(), p.value)
+    v = e.get(p.attribute)
+    assert p.matches(v) != negated.matches(v)
+
+
+@settings(max_examples=100, deadline=None)
+@given(s=subscriptions(), e=events())
+def test_satisfaction_matches_predicate_conjunction(s, e):
+    expected = all(e.has(p.attribute) and p.matches(e.get(p.attribute)) for p in s)
+    assert s.is_satisfied_by(e) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(s=subscriptions(), e=events())
+def test_unsatisfiable_subscriptions_never_match(s, e):
+    """is_satisfiable is sound: 'unsatisfiable' really means no event."""
+    if not s.is_satisfiable():
+        assert not s.is_satisfied_by(e)
+
+
+@settings(max_examples=100, deadline=None)
+@given(s=subscriptions(sub_id="rt"))
+def test_subscription_text_roundtrip(s):
+    """Rendering a subscription and reparsing yields the same predicates."""
+    text = " and ".join(
+        f"{p.attribute} {p.operator.value} {p.value}" for p in s.predicates
+    )
+    parsed = parse_subscription(text, "rt")
+    assert set(parsed.predicates) == set(s.predicates)
+
+
+@settings(max_examples=100, deadline=None)
+@given(e=events())
+def test_event_text_roundtrip(e):
+    text = ", ".join(f"{a} = {v}" for a, v in e.items())
+    assert parse_event(text) == e
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    left=subscriptions(sub_id="L"),
+    right=subscriptions(sub_id="R"),
+    e=events(),
+)
+def test_dnf_or_is_union(left, right, e):
+    """'A or B' matches exactly when A matches or B matches."""
+    text_a = " and ".join(
+        f"{p.attribute} {p.operator.value} {p.value}" for p in left.predicates
+    )
+    text_b = " and ".join(
+        f"{p.attribute} {p.operator.value} {p.value}" for p in right.predicates
+    )
+    subs = parse_subscriptions(f"({text_a}) or ({text_b})", "u")
+    got = any(s.is_satisfied_by(e) for s in subs)
+    assert got == (left.is_satisfied_by(e) or right.is_satisfied_by(e))
+
+
+@settings(max_examples=60, deadline=None)
+@given(s=subscriptions(sub_id="N"), e=events())
+def test_not_conjunction_is_complement_when_attributes_present(s, e):
+    """Over events carrying every referenced attribute, ¬(conj) matches
+    exactly the complement of the conjunction."""
+    if not all(e.has(p.attribute) for p in s.predicates):
+        return
+    text = " and ".join(
+        f"{p.attribute} {p.operator.value} {p.value}" for p in s.predicates
+    )
+    negs = parse_subscriptions(f"not ({text})", "n")
+    got = any(n.is_satisfied_by(e) for n in negs)
+    assert got == (not s.is_satisfied_by(e))

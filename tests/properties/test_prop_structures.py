@@ -1,0 +1,122 @@
+"""Property tests on the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import BitVector, PredicateRegistry
+from repro.indexes import BTree
+from tests.properties.strategies import predicates
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """B-tree vs dict model under arbitrary insert/delete interleavings."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BTree(order=2)  # minimal order → maximal rebalancing
+        self.model = {}
+
+    keys = st.integers(min_value=0, max_value=50)
+
+    @rule(k=keys, v=st.integers())
+    def insert(self, k, v):
+        if k in self.model:
+            return
+        self.tree.insert(k, v)
+        self.model[k] = v
+
+    @rule(k=keys)
+    def delete(self, k):
+        if k not in self.model:
+            return
+        assert self.tree.delete(k) == self.model.pop(k)
+
+    @rule(k=keys)
+    def lookup(self, k):
+        assert self.tree.get(k) == self.model.get(k)
+
+    @rule(k=keys)
+    def scan_greater(self, k):
+        got = [key for key, _ in self.tree.items_greater(k)]
+        assert got == sorted(key for key in self.model if key > k)
+
+    @invariant()
+    def structure_sound(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == len(self.model)
+        assert list(self.tree.items()) == sorted(self.model.items())
+
+
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(max_examples=25, deadline=None)
+
+
+class RegistryMachine(RuleBasedStateMachine):
+    """Registry refcounts vs a counter model."""
+
+    def __init__(self):
+        super().__init__()
+        self.registry = PredicateRegistry()
+        self.counts = {}
+
+    @rule(p=predicates())
+    def intern(self, p):
+        slot, added = self.registry.intern(p)
+        expected_new = self.counts.get(p, 0) == 0
+        assert added == expected_new
+        self.counts[p] = self.counts.get(p, 0) + 1
+
+    @rule(p=predicates())
+    def release(self, p):
+        if self.counts.get(p, 0) == 0:
+            return
+        _slot, removed = self.registry.release(p)
+        self.counts[p] -= 1
+        assert removed == (self.counts[p] == 0)
+
+    @invariant()
+    def refcounts_match(self):
+        live = {p for p, c in self.counts.items() if c > 0}
+        assert set(self.registry) == live
+        for p in live:
+            assert self.registry.refcount(p) == self.counts[p]
+
+    @invariant()
+    def slots_unique(self):
+        slots = [self.registry.slot(p) for p in self.registry]
+        assert len(slots) == len(set(slots))
+
+
+TestRegistryStateful = RegistryMachine.TestCase
+TestRegistryStateful.settings = settings(max_examples=25, deadline=None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sets=st.lists(st.integers(min_value=0, max_value=500), max_size=60))
+def test_bitvector_reset_restores_zero(sets):
+    bv = BitVector()
+    bv.grow_to(501)
+    bv.set_many(sets)
+    assert set(bv.set_indexes()) == set(sets)
+    for i in sets:
+        assert bv.get(i)
+    bv.reset()
+    assert all(not bv.get(i) for i in sets)
+    assert bv.count_set() == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rounds=st.lists(
+        st.lists(st.integers(min_value=0, max_value=200), max_size=20),
+        max_size=8,
+    )
+)
+def test_bitvector_rounds_are_independent(rounds):
+    bv = BitVector()
+    bv.grow_to(201)
+    for bits in rounds:
+        bv.set_many(bits)
+        assert set(bv.set_indexes()) == set(bits)
+        bv.reset()

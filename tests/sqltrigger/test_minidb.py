@@ -1,0 +1,109 @@
+"""The universal table + trigger strawman."""
+
+import pytest
+
+from repro.core import (
+    DuplicateSubscriptionError,
+    Event,
+    OracleMatcher,
+    Subscription,
+    UnknownSubscriptionError,
+    eq,
+    ge,
+    le,
+)
+from repro.sqltrigger import TriggerMatcher, UniversalTable
+
+
+class TestUniversalTable:
+    @pytest.fixture
+    def table(self):
+        return UniversalTable(["movie", "price", "theater"])
+
+    def test_trigger_fires_on_matching_insert(self, table):
+        table.create_trigger("t1", [eq("movie", "gd"), le("price", 10)])
+        assert table.insert({"movie": "gd", "price": 8}) == ["t1"]
+
+    def test_trigger_silent_on_mismatch(self, table):
+        table.create_trigger("t1", [eq("movie", "gd"), le("price", 10)])
+        assert table.insert({"movie": "gd", "price": 20}) == []
+
+    def test_null_column_fails_condition(self, table):
+        table.create_trigger("t1", [le("price", 10)])
+        assert table.insert({"movie": "gd"}) == []
+
+    def test_action_invoked(self, table):
+        fired = []
+        table.create_trigger(
+            "t1", [eq("movie", "gd")], action=lambda name, row: fired.append(row)
+        )
+        table.insert({"movie": "gd"})
+        assert fired == [{"movie": "gd"}]
+
+    def test_every_trigger_evaluated(self, table):
+        for i in range(10):
+            table.create_trigger(f"t{i}", [ge("price", i)])
+        fired = table.insert({"price": 4})
+        assert sorted(fired) == [f"t{i}" for i in range(5)]
+
+    def test_duplicate_trigger_rejected(self, table):
+        table.create_trigger("t1", [eq("movie", "gd")])
+        with pytest.raises(DuplicateSubscriptionError):
+            table.create_trigger("t1", [eq("movie", "x")])
+
+    def test_unknown_column_in_condition_rejected(self, table):
+        with pytest.raises(KeyError):
+            table.create_trigger("t1", [eq("bogus", 1)])
+
+    def test_unknown_column_in_insert_rejected(self, table):
+        with pytest.raises(KeyError):
+            table.insert({"bogus": 1})
+
+    def test_drop_trigger(self, table):
+        table.create_trigger("t1", [eq("movie", "gd")])
+        table.drop_trigger("t1")
+        assert table.insert({"movie": "gd"}) == []
+        with pytest.raises(UnknownSubscriptionError):
+            table.drop_trigger("t1")
+
+    def test_row_storage_optional(self, table):
+        table.insert({"movie": "gd"})
+        assert table.row_count == 0
+        table.insert({"movie": "gd"}, store=True)
+        assert table.row_count == 1
+
+    def test_insert_event(self, table):
+        table.create_trigger("t1", [eq("movie", "gd")])
+        assert table.insert_event(Event({"movie": "gd", "price": 3})) == ["t1"]
+
+
+class TestTriggerMatcher:
+    def test_agrees_with_oracle(self, rng):
+        from tests.conftest import make_event, make_subscription
+
+        oracle, trig = OracleMatcher(), TriggerMatcher()
+        subs = [make_subscription(rng, f"s{i}") for i in range(100)]
+        for s in subs:
+            oracle.add(s)
+            trig.add(s)
+        for _ in range(30):
+            e = make_event(rng)
+            assert sorted(trig.match(e), key=str) == sorted(oracle.match(e), key=str)
+
+    def test_schema_grows_on_demand(self):
+        trig = TriggerMatcher()
+        trig.add(Subscription("a", [eq("x", 1)]))
+        trig.add(Subscription("b", [eq("brand_new", 2)]))
+        assert sorted(trig.match(Event({"x": 1, "brand_new": 2}))) == ["a", "b"]
+
+    def test_remove(self):
+        trig = TriggerMatcher()
+        trig.add(Subscription("a", [eq("x", 1)]))
+        trig.remove("a")
+        assert trig.match(Event({"x": 1})) == []
+        assert len(trig) == 0
+
+    def test_non_string_ids_preserved(self):
+        trig = TriggerMatcher()
+        trig.add(Subscription(42, [eq("x", 1)]))
+        assert trig.match(Event({"x": 1})) == [42]

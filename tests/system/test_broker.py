@@ -1,0 +1,150 @@
+"""The publish/subscribe broker: validity intervals, notifications."""
+
+import pytest
+
+from repro.core import (
+    Event,
+    OracleMatcher,
+    Subscription,
+    UnknownSubscriptionError,
+    eq,
+    le,
+)
+from repro.core.errors import ExpiredError, InvalidSubscriptionError
+from repro.system import PubSubBroker, QueueNotifier, VirtualClock
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def inbox():
+    return QueueNotifier()
+
+
+@pytest.fixture
+def broker(clock, inbox):
+    return PubSubBroker(clock=clock, notifier=inbox, event_retention_ttl=100.0)
+
+
+class TestSubscribe:
+    def test_subscription_object(self, broker):
+        sid = broker.subscribe(Subscription("alice", [eq("x", 1)]))
+        assert sid == "alice" and broker.subscription_count == 1
+
+    def test_bare_predicates_get_auto_id(self, broker):
+        sid = broker.subscribe([eq("x", 1), le("y", 5)])
+        assert sid.startswith("sub-")
+
+    def test_empty_predicates_rejected(self, broker):
+        with pytest.raises(InvalidSubscriptionError):
+            broker.subscribe([])
+
+    def test_bad_ttl_rejected(self, broker):
+        with pytest.raises(ExpiredError):
+            broker.subscribe([eq("x", 1)], ttl=0)
+
+    def test_unsubscribe(self, broker):
+        broker.subscribe(Subscription("a", [eq("x", 1)]))
+        sub = broker.unsubscribe("a")
+        assert sub.id == "a" and broker.subscription_count == 0
+
+    def test_unsubscribe_unknown(self, broker):
+        with pytest.raises(UnknownSubscriptionError):
+            broker.unsubscribe("nope")
+
+    def test_subscribe_batch(self, broker):
+        ids = broker.subscribe_batch(
+            [Subscription(f"s{i}", [eq("x", i)]) for i in range(5)]
+        )
+        assert len(ids) == 5 and broker.subscription_count == 5
+
+
+class TestPublish:
+    def test_publish_matches_and_notifies(self, broker, inbox):
+        broker.subscribe(Subscription("a", [eq("x", 1)]))
+        matched = broker.publish(Event({"x": 1}))
+        assert matched == ["a"]
+        notes = inbox.drain()
+        assert len(notes) == 1 and notes[0].sub_id == "a"
+
+    def test_publish_batch(self, broker):
+        broker.subscribe(Subscription("a", [eq("x", 1)]))
+        results = broker.publish_batch([Event({"x": 1}), Event({"x": 2})])
+        assert results == [["a"], []]
+
+    def test_counters(self, broker):
+        broker.subscribe(Subscription("a", [eq("x", 1)]))
+        broker.publish(Event({"x": 1}))
+        c = broker.stats()["counters"]
+        assert c["published"] == 1 and c["subscribed"] == 1 and c["notifications"] == 1
+
+
+class TestValidityIntervals:
+    def test_subscription_expires(self, broker, clock):
+        broker.subscribe(Subscription("a", [eq("x", 1)]), ttl=10.0)
+        assert broker.publish(Event({"x": 1})) == ["a"]
+        clock.advance(11)
+        assert broker.publish(Event({"x": 1})) == []
+        assert broker.counters["expired_subscriptions"] == 1
+
+    def test_default_subscription_ttl(self, clock):
+        broker = PubSubBroker(clock=clock, default_subscription_ttl=5.0)
+        broker.subscribe(Subscription("a", [eq("x", 1)]))
+        clock.advance(6)
+        assert broker.publish(Event({"x": 1})) == []
+
+    def test_explicit_unsubscribe_before_expiry_is_safe(self, broker, clock):
+        broker.subscribe(Subscription("a", [eq("x", 1)]), ttl=10.0)
+        broker.unsubscribe("a")
+        clock.advance(11)
+        broker.purge_expired()  # stale heap entry must not blow up
+        assert broker.subscription_count == 0
+
+    def test_event_retention_and_expiry(self, broker, clock):
+        broker.publish(Event({"x": 1}))
+        assert broker.retained_event_count == 1
+        clock.advance(101)
+        broker.purge_expired()
+        assert broker.retained_event_count == 0
+
+    def test_no_retention_by_default(self, clock):
+        broker = PubSubBroker(clock=clock)
+        broker.publish(Event({"x": 1}))
+        assert broker.retained_event_count == 0
+
+
+class TestRetroMatching:
+    def test_new_subscription_sees_valid_events(self, broker, inbox, clock):
+        broker.publish(Event({"x": 1}))
+        clock.advance(50)
+        broker.subscribe(Subscription("late", [eq("x", 1)]))
+        notes = inbox.drain()
+        assert [n.sub_id for n in notes] == ["late"]
+
+    def test_expired_events_not_retro_matched(self, broker, inbox, clock):
+        broker.publish(Event({"x": 1}))
+        clock.advance(200)
+        broker.subscribe(Subscription("late", [eq("x", 1)]))
+        assert inbox.drain() == []
+
+    def test_retro_matching_can_be_disabled(self, broker, inbox):
+        broker.publish(Event({"x": 1}))
+        broker.subscribe(Subscription("late", [eq("x", 1)]), notify_retained=False)
+        assert inbox.drain() == []
+
+    def test_per_publish_ttl_override(self, clock, inbox):
+        broker = PubSubBroker(clock=clock, notifier=inbox)
+        broker.publish(Event({"x": 1}), ttl=30.0)
+        broker.subscribe(Subscription("late", [eq("x", 1)]))
+        assert [n.sub_id for n in inbox.drain()] == ["late"]
+
+
+class TestPluggableMatcher:
+    def test_custom_matcher(self, clock):
+        broker = PubSubBroker(matcher=OracleMatcher(), clock=clock)
+        broker.subscribe(Subscription("a", [eq("x", 1)]))
+        assert broker.publish(Event({"x": 1})) == ["a"]
+        assert broker.stats()["matcher"]["name"] == "oracle"

@@ -1,0 +1,103 @@
+"""Clocks, the event store and notification sinks."""
+
+import pytest
+
+from repro.core import Event
+from repro.system import (
+    CallbackNotifier,
+    EventStore,
+    FanoutNotifier,
+    Notification,
+    NullNotifier,
+    QueueNotifier,
+    SystemClock,
+    VirtualClock,
+)
+
+
+class TestClocks:
+    def test_system_clock_monotone(self):
+        c = SystemClock()
+        assert c.now() <= c.now()
+
+    def test_virtual_clock_advance(self):
+        c = VirtualClock(10.0)
+        assert c.now() == 10.0
+        assert c.advance(5) == 15.0
+
+    def test_virtual_clock_set(self):
+        c = VirtualClock()
+        c.set(100.0)
+        assert c.now() == 100.0
+
+    def test_no_time_travel(self):
+        c = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            c.advance(-1)
+        with pytest.raises(ValueError):
+            c.set(5.0)
+
+
+class TestEventStore:
+    def test_add_and_valid(self):
+        store = EventStore()
+        store.add(Event({"a": 1}), expires_at=10.0)
+        store.add(Event({"b": 2}), expires_at=20.0)
+        assert len(store) == 2
+        assert [e for e in store.valid_events(15.0)] == [Event({"b": 2})]
+
+    def test_purge(self):
+        store = EventStore()
+        store.add(Event({"a": 1}), 10.0)
+        store.add(Event({"b": 2}), 20.0)
+        assert store.purge(10.0) == 1
+        assert len(store) == 1
+
+    def test_purge_boundary_inclusive(self):
+        store = EventStore()
+        store.add(Event({"a": 1}), 10.0)
+        assert store.purge(10.0) == 1
+
+    def test_publication_order_preserved(self):
+        store = EventStore()
+        for i in range(5):
+            store.add(Event({"n": i}), 100.0)
+        assert [e["n"] for e in store.valid_events(0.0)] == [0, 1, 2, 3, 4]
+
+
+class TestNotifiers:
+    def _note(self):
+        return Notification("s1", Event({"a": 1}), 0.0)
+
+    def test_queue_drains_in_order(self):
+        q = QueueNotifier()
+        q.deliver(self._note())
+        q.deliver(Notification("s2", Event({"a": 2}), 1.0))
+        drained = q.drain()
+        assert [n.sub_id for n in drained] == ["s1", "s2"]
+        assert len(q) == 0 and q.drain() == []
+
+    def test_queue_maxlen_drops_oldest(self):
+        q = QueueNotifier(maxlen=2)
+        for i in range(5):
+            q.deliver(Notification(f"s{i}", Event({"a": 1}), 0.0))
+        assert [n.sub_id for n in q.drain()] == ["s3", "s4"]
+
+    def test_callback(self):
+        seen = []
+        CallbackNotifier(seen.append).deliver(self._note())
+        assert seen[0].sub_id == "s1"
+
+    def test_null_discards(self):
+        NullNotifier().deliver(self._note())  # must not raise
+
+    def test_fanout(self):
+        q1, q2 = QueueNotifier(), QueueNotifier()
+        f = FanoutNotifier([q1, q2])
+        f.deliver(self._note())
+        assert len(q1) == 1 and len(q2) == 1
+
+    def test_deliver_all(self):
+        q = QueueNotifier()
+        n = q.deliver_all([self._note(), self._note()])
+        assert n == 2 and len(q) == 2

@@ -1,0 +1,73 @@
+"""Formula (DNF) subscriptions at the broker level."""
+
+import pytest
+
+from repro.core import Event, UnknownSubscriptionError
+from repro.system import PubSubBroker, QueueNotifier, VirtualClock
+
+
+@pytest.fixture
+def broker():
+    return PubSubBroker(
+        clock=VirtualClock(), notifier=QueueNotifier(), event_retention_ttl=100.0
+    )
+
+
+class TestFormulaMatching:
+    def test_or_matches_either_branch(self, broker):
+        broker.subscribe_formula("genre = comedy or genre = drama", "fan")
+        assert broker.publish(Event({"genre": "comedy"})) == ["fan"]
+        assert broker.publish(Event({"genre": "drama"})) == ["fan"]
+        assert broker.publish(Event({"genre": "horror"})) == []
+
+    def test_one_notification_when_both_branches_match(self, broker):
+        broker.subscribe_formula("price <= 10 or price <= 20", "dedup")
+        matched = broker.publish(Event({"price": 5}))  # both disjuncts fire
+        assert matched == ["dedup"]
+        assert len(broker.notifier.drain()) == 1
+
+    def test_logical_id_returned_not_disjunct_ids(self, broker):
+        sid = broker.subscribe_formula("a = 1 or b = 2", "logical")
+        assert sid == "logical"
+        assert broker.publish(Event({"a": 1, "b": 2})) == ["logical"]
+
+    def test_auto_id(self, broker):
+        sid = broker.subscribe_formula("a = 1 or b = 2")
+        assert sid.startswith("sub-")
+
+    def test_mixed_with_plain_subscriptions(self, broker):
+        from repro.core import Subscription, eq
+
+        broker.subscribe(Subscription("plain", [eq("a", 1)]))
+        broker.subscribe_formula("a = 1 or b = 2", "formula")
+        assert sorted(broker.publish(Event({"a": 1}))) == ["formula", "plain"]
+
+
+class TestFormulaLifecycle:
+    def test_unsubscribe_removes_all_disjuncts(self, broker):
+        broker.subscribe_formula("a = 1 or b = 2", "f")
+        broker.unsubscribe("f")
+        assert broker.publish(Event({"a": 1})) == []
+        assert broker.publish(Event({"b": 2})) == []
+
+    def test_unsubscribe_unknown_formula(self, broker):
+        with pytest.raises(UnknownSubscriptionError):
+            broker.unsubscribe("ghost")
+
+    def test_formula_ttl(self, broker):
+        broker.subscribe_formula("a = 1 or b = 2", "f", ttl=10.0)
+        assert broker.publish(Event({"a": 1})) == ["f"]
+        broker.clock.advance(11)
+        assert broker.publish(Event({"a": 1})) == []
+
+    def test_retro_match_deduplicated(self, broker):
+        broker.publish(Event({"a": 1, "b": 2}))  # satisfies both branches
+        broker.notifier.drain()
+        broker.subscribe_formula("a = 1 or b = 2", "late")
+        notes = broker.notifier.drain()
+        assert [n.sub_id for n in notes] == ["late"]
+
+    def test_not_formula(self, broker):
+        broker.subscribe_formula("not (price <= 10)", "expensive")
+        assert broker.publish(Event({"price": 50})) == ["expensive"]
+        assert broker.publish(Event({"price": 5})) == []

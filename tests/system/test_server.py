@@ -1,0 +1,106 @@
+"""The loopback batch server."""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    DuplicateSubscriptionError,
+    Event,
+    Subscription,
+    eq,
+    le,
+)
+from repro.system.server import BatchReply, BatchServer, ServerClosedError
+
+
+@pytest.fixture
+def server():
+    srv = BatchServer()
+    yield srv
+    srv.close()
+
+
+class TestBatches:
+    def test_subscribe_then_publish(self, server):
+        reply = server.submit_subscriptions(
+            [
+                Subscription("a", [eq("x", 1)]),
+                Subscription("b", [eq("x", 1), le("y", 5)]),
+            ]
+        )
+        assert reply.results == 2
+        out = server.submit_events([Event({"x": 1, "y": 3}), Event({"x": 2})])
+        assert [sorted(r) for r in out.results] == [["a", "b"], []]
+
+    def test_timings_populated(self, server):
+        server.submit_subscriptions([Subscription("a", [eq("x", 1)])])
+        reply = server.submit_events([Event({"x": 1})] * 50)
+        assert isinstance(reply, BatchReply)
+        assert reply.processing_seconds > 0
+        assert reply.round_trip_seconds >= reply.processing_seconds
+
+    def test_unsubscribe_batch(self, server):
+        server.submit_subscriptions(
+            [Subscription(f"s{i}", [eq("x", i)]) for i in range(5)]
+        )
+        reply = server.submit_unsubscriptions(["s0", "s3"])
+        assert reply.results == ["s0", "s3"]
+        out = server.submit_events([Event({"x": 0}), Event({"x": 1})])
+        assert out.results == [[], ["s1"]]
+
+    def test_errors_propagate_to_client(self, server):
+        server.submit_subscriptions([Subscription("a", [eq("x", 1)])])
+        with pytest.raises(DuplicateSubscriptionError):
+            server.submit_subscriptions([Subscription("a", [eq("x", 2)])])
+        # server keeps serving afterwards
+        out = server.submit_events([Event({"x": 1})])
+        assert out.results == [["a"]]
+
+    def test_custom_matcher(self):
+        from repro.core import OracleMatcher
+
+        with BatchServer(matcher=OracleMatcher()) as srv:
+            srv.submit_subscriptions([Subscription("a", [eq("x", 1)])])
+            assert srv.submit_events([Event({"x": 1})]).results == [["a"]]
+
+
+class TestLifecycle:
+    def test_close_idempotent(self):
+        srv = BatchServer()
+        srv.close()
+        srv.close()
+
+    def test_submit_after_close_rejected(self):
+        srv = BatchServer()
+        srv.close()
+        with pytest.raises(ServerClosedError):
+            srv.submit_events([Event({"x": 1})])
+
+    def test_context_manager(self):
+        with BatchServer() as srv:
+            srv.submit_subscriptions([Subscription("a", [eq("x", 1)])])
+        with pytest.raises(ServerClosedError):
+            srv.submit_events([Event({"x": 1})])
+
+    def test_concurrent_clients_serialized_safely(self, server):
+        server.submit_subscriptions(
+            [Subscription(f"s{i}", [eq("x", i % 4)]) for i in range(40)]
+        )
+        errors = []
+
+        def client(k):
+            try:
+                for i in range(30):
+                    reply = server.submit_events([Event({"x": (k + i) % 4})])
+                    (matched,) = reply.results
+                    assert all(m.startswith("s") for m in matched)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

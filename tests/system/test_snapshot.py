@@ -1,0 +1,105 @@
+"""Broker snapshot save/restore."""
+
+import io
+
+import pytest
+
+from repro.core import Event, Subscription, eq, le
+from repro.system import PubSubBroker, QueueNotifier, VirtualClock
+from repro.system.snapshot import SnapshotError, load_snapshot, save_snapshot
+
+
+def fresh(clock=None):
+    return PubSubBroker(
+        clock=clock or VirtualClock(), notifier=QueueNotifier(),
+        event_retention_ttl=50.0,
+    )
+
+
+class TestRoundTrip:
+    def test_plain_subscriptions(self):
+        src = fresh()
+        src.subscribe(Subscription("a", [eq("x", 1)]))
+        src.subscribe(Subscription("b", [eq("y", 2), le("z", 5)]))
+        buf = io.StringIO()
+        assert save_snapshot(src, buf) == 2
+        buf.seek(0)
+        dst = fresh()
+        assert load_snapshot(dst, buf) == 2
+        assert sorted(dst.publish(Event({"x": 1, "y": 2, "z": 3}))) == ["a", "b"]
+
+    def test_ttls_resume_relative(self):
+        src_clock = VirtualClock(1000.0)
+        src = fresh(src_clock)
+        src.subscribe(Subscription("short", [eq("x", 1)]), ttl=30.0)
+        src_clock.advance(10)  # 20 s remaining
+        buf = io.StringIO()
+        save_snapshot(src, buf)
+        buf.seek(0)
+        dst_clock = VirtualClock(0.0)
+        dst = fresh(dst_clock)
+        load_snapshot(dst, buf)
+        dst_clock.advance(15)
+        assert dst.publish(Event({"x": 1})) == ["short"]
+        dst_clock.advance(6)  # past the 20 s remainder
+        assert dst.publish(Event({"x": 1})) == []
+
+    def test_expired_not_persisted(self):
+        clock = VirtualClock()
+        src = fresh(clock)
+        src.subscribe(Subscription("gone", [eq("x", 1)]), ttl=5.0)
+        clock.advance(6)
+        buf = io.StringIO()
+        assert save_snapshot(src, buf) == 0
+
+    def test_formula_identity_survives(self):
+        src = fresh()
+        src.subscribe_formula("a = 1 or b = 2", "logical")
+        buf = io.StringIO()
+        save_snapshot(src, buf)
+        buf.seek(0)
+        dst = fresh()
+        load_snapshot(dst, buf)
+        assert dst.publish(Event({"a": 1, "b": 2})) == ["logical"]
+        dst.unsubscribe("logical")
+        assert dst.publish(Event({"a": 1})) == []
+
+    def test_no_retro_notifications_on_restore(self):
+        src = fresh()
+        src.subscribe(Subscription("a", [eq("x", 1)]))
+        buf = io.StringIO()
+        save_snapshot(src, buf)
+        buf.seek(0)
+        dst = fresh()
+        dst.publish(Event({"x": 1}))  # retained event pre-restore
+        dst.notifier.drain()
+        load_snapshot(dst, buf)
+        assert dst.notifier.drain() == []
+
+
+class TestValidation:
+    def test_restore_requires_empty_broker(self):
+        src = fresh()
+        src.subscribe(Subscription("a", [eq("x", 1)]))
+        buf = io.StringIO()
+        save_snapshot(src, buf)
+        buf.seek(0)
+        dst = fresh()
+        dst.subscribe(Subscription("pre", [eq("q", 1)]))
+        with pytest.raises(SnapshotError):
+            load_snapshot(dst, buf)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "",
+            "not json\n",
+            '{"type": "something-else"}\n',
+            '{"type": "repro-broker-snapshot", "version": 99}\n',
+            '{"type": "repro-broker-snapshot", "version": 1}\n{"type": "weird"}\n',
+            '{"type": "repro-broker-snapshot", "version": 1}\nnot json\n',
+        ],
+    )
+    def test_malformed_rejected(self, payload):
+        with pytest.raises(SnapshotError):
+            load_snapshot(fresh(), io.StringIO(payload))

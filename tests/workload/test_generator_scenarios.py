@@ -1,0 +1,180 @@
+"""Workload generator behaviour and the paper's W0–W6 presets."""
+
+import pytest
+
+from repro.core import Operator
+from repro.workload import (
+    FixedPredicateSpec,
+    WorkloadGenerator,
+    WorkloadSpec,
+    attribute_name,
+    paper_workloads,
+    w0,
+    w1,
+    w2,
+    w3,
+    w4,
+    w5,
+    w6,
+)
+
+
+class TestGenerator:
+    def _spec(self, **kw):
+        defaults = dict(
+            n_attributes=8,
+            n_subscriptions=50,
+            predicates_per_subscription=3,
+            fixed_predicates=(FixedPredicateSpec("attr00", Operator.EQ),),
+            attributes_per_event=8,
+            n_events=20,
+            value_low=1,
+            value_high=5,
+            event_value_low=1,
+            event_value_high=5,
+        )
+        defaults.update(kw)
+        return WorkloadSpec(**defaults)
+
+    def test_counts(self):
+        gen = WorkloadGenerator(self._spec())
+        assert len(list(gen.subscriptions())) == 50
+        assert len(list(gen.events())) == 20
+
+    def test_fixed_predicate_present_with_operator(self):
+        gen = WorkloadGenerator(self._spec())
+        for sub in gen.subscriptions(20):
+            fixed = [p for p in sub.predicates if p.attribute == "attr00"]
+            assert len(fixed) == 1 and fixed[0].operator is Operator.EQ
+
+    def test_free_predicates_distinct_attributes(self):
+        gen = WorkloadGenerator(self._spec())
+        for sub in gen.subscriptions(20):
+            attrs = [p.attribute for p in sub.predicates]
+            assert len(set(attrs)) == len(attrs)
+            assert len(attrs) == 3
+
+    def test_values_within_domain(self):
+        gen = WorkloadGenerator(self._spec())
+        for sub in gen.subscriptions(30):
+            for p in sub.predicates:
+                assert 1 <= p.value <= 5
+        for e in gen.events(30):
+            assert all(1 <= v <= 5 for _a, v in e.items())
+
+    def test_domain_override_respected(self):
+        spec = self._spec(
+            predicate_domain_overrides={"attr00": (9, 9)},
+            value_low=1,
+            value_high=5,
+        )
+        gen = WorkloadGenerator(spec)
+        for sub in gen.subscriptions(10):
+            fixed = [p for p in sub.predicates if p.attribute == "attr00"][0]
+            assert fixed.value == 9
+
+    def test_pool_restriction(self):
+        pool = tuple(attribute_name(i) for i in range(4))
+        spec = self._spec(subscription_attribute_pool=pool)
+        gen = WorkloadGenerator(spec)
+        for sub in gen.subscriptions(30):
+            assert sub.attributes <= set(pool)
+
+    def test_operator_mix_sampled(self):
+        spec = self._spec(free_operator_weights={"<=": 1.0, ">=": 1.0})
+        gen = WorkloadGenerator(spec)
+        ops = set()
+        for sub in gen.subscriptions(50):
+            for p in sub.predicates:
+                if p.attribute != "attr00":
+                    ops.add(p.operator)
+        assert ops == {Operator.LE, Operator.GE}
+
+    def test_event_attribute_count(self):
+        spec = self._spec(attributes_per_event=5)
+        gen = WorkloadGenerator(spec)
+        assert all(len(e) == 5 for e in gen.events(10))
+
+    def test_determinism(self):
+        spec = self._spec()
+        a = [s.predicates for s in WorkloadGenerator(spec).subscriptions(10)]
+        b = [s.predicates for s in WorkloadGenerator(spec).subscriptions(10)]
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = [s.predicates for s in WorkloadGenerator(self._spec(seed=1)).subscriptions(10)]
+        b = [s.predicates for s in WorkloadGenerator(self._spec(seed=2)).subscriptions(10)]
+        assert a != b
+
+    def test_event_stream_independent_of_sub_stream(self):
+        spec = self._spec()
+        g1 = WorkloadGenerator(spec)
+        list(g1.subscriptions(50))
+        e_after = list(g1.events(5))
+        g2 = WorkloadGenerator(spec)
+        e_fresh = list(g2.events(5))
+        assert e_after == e_fresh
+
+    def test_unique_ids_with_prefix(self):
+        gen = WorkloadGenerator(self._spec(), id_prefix="run1-")
+        ids = [s.id for s in gen.subscriptions(10)]
+        assert len(set(ids)) == 10 and all(i.startswith("run1-") for i in ids)
+
+    def test_batches(self):
+        spec = self._spec(subscription_batch=15, event_batch=7)
+        gen = WorkloadGenerator(spec)
+        sub_batches = list(gen.subscription_batches())
+        assert [len(b) for b in sub_batches] == [15, 15, 15, 5]
+        ev_batches = list(gen.event_batches())
+        assert [len(b) for b in ev_batches] == [7, 7, 6]
+
+
+class TestScenarios:
+    def test_w0_matches_paper(self):
+        spec = w0()
+        assert spec.n_attributes == 32
+        assert spec.predicates_per_subscription == 5
+        assert len(spec.fixed_predicates) == 2
+        assert all(f.operator is Operator.EQ for f in spec.fixed_predicates)
+        assert spec.attributes_per_event == 32
+        assert (spec.value_low, spec.value_high) == (1, 35)
+        assert spec.subscription_batch == 10_000
+        assert spec.event_batch == 100
+
+    def test_w1_operator_breakdown(self):
+        spec = w1()
+        ops = [f.operator for f in spec.fixed_predicates]
+        assert ops.count(Operator.EQ) == 2 and ops.count(Operator.LE) == 1
+        assert spec.predicates_per_subscription == 4
+
+    def test_w2_operator_breakdown(self):
+        spec = w2()
+        ops = [f.operator for f in spec.fixed_predicates]
+        assert ops.count(Operator.EQ) == 2
+        assert ops.count(Operator.LE) == 5
+        assert ops.count(Operator.GE) == 1
+        assert spec.predicates_per_subscription == 9
+
+    def test_w3_w4_disjoint_pools(self):
+        assert set(w3().subscription_attribute_pool).isdisjoint(
+            w4().subscription_attribute_pool
+        )
+        assert len(w3().subscription_attribute_pool) == 16
+
+    def test_w6_is_skewed_w5(self):
+        hot = attribute_name(0)
+        assert w5().predicate_domain(hot) == (1, 35)
+        assert w6().predicate_domain(hot) == (1, 2)
+        assert w6().event_domain(hot) == (1, 2)
+
+    def test_paper_workloads_scaled(self):
+        specs = paper_workloads(scale=0.001)
+        assert specs["W0"].n_subscriptions == 6000
+        assert set(specs) == {"W0", "W1", "W2", "W3", "W4", "W5", "W6"}
+
+    def test_generators_run_on_all_scenarios(self):
+        for name, spec in paper_workloads(scale=0.0001).items():
+            gen = WorkloadGenerator(spec)
+            subs = list(gen.subscriptions(5))
+            events = list(gen.events(3))
+            assert len(subs) == 5 and len(events) == 3, name

@@ -1,0 +1,122 @@
+"""WorkloadSpec validation and derived values (Table 1)."""
+
+import pytest
+
+from repro.core import InvalidWorkloadError, Operator
+from repro.workload import FixedPredicateSpec, WorkloadSpec, attribute_name
+
+
+class TestFixedPredicateSpec:
+    def test_operator_coerced(self):
+        f = FixedPredicateSpec("a", "<=")
+        assert f.operator is Operator.LE
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(InvalidWorkloadError):
+            FixedPredicateSpec("")
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        WorkloadSpec()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"n_attributes": 0},
+            {"n_subscriptions": -1},
+            {"subscription_batch": 0},
+            {"event_batch": 0},
+            {"predicates_per_subscription": 0},
+            {"attributes_per_event": 0},
+            {"attributes_per_event": 33},
+            {"value_low": 10, "value_high": 5},
+            {"event_value_low": 10, "event_value_high": 5},
+            {"predicate_domain_overrides": {"a": (5, 1)}},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(**kw)
+
+    def test_too_many_fixed_rejected(self):
+        fixed = tuple(FixedPredicateSpec(attribute_name(i)) for i in range(6))
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(predicates_per_subscription=5, fixed_predicates=fixed)
+
+    def test_duplicate_fixed_attrs_rejected(self):
+        fixed = (FixedPredicateSpec("attr00"), FixedPredicateSpec("attr00"))
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(fixed_predicates=fixed)
+
+    def test_unknown_pool_attribute_rejected(self):
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(subscription_attribute_pool=("bogus",))
+
+    def test_pool_smaller_than_preds_rejected(self):
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(
+                predicates_per_subscription=3,
+                subscription_attribute_pool=(attribute_name(0), attribute_name(1)),
+            )
+
+    def test_preds_exceed_attribute_count_rejected(self):
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(n_attributes=3, predicates_per_subscription=4,
+                         attributes_per_event=3)
+
+    def test_free_preds_require_operator_weights(self):
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(free_operator_weights={})
+
+    def test_bad_operator_symbol_rejected(self):
+        with pytest.raises(Exception):
+            WorkloadSpec(free_operator_weights={"<>": 1.0})
+
+
+class TestDerived:
+    def test_attribute_names(self):
+        spec = WorkloadSpec(
+            n_attributes=3, attributes_per_event=3, predicates_per_subscription=2
+        )
+        assert spec.attribute_names == ("attr00", "attr01", "attr02")
+
+    def test_fixed_attributes_and_free_count(self):
+        spec = WorkloadSpec(
+            predicates_per_subscription=5,
+            fixed_predicates=(FixedPredicateSpec("attr00"), FixedPredicateSpec("attr01")),
+        )
+        assert spec.fixed_attributes == ("attr00", "attr01")
+        assert spec.free_predicates_per_subscription == 3
+
+    def test_domains_with_overrides(self):
+        spec = WorkloadSpec(
+            value_low=1,
+            value_high=35,
+            predicate_domain_overrides={"attr00": (1, 2)},
+            event_domain_overrides={"attr01": (5, 6)},
+        )
+        assert spec.predicate_domain("attr00") == (1, 2)
+        assert spec.predicate_domain("attr05") == (1, 35)
+        assert spec.event_domain("attr01") == (5, 6)
+        assert spec.event_domain_sizes()["attr01"] == 2
+        assert spec.event_domain_sizes()["attr05"] == 35
+
+    def test_scaled(self):
+        spec = WorkloadSpec(n_subscriptions=1_000_000, n_events=1000)
+        small = spec.scaled(0.01)
+        assert small.n_subscriptions == 10_000
+        assert small.n_events == 10
+        assert small.predicates_per_subscription == spec.predicates_per_subscription
+
+    def test_scaled_clamps_batch(self):
+        spec = WorkloadSpec(n_subscriptions=1_000_000, subscription_batch=10_000)
+        small = spec.scaled(0.001)
+        assert small.subscription_batch <= small.n_subscriptions
+
+    def test_scaled_invalid(self):
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec().scaled(0)
+
+    def test_with_seed(self):
+        assert WorkloadSpec(seed=1).with_seed(7).seed == 7

@@ -1,0 +1,79 @@
+"""Churn streams and transition schedules."""
+
+import pytest
+
+from repro.core import OracleMatcher
+from repro.workload import (
+    ChurnPhase,
+    SubscriptionChurn,
+    TransitionSchedule,
+    WorkloadGenerator,
+    w3,
+    w4,
+)
+
+
+def small_spec(spec, n):
+    import dataclasses
+
+    return dataclasses.replace(spec, n_subscriptions=n)
+
+
+class TestSubscriptionChurn:
+    def test_populate(self):
+        matcher = OracleMatcher()
+        churn = SubscriptionChurn(matcher, churn_rate=5)
+        gen = WorkloadGenerator(small_spec(w3(), 40), id_prefix="a-")
+        assert churn.populate(gen) == 40
+        assert churn.live_count == 40 and len(matcher) == 40
+
+    def test_step_is_fifo(self):
+        matcher = OracleMatcher()
+        churn = SubscriptionChurn(matcher, churn_rate=3)
+        gen = WorkloadGenerator(small_spec(w3(), 9), id_prefix="a-")
+        churn.populate(gen)
+        deleted, inserted = churn.step(gen)
+        assert deleted == ["a-0", "a-1", "a-2"]
+        assert len(inserted) == 3
+        assert churn.live_count == 9
+
+    def test_population_drifts_to_new_generator(self):
+        matcher = OracleMatcher()
+        churn = SubscriptionChurn(matcher, churn_rate=5)
+        old_gen = WorkloadGenerator(small_spec(w3(), 20), id_prefix="old-")
+        new_gen = WorkloadGenerator(small_spec(w4(), 20), id_prefix="new-")
+        churn.populate(old_gen)
+        for _ in range(4):  # 4 × 5 = full turnover
+            churn.step(new_gen)
+        remaining = {sid for sid in matcher._subs}
+        assert all(sid.startswith("new-") for sid in remaining)
+
+    def test_step_on_small_population(self):
+        matcher = OracleMatcher()
+        churn = SubscriptionChurn(matcher, churn_rate=10)
+        gen = WorkloadGenerator(small_spec(w3(), 4), id_prefix="a-")
+        churn.populate(gen)
+        deleted, inserted = churn.step(gen)
+        assert len(deleted) == 4 and len(inserted) == 10
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SubscriptionChurn(OracleMatcher(), churn_rate=-1)
+
+
+class TestSchedules:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            ChurnPhase("x", w3(), steps=0)
+
+    def test_total_steps(self):
+        sched = TransitionSchedule.figure4(w3(), w4(), 100, 10, 2, 10)
+        assert sched.total_steps() == 14
+
+    def test_figure4_structure(self):
+        sched = TransitionSchedule.figure4(w3(), w4(), 100, 10, 2, 10)
+        labels = [p.label for p in sched.phases]
+        assert labels == ["stable-old", "transition", "stable-new"]
+        assert sched.initial_spec.n_subscriptions == 100
+        assert sched.phases[0].spec.name == "W3"
+        assert sched.phases[2].spec.name == "W4"

@@ -1,0 +1,113 @@
+"""Trace recording and replay."""
+
+import io
+
+import pytest
+
+from repro.core import Event, OracleMatcher, Subscription, eq, le
+from repro.matchers import DynamicMatcher
+from repro.system import PubSubBroker, QueueNotifier, VirtualClock
+from repro.workload.trace import (
+    ReplayResult,
+    TraceError,
+    TraceOp,
+    TraceRecorder,
+    read_trace,
+    replay,
+)
+
+
+def record_session(fp):
+    clock = VirtualClock()
+    broker = PubSubBroker(clock=clock, notifier=QueueNotifier())
+    rec = TraceRecorder(broker, fp)
+    rec.subscribe(Subscription("a", [eq("movie", "gd"), le("price", 10)]))
+    clock.advance(1)
+    rec.publish(Event({"movie": "gd", "price": 8}))
+    clock.advance(1)
+    rec.subscribe(Subscription("b", [eq("movie", "gd")]))
+    rec.publish(Event({"movie": "gd", "price": 20}))
+    clock.advance(1)
+    rec.unsubscribe("a")
+    rec.publish(Event({"movie": "gd", "price": 5}))
+    return rec
+
+
+class TestRecording:
+    def test_operations_counted_and_forwarded(self):
+        buf = io.StringIO()
+        rec = record_session(buf)
+        assert rec.operations == 6
+        assert rec.broker.subscription_count == 1
+
+    def test_timestamps_relative_and_monotone(self):
+        buf = io.StringIO()
+        record_session(buf)
+        buf.seek(0)
+        stamps = [op.at for op in read_trace(buf)]
+        assert stamps[0] == 0.0
+        assert stamps == sorted(stamps)
+
+    def test_round_trip_op_kinds(self):
+        buf = io.StringIO()
+        record_session(buf)
+        buf.seek(0)
+        kinds = [op.kind for op in read_trace(buf)]
+        assert kinds == [
+            "subscribe", "publish", "subscribe", "publish", "unsubscribe", "publish",
+        ]
+
+
+class TestReplay:
+    @pytest.fixture
+    def trace_text(self):
+        buf = io.StringIO()
+        record_session(buf)
+        return buf.getvalue()
+
+    def test_replay_into_matcher_reproduces_matches(self, trace_text):
+        results = []
+        outcome = replay(
+            io.StringIO(trace_text),
+            DynamicMatcher(),
+            on_match=lambda e, m: results.append(sorted(m)),
+        )
+        assert isinstance(outcome, ReplayResult)
+        assert outcome.operations == 6 and outcome.publishes == 3
+        assert results == [["a"], ["b"], ["b"]]
+        assert outcome.total_matches == 3
+
+    def test_replay_into_broker(self, trace_text):
+        broker = PubSubBroker(clock=VirtualClock(), notifier=QueueNotifier())
+        outcome = replay(io.StringIO(trace_text), broker)
+        assert broker.subscription_count == 1
+        assert outcome.ops_per_second > 0
+
+    def test_replay_engine_equivalence(self, trace_text):
+        per_engine = []
+        for engine in (OracleMatcher(), DynamicMatcher()):
+            seen = []
+            replay(io.StringIO(trace_text), engine,
+                   on_match=lambda e, m: seen.append(sorted(m, key=str)))
+            per_engine.append(seen)
+        assert per_engine[0] == per_engine[1]
+
+
+class TestValidation:
+    def test_bad_json(self):
+        with pytest.raises(TraceError):
+            list(read_trace(io.StringIO("nope\n")))
+
+    def test_unknown_op(self):
+        with pytest.raises(TraceError):
+            TraceOp.from_dict({"op": "explode", "at": 0, "body": {}})
+
+    def test_missing_fields(self):
+        with pytest.raises(TraceError):
+            TraceOp.from_dict({"op": "publish"})
+
+    def test_blank_lines_skipped(self):
+        buf = io.StringIO()
+        record_session(buf)
+        text = "\n" + buf.getvalue() + "\n\n"
+        assert len(list(read_trace(io.StringIO(text)))) == 6

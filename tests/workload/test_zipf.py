@@ -1,0 +1,87 @@
+"""Zipf value distributions (beyond-paper extension)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import InvalidWorkloadError
+from repro.workload import WorkloadGenerator, WorkloadSpec
+from repro.workload.generator import ZipfSampler
+
+
+class TestSpecValidation:
+    def test_uniform_default(self):
+        assert WorkloadSpec().zipf_exponent() is None
+
+    def test_zipf_parsed(self):
+        assert WorkloadSpec(value_distribution="zipf:1.2").zipf_exponent() == 1.2
+
+    @pytest.mark.parametrize("bad", ["zipf:", "zipf:abc", "zipf:0", "zipf:-1", "poisson"])
+    def test_bad_rejected(self, bad):
+        with pytest.raises(InvalidWorkloadError):
+            WorkloadSpec(value_distribution=bad)
+
+
+class TestZipfSampler:
+    def test_values_in_domain(self):
+        rng = random.Random(0)
+        s = ZipfSampler(5, 14, 1.0)
+        draws = [s.sample(rng) for _ in range(1000)]
+        assert min(draws) >= 5 and max(draws) <= 14
+
+    def test_rank_frequency_monotone(self):
+        rng = random.Random(1)
+        s = ZipfSampler(1, 20, 1.5)
+        counts = Counter(s.sample(rng) for _ in range(20000))
+        assert counts[1] > counts[5] > counts[20]
+
+    def test_high_exponent_concentrates(self):
+        rng = random.Random(2)
+        sharp = ZipfSampler(1, 35, 3.0)
+        counts = Counter(sharp.sample(rng) for _ in range(5000))
+        assert counts[1] / 5000 > 0.75
+
+    def test_degenerate_single_value(self):
+        rng = random.Random(3)
+        s = ZipfSampler(7, 7, 1.0)
+        assert all(s.sample(rng) == 7 for _ in range(20))
+
+
+class TestGeneratorIntegration:
+    def _spec(self, dist):
+        return WorkloadSpec(
+            n_attributes=4,
+            attributes_per_event=4,
+            predicates_per_subscription=2,
+            n_subscriptions=50,
+            n_events=300,
+            value_low=1,
+            value_high=20,
+            event_value_low=1,
+            event_value_high=20,
+            value_distribution=dist,
+        )
+
+    def test_zipf_events_are_skewed(self):
+        gen = WorkloadGenerator(self._spec("zipf:1.5"))
+        counts = Counter(v for e in gen.events() for _a, v in e.items())
+        assert counts[1] > 5 * counts.get(20, 1)
+
+    def test_uniform_events_are_flat(self):
+        gen = WorkloadGenerator(self._spec("uniform"))
+        counts = Counter(v for e in gen.events() for _a, v in e.items())
+        assert counts[1] < 3 * counts[20]
+
+    def test_subscription_values_also_skewed(self):
+        gen = WorkloadGenerator(self._spec("zipf:1.5"))
+        counts = Counter(
+            p.value for s in gen.subscriptions() for p in s.predicates
+        )
+        assert counts.get(1, 0) >= counts.get(20, 0)
+
+    def test_deterministic(self):
+        spec = self._spec("zipf:1.2")
+        a = [e.pairs for e in WorkloadGenerator(spec).events(20)]
+        b = [e.pairs for e in WorkloadGenerator(spec).events(20)]
+        assert a == b
