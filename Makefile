@@ -1,0 +1,19 @@
+# Developer entry points. The tier-1 gate is `make test`; it must stay
+# fast, so long-running fuzz/property suites carry the pytest `slow`
+# marker and only run under `make test-all`.
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-all bench-smoke
+
+test:
+	$(PYTEST) -q -m "not slow"
+
+test-all:
+	$(PYTEST) -q
+
+# A quick end-to-end sanity run of the sharding sweep (small scale, the
+# plain speedup assertion plus the timed benchmark in one file).
+bench-smoke:
+	REPRO_SCALE=0.004 PYTHONPATH=src:. $(PYTHON) -m pytest -q --benchmark-disable benchmarks/bench_sharding.py

@@ -62,6 +62,8 @@ from repro.matchers import (
     TreeMatcher,
     make_matcher,
 )
+from repro.system.router import ShardRouter, make_router
+from repro.system.sharding import ShardedMatcher
 
 __version__ = "1.0.0"
 
@@ -92,6 +94,8 @@ __all__ = [
     "PrefetchPropagationMatcher",
     "PropagationMatcher",
     "ReproError",
+    "ShardRouter",
+    "ShardedMatcher",
     "StaticMatcher",
     "Subscription",
     "ThreadSafeMatcher",
@@ -105,6 +109,7 @@ __all__ = [
     "le",
     "lt",
     "make_matcher",
+    "make_router",
     "ne",
     "simplify",
     "simplify_predicates",

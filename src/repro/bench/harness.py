@@ -71,6 +71,14 @@ def matcher_for(algorithm: str, spec: WorkloadSpec, **kwargs: Any) -> Matcher:
         return StaticMatcher(**kwargs)
     if algorithm == "dynamic":
         return DynamicMatcher(**kwargs)
+    if algorithm == "sharded":
+        from repro.system.sharding import ShardedMatcher
+
+        inner = kwargs.pop("inner", "dynamic")
+        if isinstance(inner, str):
+            inner_name = inner
+            inner = lambda: matcher_for(inner_name, spec)
+        return ShardedMatcher(inner=inner, **kwargs)
     if algorithm == "test-network":
         from repro.algorithms.testnetwork import TreeMatcher
 

@@ -30,6 +30,8 @@ from repro.io import (
     load_events,
     load_subscriptions,
 )
+from repro.system.router import ROUTERS
+from repro.system.sharding import ShardedMatcher
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.scenarios import paper_workloads
 
@@ -50,6 +52,19 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--subscriptions", required=True, help="JSON-lines file")
     match.add_argument("--events", required=True, help="JSON-lines file")
     match.add_argument("--engine", choices=ENGINES, default="dynamic")
+    match.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition subscriptions over N engine instances (default 1)",
+    )
+    match.add_argument(
+        "--router",
+        choices=sorted(ROUTERS),
+        default="affinity",
+        help="shard placement/pruning policy (with --shards > 1)",
+    )
 
     gen = commands.add_parser("generate", help="emit a synthetic workload")
     gen.add_argument("--workload", choices=sorted(paper_workloads(0.001)), default="W0")
@@ -70,7 +85,14 @@ def _cmd_match(args: argparse.Namespace, out) -> int:
     with open(args.events) as fp:
         events = load_events(fp)
     spec = paper_workloads(0.001)["W0"]
-    matcher = matcher_for(args.engine, spec)
+    if args.shards > 1:
+        matcher = ShardedMatcher(
+            shards=args.shards,
+            router=args.router,
+            inner=lambda: matcher_for(args.engine, spec),
+        )
+    else:
+        matcher = matcher_for(args.engine, spec)
     for sub in subs:
         matcher.add(sub)
     rebuild = getattr(matcher, "rebuild", None)

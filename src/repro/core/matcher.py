@@ -26,6 +26,11 @@ class Matcher(abc.ABC):
     #: Short machine-readable name used by benchmarks and reports.
     name: str = "abstract"
 
+    #: Whether concurrent callers may share this instance without locking.
+    #: The paper's engines are single-threaded; only wrappers that add
+    #: their own locking (ThreadSafeMatcher, ShardedMatcher) flip this.
+    thread_safe: bool = False
+
     @abc.abstractmethod
     def add(self, subscription: Subscription) -> None:
         """Insert a subscription.

@@ -22,6 +22,9 @@ from repro.core.types import Event, Subscription
 class ThreadSafeMatcher(Matcher):
     """Serializes all access to a wrapped matcher with an RLock."""
 
+    #: Checked by the multi-worker server before deciding to wrap.
+    thread_safe = True
+
     def __init__(self, inner: Matcher) -> None:
         self.inner = inner
         self._lock = threading.RLock()

@@ -14,6 +14,14 @@ from repro.matchers.clustered import ClusteredMatcher
 from repro.matchers.dynamic import DynamicMatcher
 from repro.matchers.static import StaticMatcher
 
+def _sharded(**kwargs) -> Matcher:
+    """Factory for the sharded fan-out engine (imported lazily: the
+    sharding module resolves its inner backends through this registry)."""
+    from repro.system.sharding import ShardedMatcher
+
+    return ShardedMatcher(**kwargs)
+
+
 #: Algorithm name → factory, as used by benchmarks and examples.
 MATCHER_FACTORIES = {
     "oracle": OracleMatcher,
@@ -23,6 +31,7 @@ MATCHER_FACTORIES = {
     "static": StaticMatcher,
     "dynamic": DynamicMatcher,
     "test-network": TreeMatcher,
+    "sharded": _sharded,
 }
 
 
@@ -31,7 +40,8 @@ def make_matcher(name: str, **kwargs) -> Matcher:
 
     ``static`` requires a ``statistics`` argument; ``dynamic`` creates an
     online :class:`~repro.clustering.statistics.EventStatistics` when none
-    is given.
+    is given; ``sharded`` partitions over inner backends (``shards=``,
+    ``router=``, ``inner=`` keyword arguments).
     """
     try:
         factory = MATCHER_FACTORIES[name]

@@ -11,16 +11,31 @@ from repro.system.notifier import (
     NullNotifier,
     QueueNotifier,
 )
+from repro.system.router import (
+    AffinityRouter,
+    HashRouter,
+    ROUTERS,
+    RoundRobinRouter,
+    ShardRouter,
+    make_router,
+)
 from repro.system.server import BatchReply, BatchServer, ServerClosedError
+from repro.system.sharding import ShardedMatcher
 from repro.system.snapshot import SnapshotError, load_snapshot, save_snapshot
 
 __all__ = [
+    "AffinityRouter",
     "BatchReply",
     "BatchServer",
     "CallbackNotifier",
     "Clock",
     "EventStore",
+    "HashRouter",
+    "ROUTERS",
+    "RoundRobinRouter",
     "ServerClosedError",
+    "ShardRouter",
+    "ShardedMatcher",
     "FanoutNotifier",
     "Notification",
     "Notifier",
@@ -32,5 +47,6 @@ __all__ = [
     "SystemClock",
     "VirtualClock",
     "load_snapshot",
+    "make_router",
     "save_snapshot",
 ]

@@ -1,0 +1,234 @@
+"""Shard routing policies for the sharded matching engine.
+
+A :class:`ShardRouter` decides two things for a fixed shard count:
+
+* **placement** — which shard stores a newly added subscription
+  (:meth:`ShardRouter.shard_for`);
+* **pruning** — which shards could possibly hold matches for an event
+  (:meth:`ShardRouter.candidate_shards`); every shard outside the
+  returned set is skipped without being probed.
+
+Correctness contract: for every subscription *s* placed on shard *i* and
+every event *e* with ``s.is_satisfied_by(e)``, ``candidate_shards(e)``
+must contain *i*.  Returning *all* shards is always sound; the routers
+differ in how aggressively they prune.
+
+Three policies are provided:
+
+``roundrobin``
+    Balanced placement, no pruning.  The baseline: every event visits
+    every shard.
+``hash``
+    Placement by a stable hash of the subscription id, no pruning.
+    Balanced under churn (a removed id frees capacity exactly where it
+    was) and deterministic across processes — Python's salted string
+    hash is deliberately avoided.
+``affinity``
+    Attribute-affinity placement: subscriptions are routed by the value
+    of one of their *equality* predicates, so all subscriptions that
+    demand ``a = v`` land on the same shard.  An event then only visits
+    the one shard per routing attribute that its own value hashes to —
+    and when the event lacks a routing attribute entirely, every
+    subscription routed through that attribute is provably unmatched and
+    its shards are skipped wholesale.  Subscriptions with no equality
+    predicate fall back to hash placement and their shards are always
+    visited.
+
+Routers are deliberately unaware of the matchers behind the shards; the
+:class:`~repro.system.sharding.ShardedMatcher` owns those and consults
+the router around every operation.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.types import Event, Subscription, Value
+
+
+def _stable_hash(text: str) -> int:
+    """A process-independent hash (str.__hash__ is salted per run)."""
+    return zlib.crc32(text.encode("utf-8", "surrogatepass"))
+
+
+def _canonical_value(value: Value) -> Value:
+    """Collapse numerically-equal values to one routing key.
+
+    ``1``, ``1.0`` and ``True`` satisfy the same equality predicates, so
+    they must hash to the same shard; whole floats are folded to ints
+    (bools are already normalized by the core types).
+    """
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+class ShardRouter(abc.ABC):
+    """Placement + pruning policy over a fixed number of shards."""
+
+    #: Machine-readable policy name (the ``--router`` CLI value).
+    name: str = "abstract"
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shards = shards
+
+    @abc.abstractmethod
+    def shard_for(self, subscription: Subscription) -> int:
+        """Pick (and record) the shard that will store *subscription*."""
+
+    def on_remove(self, subscription: Subscription, shard: int) -> None:
+        """Forget a subscription previously placed on *shard*."""
+
+    def candidate_shards(self, event: Event) -> List[int]:
+        """Ascending shard indexes that may hold matches for *event*."""
+        return list(range(self.shards))
+
+    def stats(self) -> Dict[str, Any]:
+        """Router-specific statistics for the metrics surface."""
+        return {"router": self.name, "shards": self.shards}
+
+
+class RoundRobinRouter(ShardRouter):
+    """Cycle through the shards on every insert; never prune."""
+
+    name = "roundrobin"
+
+    def __init__(self, shards: int) -> None:
+        super().__init__(shards)
+        self._next = 0
+
+    def shard_for(self, subscription: Subscription) -> int:
+        shard = self._next
+        self._next = (self._next + 1) % self.shards
+        return shard
+
+
+class HashRouter(ShardRouter):
+    """Stable-hash the subscription id; never prune."""
+
+    name = "hash"
+
+    def shard_for(self, subscription: Subscription) -> int:
+        return _stable_hash(repr(subscription.id)) % self.shards
+
+
+class AffinityRouter(ShardRouter):
+    """Co-locate subscriptions by one equality predicate's value.
+
+    The routing key of a subscription is its lexicographically smallest
+    equality attribute together with that attribute's (smallest) demanded
+    value.  Events probe at most one shard per *live* routing attribute,
+    plus every shard holding keyless (no-equality) subscriptions.
+    """
+
+    name = "affinity"
+
+    def __init__(self, shards: int) -> None:
+        super().__init__(shards)
+        #: Live subscriptions routed through each attribute.
+        self._attr_refs: Dict[str, int] = {}
+        #: Keyless subscriptions per shard (those shards are never pruned).
+        self._keyless: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # routing key
+    # ------------------------------------------------------------------
+    @staticmethod
+    def routing_key(subscription: Subscription) -> Optional[Tuple[str, Value]]:
+        """The ``(attribute, value)`` this subscription is pinned to.
+
+        ``None`` when the subscription has no equality predicate (it can
+        match events regardless of any single attribute value, so no
+        value-based pinning is sound).
+        """
+        eq_attrs = subscription.equality_attributes
+        if not eq_attrs:
+            return None
+        attribute = min(eq_attrs)
+        values = sorted(
+            (
+                _canonical_value(p.value)
+                for p in subscription.predicates_on(attribute)
+                if p.operator.is_equality
+            ),
+            key=repr,
+        )
+        # Conjunctions demand *all* listed values; routing by the first
+        # is sound because an event matching the subscription carries
+        # every one of them (so only one can exist: a == v1 == v2).
+        return attribute, values[0]
+
+    @staticmethod
+    def _shard_of_key(attribute: str, value: Value, shards: int) -> int:
+        return _stable_hash(f"{attribute}={_canonical_value(value)!r}") % shards
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def shard_for(self, subscription: Subscription) -> int:
+        key = self.routing_key(subscription)
+        if key is None:
+            shard = _stable_hash(repr(subscription.id)) % self.shards
+            self._keyless[shard] = self._keyless.get(shard, 0) + 1
+            return shard
+        attribute, value = key
+        self._attr_refs[attribute] = self._attr_refs.get(attribute, 0) + 1
+        return self._shard_of_key(attribute, value, self.shards)
+
+    def on_remove(self, subscription: Subscription, shard: int) -> None:
+        key = self.routing_key(subscription)
+        if key is None:
+            remaining = self._keyless.get(shard, 0) - 1
+            if remaining > 0:
+                self._keyless[shard] = remaining
+            else:
+                self._keyless.pop(shard, None)
+            return
+        attribute = key[0]
+        remaining = self._attr_refs.get(attribute, 0) - 1
+        if remaining > 0:
+            self._attr_refs[attribute] = remaining
+        else:
+            self._attr_refs.pop(attribute, None)
+
+    # ------------------------------------------------------------------
+    # pruning
+    # ------------------------------------------------------------------
+    def candidate_shards(self, event: Event) -> List[int]:
+        candidates = set(self._keyless)
+        for attribute in self._attr_refs:
+            if event.has(attribute):
+                value = event.get(attribute)
+                candidates.add(self._shard_of_key(attribute, value, self.shards))
+            # An event without the attribute cannot satisfy any
+            # subscription whose routing key demands it: those shards
+            # contribute no candidates at all.
+        return sorted(candidates)
+
+    def stats(self) -> Dict[str, Any]:
+        base = super().stats()
+        base["routing_attributes"] = dict(sorted(self._attr_refs.items()))
+        base["keyless_per_shard"] = dict(sorted(self._keyless.items()))
+        return base
+
+
+#: Policy name → router class, for the CLI and the sharded matcher.
+ROUTERS: Dict[str, type] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    HashRouter.name: HashRouter,
+    AffinityRouter.name: AffinityRouter,
+}
+
+
+def make_router(policy: str, shards: int) -> ShardRouter:
+    """Build a router by policy name (see :data:`ROUTERS`)."""
+    try:
+        cls = ROUTERS[policy]
+    except KeyError:
+        known = ", ".join(sorted(ROUTERS))
+        raise ValueError(f"unknown router {policy!r}; known: {known}") from None
+    return cls(shards)

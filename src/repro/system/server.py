@@ -8,6 +8,14 @@ dedicated worker thread, clients submit fixed-size batches through
 queues, and the reply carries both the results and the server-side
 processing time — so harnesses can measure *with* the submission hop
 (like the paper) or subtract it.
+
+Multi-worker mode (``workers > 1``) serves the queue from several
+threads at once.  Matchers that declare ``thread_safe = True`` (the
+:class:`~repro.system.sharding.ShardedMatcher`, whose per-shard locks
+let concurrent batches pipeline across shards) are used as-is; any
+other matcher is wrapped in a
+:class:`~repro.core.threadsafe.ThreadSafeMatcher`, which keeps the
+results correct but serializes the actual matching.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from typing import Any, List, Optional, Sequence
 
 from repro.core.errors import ReproError
 from repro.core.matcher import Matcher
+from repro.core.threadsafe import ThreadSafeMatcher
 from repro.core.types import Event, Subscription
 from repro.matchers.dynamic import DynamicMatcher
 
@@ -49,14 +58,24 @@ class _Request:
 
 
 class BatchServer:
-    """Matcher on a worker thread, fed through a request queue."""
+    """Matcher on one or more worker threads, fed through a request queue."""
 
-    def __init__(self, matcher: Optional[Matcher] = None) -> None:
-        self.matcher = matcher if matcher is not None else DynamicMatcher()
+    def __init__(self, matcher: Optional[Matcher] = None, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        matcher = matcher if matcher is not None else DynamicMatcher()
+        if workers > 1 and not getattr(matcher, "thread_safe", False):
+            matcher = ThreadSafeMatcher(matcher)
+        self.matcher = matcher
+        self.workers = workers
         self._requests: "queue.Queue[Optional[_Request]]" = queue.Queue()
         self._closed = False
-        self._worker = threading.Thread(target=self._serve, daemon=True)
-        self._worker.start()
+        self._threads = [
+            threading.Thread(target=self._serve, daemon=True, name=f"repro-server-{i}")
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
 
     # ------------------------------------------------------------------
     # worker
@@ -120,12 +139,14 @@ class BatchServer:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the worker (idempotent); pending batches finish first."""
+        """Stop the workers (idempotent); pending batches finish first."""
         if self._closed:
             return
         self._closed = True
-        self._requests.put(None)
-        self._worker.join(timeout=10.0)
+        for _ in self._threads:
+            self._requests.put(None)
+        for thread in self._threads:
+            thread.join(timeout=10.0)
 
     def __enter__(self) -> "BatchServer":
         return self

@@ -1,0 +1,246 @@
+"""Sharded parallel matching: hash-partition subscriptions over N engines.
+
+The paper's algorithms are single-threaded by design; this module is the
+horizontal-scale layer above them.  A :class:`ShardedMatcher` owns N
+independent inner matchers (any registered backend), places each
+subscription on exactly one of them through a pluggable
+:class:`~repro.system.router.ShardRouter`, and answers ``match`` by
+fanning the event out to the router's candidate shards — on a thread
+pool when more than one shard must be probed — and concatenating the
+per-shard results in ascending shard order (deterministic regardless of
+completion order).
+
+Because the shards partition the subscription set, per-shard results are
+disjoint and the union is exactly what a single matcher over the full
+set would return; ``tests/properties/test_prop_sharding.py`` pins that
+equivalence against the brute-force oracle for every router.
+
+Thread safety: one reentrant metadata lock guards placement maps,
+counters and the router; one lock per shard serializes access to that
+inner engine (the inner matchers mutate internal state even on
+``match``).  Concurrent callers therefore pipeline across shards — the
+design the multi-worker :class:`~repro.system.server.BatchServer`
+relies on — while each inner engine still sees strictly serial
+operations.
+
+Observability: :meth:`stats` exposes per-shard populations, per-shard
+events-routed counters, the number of whole-shard skips the router
+achieved, and cumulative fan-out/merge timings, so the benefit of
+affinity routing is measurable (``benchmarks/bench_sharding.py``)
+rather than asserted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core.errors import DuplicateSubscriptionError, UnknownSubscriptionError
+from repro.core.matcher import Matcher
+from repro.core.types import Event, Subscription
+from repro.system.router import ShardRouter, make_router
+
+#: How an inner engine may be specified: a ready factory, or a registered
+#: algorithm name resolved through :func:`repro.matchers.make_matcher`.
+InnerSpec = Union[str, Callable[[], Matcher]]
+
+
+def _resolve_inner(inner: InnerSpec) -> Callable[[], Matcher]:
+    if callable(inner):
+        return inner
+    # Imported lazily: repro.matchers registers "sharded" from this module.
+    from repro.matchers import make_matcher
+
+    return lambda: make_matcher(inner)
+
+
+class ShardedMatcher(Matcher):
+    """Hash-partitioned fan-out over N inner matchers."""
+
+    name = "sharded"
+    #: Safe for concurrent callers (per-shard locking); the multi-worker
+    #: server checks this flag before deciding whether to wrap.
+    thread_safe = True
+
+    def __init__(
+        self,
+        shards: int = 4,
+        router: Union[str, ShardRouter] = "affinity",
+        inner: InnerSpec = "dynamic",
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.router = router if isinstance(router, ShardRouter) else make_router(router, shards)
+        if self.router.shards != shards:
+            raise ValueError(
+                f"router built for {self.router.shards} shards, matcher has {shards}"
+            )
+        factory = _resolve_inner(inner)
+        self._shards: List[Matcher] = [factory() for _ in range(shards)]
+        self._shard_locks = [threading.Lock() for _ in range(shards)]
+        self._meta = threading.RLock()
+        self._shard_of: Dict[Any, int] = {}
+        self._population = [0] * shards
+        self._parallel = parallel and shards > 1
+        self._max_workers = max_workers or shards
+        self._pool: Optional[ThreadPoolExecutor] = None
+        #: Cumulative routing/merge observability counters.
+        self.counters: Dict[str, Any] = {
+            "events": 0,
+            "shard_visits": 0,
+            "shards_skipped": 0,
+            "fanout_seconds": 0.0,
+            "merge_seconds": 0.0,
+        }
+        self._visits_per_shard = [0] * shards
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        """Number of partitions."""
+        return len(self._shards)
+
+    def shard(self, index: int) -> Matcher:
+        """The inner engine of one shard (for inspection/tests)."""
+        return self._shards[index]
+
+    def shard_ids(self) -> List[List[Any]]:
+        """Per-shard lists of resident subscription ids."""
+        with self._meta:
+            out: List[List[Any]] = [[] for _ in self._shards]
+            for sub_id, shard in self._shard_of.items():
+                out[shard].append(sub_id)
+            return out
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pool (idempotent)."""
+        with self._meta:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedMatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._meta:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-shard",
+                )
+            return self._pool
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, subscription: Subscription) -> None:
+        with self._meta:
+            if subscription.id in self._shard_of:
+                raise DuplicateSubscriptionError(subscription.id)
+            shard = self.router.shard_for(subscription)
+            self._shard_of[subscription.id] = shard
+            self._population[shard] += 1
+        try:
+            with self._shard_locks[shard]:
+                self._shards[shard].add(subscription)
+        except BaseException:
+            with self._meta:
+                del self._shard_of[subscription.id]
+                self._population[shard] -= 1
+                self.router.on_remove(subscription, shard)
+            raise
+
+    def remove(self, sub_id: Any) -> Subscription:
+        with self._meta:
+            shard = self._shard_of.get(sub_id)
+            if shard is None:
+                raise UnknownSubscriptionError(sub_id)
+        with self._shard_locks[shard]:
+            subscription = self._shards[shard].remove(sub_id)
+        with self._meta:
+            del self._shard_of[sub_id]
+            self._population[shard] -= 1
+            self.router.on_remove(subscription, shard)
+        return subscription
+
+    def rebuild(self) -> None:
+        """Forward to inner engines that have a rebuild step (static)."""
+        for shard, inner in enumerate(self._shards):
+            rebuild = getattr(inner, "rebuild", None)
+            if callable(rebuild):
+                with self._shard_locks[shard]:
+                    rebuild()
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def _match_shard(self, shard: int, event: Event) -> List[Any]:
+        with self._shard_locks[shard]:
+            return self._shards[shard].match(event)
+
+    def match(self, event: Event) -> List[Any]:
+        with self._meta:
+            candidates = [
+                s for s in self.router.candidate_shards(event) if self._population[s]
+            ]
+            self.counters["events"] += 1
+            self.counters["shard_visits"] += len(candidates)
+            self.counters["shards_skipped"] += len(self._shards) - len(candidates)
+            for s in candidates:
+                self._visits_per_shard[s] += 1
+        if not candidates:
+            return []
+        start = time.perf_counter()
+        if self._parallel and len(candidates) > 1:
+            pool = self._ensure_pool()
+            futures = [pool.submit(self._match_shard, s, event) for s in candidates]
+            per_shard = [f.result() for f in futures]
+        else:
+            per_shard = [self._match_shard(s, event) for s in candidates]
+        merged_at = time.perf_counter()
+        merged: List[Any] = []
+        for ids in per_shard:
+            merged.extend(ids)
+        done = time.perf_counter()
+        with self._meta:
+            self.counters["fanout_seconds"] += merged_at - start
+            self.counters["merge_seconds"] += done - merged_at
+        return merged
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def get(self, sub_id: Any) -> Subscription:
+        """Look up a stored subscription by id (any backend supporting it)."""
+        with self._meta:
+            shard = self._shard_of.get(sub_id)
+            if shard is None:
+                raise UnknownSubscriptionError(sub_id)
+        with self._shard_locks[shard]:
+            return self._shards[shard].get(sub_id)  # type: ignore[attr-defined]
+
+    def __len__(self) -> int:
+        with self._meta:
+            return sum(self._population)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._meta:
+            base = super().stats()
+            base["shards"] = len(self._shards)
+            base["inner"] = self._shards[0].name
+            base["parallel"] = self._parallel
+            base["per_shard_subscriptions"] = list(self._population)
+            base["per_shard_events_routed"] = list(self._visits_per_shard)
+            base["counters"] = dict(self.counters)
+            base["router"] = self.router.stats()
+        return base

@@ -37,8 +37,14 @@ class ZipfSampler:
         self._cdf[-1] = 1.0
 
     def sample(self, rng: random.Random) -> int:
-        """Draw one value."""
-        return self.lo + bisect_left(self._cdf, rng.random())
+        """Draw one value.
+
+        The bisect result is clamped to the last rank: float error can
+        leave interior CDF entries a ULP above the clamped final 1.0, so
+        a draw in 1.0's neighborhood could otherwise bisect past the end
+        and return ``hi + 1``.
+        """
+        return self.lo + min(bisect_left(self._cdf, rng.random()), len(self._cdf) - 1)
 
 
 class WorkloadGenerator:

@@ -1,0 +1,167 @@
+"""Differential fuzzing: random lifecycles against four backends at once.
+
+Each seeded run drives the same random interleaving of ``add`` /
+``remove`` / ``match`` — including re-adding a previously removed id,
+duplicate-id inserts, removals of unknown ids, and events carrying none
+of the subscribed attributes — simultaneously through the brute-force
+oracle, the static and dynamic clustered engines, and a sharded engine
+(cycling through every router and several shard counts across seeds).
+At every step all four must produce identical sorted match sets and
+raise identical exception *types*.
+
+This is stronger than the pairwise agreement suite
+(``test_agreement.py``): the operation mix deliberately includes the
+error paths and the sharded composition, and every divergence reports
+the seed so a failure replays deterministically.
+"""
+
+import random
+
+import pytest
+
+from repro.clustering.statistics import UniformStatistics
+from repro.core import (
+    Event,
+    OracleMatcher,
+    Predicate,
+    ReproError,
+    Subscription,
+)
+from repro.matchers import DynamicMatcher, StaticMatcher
+from repro.system.router import ROUTERS
+from repro.system.sharding import ShardedMatcher
+
+ATTRS = [f"a{i}" for i in range(6)]
+#: Attributes never used by any subscription — events over these probe
+#: the "nothing can match" path (the closest legal thing to an empty
+#: event, since the core type requires at least one pair).
+FOREIGN_ATTRS = ["zz", "yy"]
+VALUES = range(1, 9)
+OPS_PER_RUN = 40
+
+N_SEEDS = 200
+SMOKE_SEEDS = 12
+
+ROUTER_NAMES = sorted(ROUTERS)
+SHARD_COUNTS = (1, 2, 3, 5)
+
+
+def build_engines(seed: int):
+    """Oracle + static + dynamic + sharded, config varying with the seed."""
+    router = ROUTER_NAMES[seed % len(ROUTER_NAMES)]
+    shards = SHARD_COUNTS[(seed // len(ROUTER_NAMES)) % len(SHARD_COUNTS)]
+    return {
+        "oracle": OracleMatcher(),
+        "static": StaticMatcher(UniformStatistics(default_domain=len(VALUES))),
+        "dynamic": DynamicMatcher(),
+        f"sharded[{router}x{shards}]": ShardedMatcher(
+            shards=shards, router=router, inner="dynamic", parallel=False
+        ),
+    }
+
+
+def random_subscription(rng: random.Random, sub_id) -> Subscription:
+    attrs = rng.sample(ATTRS, rng.randint(1, 4))
+    preds = [
+        Predicate(a, rng.choice("< <= = != >= >".split()), rng.choice(VALUES))
+        for a in attrs
+    ]
+    return Subscription(sub_id, preds)
+
+
+def random_event(rng: random.Random) -> Event:
+    roll = rng.random()
+    if roll < 0.1:
+        # No subscribed attribute at all: every engine must return [].
+        return Event({rng.choice(FOREIGN_ATTRS): rng.choice(VALUES)})
+    attrs = rng.sample(ATTRS, rng.randint(1, len(ATTRS)))
+    if roll < 0.2:
+        attrs.append(rng.choice(FOREIGN_ATTRS))
+    return Event({a: rng.choice(VALUES) for a in attrs})
+
+
+def apply_to_all(engines, op):
+    """Run *op* against every engine; return {name: (outcome, error_type)}."""
+    results = {}
+    for name, engine in engines.items():
+        try:
+            results[name] = (op(engine), None)
+        except ReproError as exc:
+            results[name] = (None, type(exc))
+    return results
+
+
+def assert_identical(results, seed, step, what):
+    baseline_name, (baseline, baseline_err) = next(iter(results.items()))
+    for name, (outcome, err) in results.items():
+        context = (what, f"seed={seed}", f"step={step}", baseline_name, name)
+        assert err == baseline_err, context
+        assert outcome == baseline, context
+
+
+def run_sequence(seed: int) -> None:
+    rng = random.Random(seed)
+    engines = build_engines(seed)
+    live = []
+    removed = []
+    counter = 0
+    try:
+        for step in range(OPS_PER_RUN):
+            roll = rng.random()
+            if roll < 0.30 or not live:
+                sub = random_subscription(rng, f"s{counter}")
+                counter += 1
+                live.append(sub.id)
+                results = apply_to_all(engines, lambda m, s=sub: m.add(s))
+                assert_identical(results, seed, step, "add")
+            elif roll < 0.38:
+                # Duplicate id: every engine must refuse identically.
+                dup = random_subscription(rng, rng.choice(live))
+                results = apply_to_all(engines, lambda m, s=dup: m.add(s))
+                assert_identical(results, seed, step, "dup-add")
+            elif roll < 0.46 and removed:
+                # Re-add an id that was removed earlier: must succeed.
+                sub = random_subscription(rng, removed.pop())
+                live.append(sub.id)
+                results = apply_to_all(engines, lambda m, s=sub: m.add(s))
+                assert_identical(results, seed, step, "re-add")
+            elif roll < 0.58:
+                sid = live.pop(rng.randrange(len(live)))
+                removed.append(sid)
+                results = apply_to_all(
+                    engines, lambda m, i=sid: m.remove(i).id
+                )
+                assert_identical(results, seed, step, "remove")
+            elif roll < 0.64:
+                # Unknown id: identical error from every engine.
+                results = apply_to_all(
+                    engines, lambda m: m.remove(f"ghost{counter}")
+                )
+                assert_identical(results, seed, step, "remove-unknown")
+            else:
+                event = random_event(rng)
+                results = apply_to_all(
+                    engines, lambda m, e=event: sorted(m.match(e), key=str)
+                )
+                assert_identical(results, seed, step, "match")
+            # Population must agree at every step, not just at matches.
+            sizes = {name: len(m) for name, m in engines.items()}
+            assert len(set(sizes.values())) == 1, (seed, step, sizes)
+    finally:
+        for engine in engines.values():
+            close = getattr(engine, "close", None)
+            if callable(close):
+                close()
+
+
+@pytest.mark.parametrize("seed", range(SMOKE_SEEDS))
+def test_differential_smoke(seed):
+    """A fast always-on slice of the fuzz corpus."""
+    run_sequence(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(SMOKE_SEEDS, N_SEEDS))
+def test_differential_fuzz(seed):
+    """The full corpus: 200 seeded sequences across all four backends."""
+    run_sequence(seed)

@@ -11,7 +11,9 @@ from repro.core import (
     eq,
     le,
 )
+from repro.core.threadsafe import ThreadSafeMatcher
 from repro.system.server import BatchReply, BatchServer, ServerClosedError
+from repro.system.sharding import ShardedMatcher
 
 
 @pytest.fixture
@@ -104,3 +106,83 @@ class TestLifecycle:
         for t in threads:
             t.join()
         assert not errors
+
+
+class TestMultiWorker:
+    def test_single_worker_is_default(self):
+        with BatchServer() as srv:
+            assert srv.workers == 1
+
+    def test_plain_matcher_gets_wrapped(self):
+        from repro.core import OracleMatcher
+
+        with BatchServer(OracleMatcher(), workers=3) as srv:
+            assert isinstance(srv.matcher, ThreadSafeMatcher)
+
+    def test_thread_safe_matcher_not_wrapped(self):
+        matcher = ShardedMatcher(shards=2, parallel=False)
+        with BatchServer(matcher, workers=3) as srv:
+            assert srv.matcher is matcher
+        matcher.close()
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            BatchServer(workers=0)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_no_lost_or_duplicate_replies_under_churn(self, workers):
+        """Concurrent publishers + subscription churn: every submitted
+        batch gets exactly one complete reply, and matches only ever
+        name subscriptions that existed at some point."""
+        matcher = ShardedMatcher(shards=4, router="affinity", parallel=False)
+        ever_added = {f"base{i}" for i in range(20)}
+        with BatchServer(matcher, workers=workers) as srv:
+            srv.submit_subscriptions(
+                [Subscription(f"base{i}", [eq("x", i % 5)]) for i in range(20)]
+            )
+            errors = []
+            reply_counts = [0] * 4
+            n_batches, batch_size = 25, 8
+
+            def publisher(k):
+                try:
+                    for i in range(n_batches):
+                        batch = [Event({"x": (k + i) % 5, "y": i})] * batch_size
+                        reply = srv.submit_events(batch)
+                        assert len(reply.results) == batch_size
+                        for matched in reply.results:
+                            assert len(matched) == len(set(matched))
+                            assert set(matched) <= ever_added
+                        reply_counts[k] += 1
+                except Exception as exc:
+                    errors.append(exc)
+
+            def churner():
+                try:
+                    for i in range(60):
+                        sid = f"churn{i}"
+                        ever_added.add(sid)
+                        srv.submit_subscriptions(
+                            [Subscription(sid, [eq("x", i % 5)])]
+                        )
+                        if i % 2:
+                            srv.submit_unsubscriptions([sid])
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=publisher, args=(k,)) for k in range(4)
+            ]
+            threads.append(threading.Thread(target=churner))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert reply_counts == [n_batches] * 4
+        # Shutdown is clean and terminal for every caller.
+        with pytest.raises(ServerClosedError):
+            srv.submit_events([Event({"x": 1})])
+        with pytest.raises(ServerClosedError):
+            srv.submit_subscriptions([Subscription("late", [eq("x", 1)])])
+        matcher.close()

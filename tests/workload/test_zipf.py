@@ -47,6 +47,37 @@ class TestZipfSampler:
         s = ZipfSampler(7, 7, 1.0)
         assert all(s.sample(rng) == 7 for _ in range(20))
 
+    def test_range_pinned_over_10k_draws(self):
+        """Regression: no draw may ever leave [lo, hi] (a bisect off the
+        end of the CDF used to yield hi+1 near r = 1.0)."""
+        rng = random.Random(4)
+        for lo, hi, s in [(1, 35, 0.8), (5, 14, 1.0), (1, 2, 2.5)]:
+            sampler = ZipfSampler(lo, hi, s)
+            draws = [sampler.sample(rng) for _ in range(10_000)]
+            assert min(draws) >= lo and max(draws) <= hi, (lo, hi, s)
+
+    def test_boundary_draw_clamps_to_hi(self):
+        """Even a draw past every CDF entry must clamp to hi, not hi+1.
+
+        Simulated with a stub rng: interior CDF entries can exceed the
+        (clamped) final 1.0 by accumulated float error, making the CDF
+        locally non-monotonic, so bisect can land past the end for real
+        draws just below 1.0.
+        """
+
+        class Boundary:
+            def __init__(self, value):
+                self.value = value
+
+            def random(self):
+                return self.value
+
+        sampler = ZipfSampler(1, 35, 1.2)
+        # Force the pathological shape: an interior entry a hair above 1.0.
+        sampler._cdf[-2] = 1.0 + 1e-16
+        for r in (1.0 - 2 ** -53, 0.999999999999999, 1.0):
+            assert sampler.sample(Boundary(r)) <= 35
+
 
 class TestGeneratorIntegration:
     def _spec(self, dist):
