@@ -5,9 +5,9 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all bench-smoke
+.PHONY: test test-all bench-smoke metrics-smoke
 
-test:
+test: metrics-smoke
 	$(PYTEST) -q -m "not slow"
 
 test-all:
@@ -17,3 +17,20 @@ test-all:
 # plain speedup assertion plus the timed benchmark in one file).
 bench-smoke:
 	REPRO_SCALE=0.004 PYTHONPATH=src:. $(PYTHON) -m pytest -q --benchmark-disable benchmarks/bench_sharding.py
+
+# End-to-end observability check: generate a tiny workload, run the CLI
+# with --metrics-out, and validate the snapshot against the checked-in
+# schema. Part of tier-1 (`make test` runs it first).
+METRICS_SMOKE_DIR := .metrics-smoke
+metrics-smoke:
+	rm -rf $(METRICS_SMOKE_DIR) && mkdir -p $(METRICS_SMOKE_DIR)
+	PYTHONPATH=src $(PYTHON) -m repro generate --kind subscriptions --count 200 --seed 7 > $(METRICS_SMOKE_DIR)/subs.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro generate --kind events --count 20 --seed 8 > $(METRICS_SMOKE_DIR)/events.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro stats \
+		--subscriptions $(METRICS_SMOKE_DIR)/subs.jsonl \
+		--events $(METRICS_SMOKE_DIR)/events.jsonl \
+		--engine dynamic --shards 2 \
+		--metrics-out $(METRICS_SMOKE_DIR)/snapshot.json > $(METRICS_SMOKE_DIR)/stats.prom
+	PYTHONPATH=src $(PYTHON) -m repro.obs.check \
+		$(METRICS_SMOKE_DIR)/snapshot.json schemas/metrics_snapshot.schema.json
+	rm -rf $(METRICS_SMOKE_DIR)

@@ -62,6 +62,7 @@ from repro.matchers import (
     TreeMatcher,
     make_matcher,
 )
+from repro.obs import MetricsRegistry, Tracer
 from repro.system.router import ShardRouter, make_router
 from repro.system.sharding import ShardedMatcher
 
@@ -86,6 +87,7 @@ __all__ = [
     "MATCHER_FACTORIES",
     "MatchExplanation",
     "Matcher",
+    "MetricsRegistry",
     "Operator",
     "OracleMatcher",
     "ParseError",
@@ -99,6 +101,7 @@ __all__ = [
     "StaticMatcher",
     "Subscription",
     "ThreadSafeMatcher",
+    "Tracer",
     "TreeMatcher",
     "UniformStatistics",
     "UnknownSubscriptionError",

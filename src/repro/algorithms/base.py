@@ -7,7 +7,8 @@ the candidate-cluster walk.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.bitvector import BitVector
 from repro.core.errors import DuplicateSubscriptionError, UnknownSubscriptionError
@@ -16,12 +17,17 @@ from repro.core.registry import PredicateRegistry
 from repro.core.types import Event, Predicate, Subscription
 from repro.indexes.composite import PredicateIndexSet
 from repro.indexes.ordered import IndexKind
+from repro.obs.tracer import Span
 
 
 class TwoPhaseMatcher(Matcher):
     """Base for matchers that run predicate phase then subscription phase."""
 
     name = "two-phase"
+
+    #: Root span of the in-flight traced match; phase-2 implementations
+    #: attach per-structure children to it when not None.
+    _active_span: Optional[Span] = None
 
     def __init__(self, index_kind: IndexKind = IndexKind.SORTED_ARRAY) -> None:
         self.registry = PredicateRegistry()
@@ -68,6 +74,8 @@ class TwoPhaseMatcher(Matcher):
             self._release_predicates(subscription)
             raise
         self._subs[subscription.id] = subscription
+        if self.metrics.enabled:
+            self._m_subscriptions.set(len(self._subs))
 
     def remove(self, sub_id: Any) -> Subscription:
         sub = self._subs.get(sub_id)
@@ -76,14 +84,88 @@ class TwoPhaseMatcher(Matcher):
         self._displace(sub)
         self._release_predicates(sub)
         del self._subs[sub_id]
+        if self.metrics.enabled:
+            self._m_subscriptions.set(len(self._subs))
         return sub
 
     def match(self, event: Event) -> List[Any]:
+        if self.metrics.enabled or self.tracer.enabled:
+            return self._match_observed(event)
         self.bits.reset()
         satisfied = self.indexes.evaluate(event, self.bits)
         self.counters["events"] += 1
         self.counters["predicates_satisfied"] += satisfied
         return self._match_phase2(event)
+
+    def _match_observed(self, event: Event) -> List[Any]:
+        """The instrumented twin of :meth:`match`.
+
+        Identical matching semantics and counter updates; additionally
+        records phase timings/counts into the registry and, when a
+        tracer is attached, a per-event span tree (phase-2
+        implementations hang children off :attr:`_active_span`).
+        """
+        t0 = time.perf_counter_ns()
+        self.bits.reset()
+        satisfied = self.indexes.evaluate(event, self.bits)
+        t1 = time.perf_counter_ns()
+        self.counters["events"] += 1
+        self.counters["predicates_satisfied"] += satisfied
+        span: Optional[Span] = None
+        if self.tracer.enabled:
+            span = self.tracer.start("match", engine=self.name)
+            self._active_span = span
+        before = self.counters["subscription_checks"]
+        try:
+            matched = self._match_phase2(event)
+        finally:
+            self._active_span = None
+        t2 = time.perf_counter_ns()
+        checks = self.counters["subscription_checks"] - before
+        if self.metrics.enabled:
+            self._m_events.inc()
+            self._m_satisfied.inc(satisfied)
+            self._m_checks.inc(checks)
+            self._m_predicate_seconds.observe((t1 - t0) / 1e9)
+            self._m_subscription_seconds.observe((t2 - t1) / 1e9)
+        if span is not None:
+            span.add(
+                predicate_ns=t1 - t0,
+                subscription_ns=t2 - t1,
+                bits_set=satisfied,
+                subscriptions_checked=checks,
+                matched=len(matched),
+            )
+            self.tracer.finish(span)
+        return matched
+
+    def _bind_metrics(self) -> None:
+        m = self.metrics
+        labels = {"engine": self.name, "shard": self.metrics_shard}
+        names = ("engine", "shard")
+        self._m_events = m.counter(
+            "repro_events_total", "Events matched.", names
+        ).labels(**labels)
+        self._m_satisfied = m.counter(
+            "repro_predicates_satisfied_total",
+            "Distinct predicates the predicate phase set bits for.",
+            names,
+        ).labels(**labels)
+        self._m_checks = m.counter(
+            "repro_subscription_checks_total",
+            "Subscriptions the subscription phase read (the paper's unit of phase-2 work).",
+            names,
+        ).labels(**labels)
+        self._m_subscriptions = m.gauge(
+            "repro_subscriptions", "Live subscriptions.", names
+        ).labels(**labels)
+        phases = m.histogram(
+            "repro_match_phase_seconds",
+            "Per-event latency split by matching phase.",
+            ("engine", "shard", "phase"),
+        )
+        self._m_predicate_seconds = phases.labels(phase="predicate", **labels)
+        self._m_subscription_seconds = phases.labels(phase="subscription", **labels)
 
     def get(self, sub_id: Any) -> Subscription:
         """Look up a stored subscription by id."""

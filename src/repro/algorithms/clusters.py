@@ -263,6 +263,11 @@ class ClusterList:
         for size in sorted(self._by_size):
             yield self._by_size[size]
 
+    @property
+    def cluster_count(self) -> int:
+        """Number of size-grouped clusters in this list (for tracing)."""
+        return len(self._by_size)
+
     def __len__(self) -> int:
         """Total subscriptions across all size groups."""
         return self._count

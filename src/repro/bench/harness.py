@@ -26,6 +26,7 @@ from repro.matchers import (
     PropagationMatcher,
     StaticMatcher,
 )
+from repro.obs import write_json_snapshot
 from repro.workload.spec import WorkloadSpec
 
 #: Default fraction of paper scale when REPRO_SCALE is unset.
@@ -182,19 +183,46 @@ def measure_phases(matcher: TwoPhaseMatcher, events: Sequence[Event]) -> PhaseSp
     return PhaseSplit(len(events), t_pred, t_sub)
 
 
+def bench_snapshot_path(name: str, directory: str = ".") -> str:
+    """The conventional ``BENCH_<NAME>.json`` path for a bench's metrics.
+
+    Bench snapshots share the exact snapshot schema of
+    ``repro stats --metrics-out`` (``schemas/metrics_snapshot.schema.json``),
+    so one consumer reads both.
+    """
+    safe = "".join(c if c.isalnum() else "_" for c in name.upper()).strip("_")
+    if not safe:
+        raise ValueError(f"cannot derive a bench file name from {name!r}")
+    return os.path.join(directory, f"BENCH_{safe}.json")
+
+
 def run_series(
     build: Callable[[], Matcher],
     subs: Sequence[Subscription],
     events: Sequence[Event],
+    metrics_out: Optional[str] = None,
+    context: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Load-then-match convenience returning a flat result dict."""
+    """Load-then-match convenience returning a flat result dict.
+
+    With *metrics_out* set, the matcher runs fully instrumented and a
+    JSON metrics snapshot (same schema as ``repro stats --metrics-out``)
+    is written there, with the timing results — and *context*, if given —
+    embedded under the snapshot's ``context`` key.
+    """
     matcher = build()
+    registry = matcher.use_metrics() if metrics_out else None
     load = load_subscriptions(matcher, subs)
     match = measure_matching(matcher, events)
-    return {
+    results = {
         "load_seconds": load.seconds,
         "match_seconds": match.seconds,
         "events_per_second": match.events_per_second,
         "ms_per_event": match.ms_per_event,
         "total_matches": match.total_matches,
     }
+    if registry is not None:
+        merged = dict(context or {})
+        merged["results"] = results
+        write_json_snapshot(registry, metrics_out, context=merged)
+    return results

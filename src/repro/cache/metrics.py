@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import dataclasses
+from typing import Any, Dict
+
+from repro.obs.registry import MetricsRegistry
 
 
 @dataclasses.dataclass
@@ -34,6 +37,30 @@ class CacheMetrics:
     def stall_fraction(self) -> float:
         """Fraction of cycles spent stalled on memory."""
         return self.stall_cycles / self.cycles if self.cycles else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Unified JSON-serializable shape (same contract as matcher stats)."""
+        return {
+            "name": "cache",
+            "counters": dataclasses.asdict(self),
+            "miss_rate": self.miss_rate,
+            "stall_fraction": self.stall_fraction,
+        }
+
+    def publish(self, registry: MetricsRegistry, cache: str = "sim") -> None:
+        """One-shot export of these counters into a metrics registry.
+
+        The simulator produces a finished tally per run, so this adds
+        the current values to ``repro_cache_events_total{cache,kind}``
+        children (call once per finished run).
+        """
+        family = registry.counter(
+            "repro_cache_events_total",
+            "Cache-simulator event tallies, by kind.",
+            ("cache", "kind"),
+        )
+        for kind, value in dataclasses.asdict(self).items():
+            family.labels(cache=cache, kind=kind).inc(value)
 
     def merged(self, other: "CacheMetrics") -> "CacheMetrics":
         """Sum of two metric sets."""

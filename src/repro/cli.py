@@ -4,7 +4,14 @@ Commands
 --------
 ``match``
     Load JSON-lines subscriptions and events, run a matching engine,
-    print the per-event match lists.
+    print the per-event match lists (``--metrics-out`` additionally
+    writes a JSON metrics snapshot).
+``stats``
+    Run the same workload with full instrumentation and print the
+    collected metrics as Prometheus text (or ``--format json``).
+``explain``
+    Replay one event with instrumentation: which predicates fired,
+    what phase 2 checked, and (``--trace``) the per-event span tree.
 ``generate``
     Emit a synthetic workload (subscriptions or events) from a named
     paper scenario (W0–W6), as JSON lines.
@@ -30,6 +37,7 @@ from repro.io import (
     load_events,
     load_subscriptions,
 )
+from repro.obs import MetricsRegistry, json_snapshot, prometheus_text, write_json_snapshot
 from repro.system.router import ROUTERS
 from repro.system.sharding import ShardedMatcher
 from repro.workload.generator import WorkloadGenerator
@@ -37,6 +45,9 @@ from repro.workload.scenarios import paper_workloads
 
 #: Engines selectable on the command line.
 ENGINES = ("oracle", "counting", "propagation", "propagation-wp", "static", "dynamic")
+
+#: Engines ``explain`` understands (two-phase internals required).
+TWO_PHASE_ENGINES = tuple(e for e in ENGINES if e != "oracle")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +76,54 @@ def build_parser() -> argparse.ArgumentParser:
         default="affinity",
         help="shard placement/pruning policy (with --shards > 1)",
     )
+    match.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="also write a JSON metrics snapshot to FILE",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="run a workload instrumented and print the metrics"
+    )
+    stats.add_argument("--subscriptions", required=True, help="JSON-lines file")
+    stats.add_argument("--events", required=True, help="JSON-lines file")
+    stats.add_argument("--engine", choices=ENGINES, default="dynamic")
+    stats.add_argument("--shards", type=int, default=1, metavar="N")
+    stats.add_argument("--router", choices=sorted(ROUTERS), default="affinity")
+    stats.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="stdout format (default: Prometheus text exposition)",
+    )
+    stats.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="also write a JSON metrics snapshot to FILE",
+    )
+
+    explain = commands.add_parser(
+        "explain", help="explain one event's match against the subscription set"
+    )
+    explain.add_argument("--subscriptions", required=True, help="JSON-lines file")
+    explain.add_argument("--events", required=True, help="JSON-lines file")
+    explain.add_argument(
+        "--event-index",
+        type=int,
+        default=0,
+        metavar="I",
+        help="which event in the file to explain (default 0)",
+    )
+    explain.add_argument("--engine", choices=TWO_PHASE_ENGINES, default="dynamic")
+    explain.add_argument("--shards", type=int, default=1, metavar="N")
+    explain.add_argument("--router", choices=sorted(ROUTERS), default="affinity")
+    explain.add_argument(
+        "--trace",
+        action="store_true",
+        help="also print the recorded per-event span tree",
+    )
 
     gen = commands.add_parser("generate", help="emit a synthetic workload")
     gen.add_argument("--workload", choices=sorted(paper_workloads(0.001)), default="W0")
@@ -79,29 +138,113 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_match(args: argparse.Namespace, out) -> int:
+def _load_workload(args: argparse.Namespace):
+    """Read the subscription and event files named on the command line."""
     with open(args.subscriptions) as fp:
         subs = load_subscriptions(fp)
     with open(args.events) as fp:
         events = load_events(fp)
+    return subs, events
+
+
+def _build_matcher(args: argparse.Namespace):
+    """Construct the engine the flags describe (sharded when --shards > 1)."""
     spec = paper_workloads(0.001)["W0"]
     if args.shards > 1:
-        matcher = ShardedMatcher(
+        return ShardedMatcher(
             shards=args.shards,
             router=args.router,
             inner=lambda: matcher_for(args.engine, spec),
         )
-    else:
-        matcher = matcher_for(args.engine, spec)
+    return matcher_for(args.engine, spec)
+
+
+def _populate(matcher, subs) -> None:
+    """Insert the subscriptions and run any build step the engine has."""
     for sub in subs:
         matcher.add(sub)
     rebuild = getattr(matcher, "rebuild", None)
     if callable(rebuild):
         rebuild()
+
+
+def _snapshot_context(args: argparse.Namespace, events: int) -> dict:
+    """Workload provenance embedded in JSON snapshots."""
+    return {
+        "command": args.command,
+        "engine": args.engine,
+        "shards": args.shards,
+        "events": events,
+    }
+
+
+def _cmd_match(args: argparse.Namespace, out) -> int:
+    subs, events = _load_workload(args)
+    matcher = _build_matcher(args)
+    registry = matcher.use_metrics() if args.metrics_out else None
+    _populate(matcher, subs)
     for event in events:
         matched = sorted(matcher.match(event), key=str)
         out.write(json.dumps({"event": dict(event.items()), "matched": matched}))
         out.write("\n")
+    if registry is not None:
+        write_json_snapshot(
+            registry, args.metrics_out, context=_snapshot_context(args, len(events))
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace, out) -> int:
+    subs, events = _load_workload(args)
+    matcher = _build_matcher(args)
+    registry = matcher.use_metrics()
+    _populate(matcher, subs)
+    for event in events:
+        matcher.match(event)
+    context = _snapshot_context(args, len(events))
+    if args.format == "json":
+        json.dump(json_snapshot(registry, context=context), out, indent=2)
+        out.write("\n")
+    else:
+        out.write(prometheus_text(registry))
+    if args.metrics_out:
+        write_json_snapshot(registry, args.metrics_out, context=context)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    from repro.core.explain import explain
+    from repro.obs import Tracer
+
+    subs, events = _load_workload(args)
+    if not events:
+        out.write("no events in the input file\n")
+        return 1
+    if not 0 <= args.event_index < len(events):
+        out.write(
+            f"--event-index {args.event_index} out of range "
+            f"(file has {len(events)} events)\n"
+        )
+        return 1
+    event = events[args.event_index]
+    matcher = _build_matcher(args)
+    tracer = matcher.use_tracer(Tracer()) if args.trace else None
+    _populate(matcher, subs)
+    if args.shards > 1:
+        matched = sorted(matcher.match(event), key=str)
+        out.write(f"event:   {event}\n")
+        out.write(f"matched: {matched}\n")
+    else:
+        out.write(explain(matcher, event).describe())
+        out.write("\n")
+    if tracer is not None:
+        span = tracer.last()
+        out.write("trace:\n")
+        if span is None:
+            out.write("  (no span recorded)\n")
+        else:
+            out.write(span.format(indent=2))
+            out.write("\n")
     return 0
 
 
@@ -141,6 +284,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "match": _cmd_match,
+        "stats": _cmd_stats,
+        "explain": _cmd_explain,
         "generate": _cmd_generate,
         "bench": _cmd_bench,
         "demo": _cmd_demo,

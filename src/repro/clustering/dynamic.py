@@ -16,7 +16,7 @@ per-subscription marks so a subscription is counted at most once.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterable, List, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.clustering.access import Key, Schema
 
@@ -81,12 +81,16 @@ class DynamicParams:
 class PotentialTableTracker:
     """Benefit accounting for not-yet-created hash tables."""
 
-    __slots__ = ("_benefit", "_candidates", "_marked")
+    __slots__ = ("_benefit", "_candidates", "_marked", "on_ready")
 
     def __init__(self) -> None:
         self._benefit: Dict[Schema, int] = {}
         self._candidates: Dict[Schema, Set[EntryId]] = {}
         self._marked: Set[Any] = set()
+        #: Observability hook: called once per schema each time
+        #: :meth:`ready` reports it past the creation threshold (the
+        #: dynamic matcher wires this to a *Bcreate*-crossing counter).
+        self.on_ready: Optional[Callable[[Schema], None]] = None
 
     # ------------------------------------------------------------------
     # accumulation
@@ -131,6 +135,9 @@ class PotentialTableTracker:
         """Potential schemas whose benefit reached *b_create* (best first)."""
         ready = [s for s, b in self._benefit.items() if b >= b_create]
         ready.sort(key=lambda s: (-self._benefit[s], s))
+        if self.on_ready is not None:
+            for schema in ready:
+                self.on_ready(schema)
         return ready
 
     def candidates_of(self, schema: Schema) -> Tuple[EntryId, ...]:

@@ -9,9 +9,11 @@ benchmark harness, the broker and the tests can treat them uniformly.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.types import Event, Subscription
+from repro.obs.registry import MetricsRegistry, NOOP_REGISTRY
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class Matcher(abc.ABC):
@@ -30,6 +32,18 @@ class Matcher(abc.ABC):
     #: The paper's engines are single-threaded; only wrappers that add
     #: their own locking (ThreadSafeMatcher, ShardedMatcher) flip this.
     thread_safe: bool = False
+
+    #: Metrics sink; the no-op default costs one ``enabled`` check on the
+    #: hot path until :meth:`use_metrics` attaches a real registry.
+    metrics: MetricsRegistry = NOOP_REGISTRY
+
+    #: Trace sink; disabled by default (see :meth:`use_tracer`).
+    tracer: Tracer = NULL_TRACER
+
+    #: Value of the ``shard`` label on this engine's metric families;
+    #: the sharded fan-out stamps each inner engine with its index so
+    #: per-shard series stay distinct (and race-free) in one registry.
+    metrics_shard: str = ""
 
     @abc.abstractmethod
     def add(self, subscription: Subscription) -> None:
@@ -70,10 +84,36 @@ class Matcher(abc.ABC):
         """Match a batch of events; returns one id-list per event."""
         return [self.match(e) for e in events]
 
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def use_metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Attach a metrics registry (a fresh one if None); returns it.
+
+        Subclasses bind their instrument children in :meth:`_bind_metrics`;
+        until this is called the class-level no-op registry keeps the
+        instrumentation cost at a single boolean check per event.
+        """
+        registry = MetricsRegistry() if registry is None else registry
+        self.metrics = registry
+        self._bind_metrics()
+        return registry
+
+    def use_tracer(self, tracer: Optional[Tracer] = None) -> Tracer:
+        """Attach a span tracer (a fresh one if None); returns it."""
+        tracer = Tracer() if tracer is None else tracer
+        self.tracer = tracer
+        return tracer
+
+    def _bind_metrics(self) -> None:
+        """Hook: (re)create instrument children on :attr:`metrics`."""
+
     def stats(self) -> Dict[str, Any]:
         """Implementation-specific statistics (sizes, counters).
 
-        The base implementation reports only the subscription count;
-        subclasses extend the dict.
+        Contract (pinned by ``tests/obs/test_stats_contract.py``): the
+        returned dict is JSON-serializable with stable keys and always
+        carries ``name`` (str), ``subscriptions`` (int) and ``counters``
+        (flat str → number dict); subclasses extend it.
         """
-        return {"name": self.name, "subscriptions": len(self)}
+        return {"name": self.name, "subscriptions": len(self), "counters": {}}

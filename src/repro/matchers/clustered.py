@@ -147,15 +147,38 @@ class ClusteredMatcher(TwoPhaseMatcher):
         out: List[Any] = []
         bits = self.bits.array
         reads = 0
+        span = self._active_span
+        clusters_visited = 0
+        tables_probed = 0
         if len(self._universal):
-            reads += self._universal.match(bits, out, self.vectorized)
+            checked = self._universal.match(bits, out, self.vectorized)
+            reads += checked
+            if span is not None:
+                clusters_visited += self._universal.cluster_count
+                span.child(
+                    "universal",
+                    clusters=self._universal.cluster_count,
+                    checked=checked,
+                )
         for table in self.config.tables():
             if not len(table):
                 continue  # drained singletons keep their slot but hold nobody
             lst = table.probe(event)
             if lst is not None:
-                reads += lst.match(bits, out, self.vectorized)
+                checked = lst.match(bits, out, self.vectorized)
+                reads += checked
+                if span is not None:
+                    tables_probed += 1
+                    clusters_visited += lst.cluster_count
+                    span.child(
+                        "table",
+                        schema="/".join(table.schema),
+                        clusters=lst.cluster_count,
+                        checked=checked,
+                    )
         self.counters["subscription_checks"] += reads
+        if span is not None:
+            span.add(tables_probed=tables_probed, clusters_visited=clusters_visited)
         return out
 
     # ------------------------------------------------------------------

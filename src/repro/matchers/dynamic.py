@@ -75,6 +75,42 @@ class DynamicMatcher(ClusteredMatcher):
         }
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _bind_metrics(self) -> None:
+        super()._bind_metrics()
+        labels = {"engine": self.name, "shard": self.metrics_shard}
+        maint = self.metrics.counter(
+            "repro_dynamic_maintenance_total",
+            "Maintenance actions of the dynamic clustering algorithm, by kind.",
+            ("engine", "shard", "kind"),
+        )
+        self._m_maintenance = {
+            kind: maint.labels(kind=kind, **labels) for kind in self.maintenance
+        }
+        thresholds = self.metrics.counter(
+            "repro_dynamic_threshold_crossings_total",
+            "Times a Section-4 maintenance threshold (BMmax, Bcreate, Bdelete) fired.",
+            ("engine", "shard", "threshold"),
+        )
+        self._m_thresholds = {
+            name: thresholds.labels(threshold=name, **labels)
+            for name in ("bm_max", "b_create", "b_delete")
+        }
+        self._tracker.on_ready = lambda schema: self._note_threshold("b_create")
+
+    def _note_maintenance(self, kind: str, n: int = 1) -> None:
+        """Bump one maintenance counter (dict always, registry if enabled)."""
+        self.maintenance[kind] += n
+        if self.metrics.enabled:
+            self._m_maintenance[kind].inc(n)
+
+    def _note_threshold(self, which: str) -> None:
+        """Record one threshold crossing in the registry."""
+        if self.metrics.enabled:
+            self._m_thresholds[which].inc()
+
+    # ------------------------------------------------------------------
     # schema choice: cheapest existing table; singletons created lazily
     # ------------------------------------------------------------------
     def _choose_schema(self, sub: Subscription) -> Optional[Schema]:
@@ -213,6 +249,7 @@ class DynamicMatcher(ClusteredMatcher):
         last = self._last_handled.get(entry, 0.0)
         if last and bm < last * self.params.growth_factor:
             return
+        self._note_threshold("bm_max")
         self._distribute_entry(schema, key)
         self._last_handled[entry] = self.benefit_margin(schema, key)
 
@@ -225,7 +262,7 @@ class DynamicMatcher(ClusteredMatcher):
         lst = table.entry(key)
         if lst is None:
             return
-        self.maintenance["distributions"] += 1
+        self._note_maintenance("distributions")
         entry: EntryId = (schema, key)
         entry_nu = self._entry_nu(schema, key)
         members = [sid for cluster in lst.clusters() for sid in cluster.ids()]
@@ -246,7 +283,7 @@ class DynamicMatcher(ClusteredMatcher):
                 if self._tracker.is_marked(sid):
                     self._tracker.reset_votes(sub.equality_attributes)
                     self._tracker.unmark(sid)
-                self.maintenance["moves"] += 1
+                self._note_maintenance("moves")
             else:
                 stayers.append(sid)
         # Redistribution not enough: vote for potential tables.
@@ -289,7 +326,7 @@ class DynamicMatcher(ClusteredMatcher):
         if schema in self.config:
             return
         self.config.ensure_table(schema)
-        self.maintenance["tables_created"] += 1
+        self._note_maintenance("tables_created")
         for src_schema, src_key in candidates:
             table = self.config.table(src_schema)
             if table is None:
@@ -307,7 +344,7 @@ class DynamicMatcher(ClusteredMatcher):
                 if new_bucket <= cur_bucket - self._gap:
                     self.move_subscription(sid, schema)
                     self._tracker.unmark(sid)
-                    self.maintenance["moves"] += 1
+                    self._note_maintenance("moves")
 
     def _drop_table(self, schema: Schema) -> None:
         """Delete a table, redistributing its members to the best rest."""
@@ -333,9 +370,9 @@ class DynamicMatcher(ClusteredMatcher):
                 else None
             )
             self.move_subscription(sid, target)
-            self.maintenance["moves"] += 1
+            self._note_maintenance("moves")
         self.config.drop_table(schema)
-        self.maintenance["tables_dropped"] += 1
+        self._note_maintenance("tables_dropped")
 
     # ------------------------------------------------------------------
     # periodic sweep
@@ -343,7 +380,7 @@ class DynamicMatcher(ClusteredMatcher):
     def sweep(self) -> None:
         """Periodic maintenance: oversized entries, underused tables."""
         params = self.params
-        self.maintenance["sweeps"] += 1
+        self._note_maintenance("sweeps")
         for table in list(self.config.tables()):
             for key, lst in list(table.entries()):
                 # ν ≤ 1, so BM = ν·|entry| can only exceed the threshold
@@ -355,6 +392,7 @@ class DynamicMatcher(ClusteredMatcher):
         # natural clustering and stay).
         for table in list(self.config.tables()):
             if len(table.schema) > 1 and len(table) < params.b_delete:
+                self._note_threshold("b_delete")
                 self._drop_table(table.schema)
 
     # ------------------------------------------------------------------

@@ -53,6 +53,24 @@ class StaticMatcher(ClusteredMatcher):
         self.plan: Optional[ClusteringPlan] = None
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _bind_metrics(self) -> None:
+        super()._bind_metrics()
+        labels = {"engine": self.name, "shard": self.metrics_shard}
+        names = ("engine", "shard")
+        self._m_rebuilds = self.metrics.counter(
+            "repro_static_rebuilds_total",
+            "From-scratch greedy reorganizations (the Figure 3(d) loading cost).",
+            names,
+        ).labels(**labels)
+        self._m_plan_schemas = self.metrics.gauge(
+            "repro_static_plan_schemas",
+            "Hash-table schemas chosen by the current greedy plan.",
+            names,
+        ).labels(**labels)
+
+    # ------------------------------------------------------------------
     # schema choice
     # ------------------------------------------------------------------
     def _choose_schema(self, sub: Subscription) -> Optional[Schema]:
@@ -93,6 +111,9 @@ class StaticMatcher(ClusteredMatcher):
             if target != current_schema:
                 self.move_subscription(sub.id, target)
         self._drop_empty_tables()
+        if self.metrics.enabled:
+            self._m_rebuilds.inc()
+            self._m_plan_schemas.set(len(plan.schemas))
         return plan
 
     def _drop_empty_tables(self) -> None:

@@ -1,0 +1,55 @@
+"""Observability: metrics registry, per-event tracing, exporters.
+
+One measurement substrate for every layer of the system — the two-phase
+matchers, the dynamic maintainer, the sharded fan-out, the batch server
+and the benchmark harness all record into the same families:
+
+* :class:`MetricsRegistry` — counters, gauges and log-bucket
+  histograms, grouped into labeled families (Prometheus data model);
+* :class:`Tracer` / :class:`Span` — per-event trace trees (predicate
+  phase ns, bits set, clusters visited, residual checks, subscription
+  phase ns, shard fan-out/merge);
+* :func:`prometheus_text` / :func:`json_snapshot` — exporters, plus a
+  schema checker in :mod:`repro.obs.check`.
+
+Everything defaults to the no-op :data:`NOOP_REGISTRY` and
+:data:`NULL_TRACER`, so an uninstrumented match pays one boolean check;
+see ``docs/observability.md``.
+"""
+
+from repro.obs.export import (
+    json_snapshot,
+    prometheus_text,
+    write_json_snapshot,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_REGISTRY,
+    NoopRegistry,
+    exponential_buckets,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Family",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_REGISTRY",
+    "NULL_TRACER",
+    "NoopRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "exponential_buckets",
+    "json_snapshot",
+    "prometheus_text",
+    "write_json_snapshot",
+]

@@ -1,0 +1,106 @@
+"""Metric exporters: Prometheus text format and JSON snapshots.
+
+Both exporters read a :class:`~repro.obs.registry.MetricsRegistry` and
+are pure functions of its state; the JSON shape is the registry's own
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot`, validated against
+``schemas/metrics_snapshot.schema.json`` by :mod:`repro.obs.check`.
+
+Prometheus text follows the exposition format: ``# HELP`` / ``# TYPE``
+headers, label values escaped (backslash, double quote, newline),
+histograms expanded into cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for the Prometheus text format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP line (backslash and newline only, per the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _label_block(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(str(value))}"' for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every family as Prometheus exposition text."""
+    lines = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.children():
+            labels = dict(zip(family.labelnames, values))
+            if family.kind == "histogram":
+                for bound, cum in child.cumulative():
+                    with_le = dict(labels)
+                    with_le["le"] = _format_number(float(bound))
+                    lines.append(
+                        f"{family.name}_bucket{_label_block(with_le)} {cum}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_label_block(labels)} {_format_number(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{_label_block(labels)} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{_label_block(labels)} {_format_number(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def json_snapshot(
+    registry: MetricsRegistry, context: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The registry's JSON snapshot, optionally stamped with context.
+
+    *context* (workload name, scale, result numbers…) lands under a
+    top-level ``"context"`` key so benchmark emissions and CLI
+    emissions share one schema.
+    """
+    snap = registry.snapshot()
+    if context:
+        snap["context"] = dict(context)
+    return snap
+
+
+def write_json_snapshot(
+    registry: MetricsRegistry,
+    path: str,
+    context: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write the JSON snapshot to *path*; returns the written dict."""
+    snap = json_snapshot(registry, context)
+    with open(path, "w") as fp:
+        json.dump(snap, fp, indent=2, sort_keys=False, allow_nan=False)
+        fp.write("\n")
+    return snap

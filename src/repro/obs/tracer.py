@@ -1,0 +1,126 @@
+"""Per-event trace spans: where one ``match`` call spent its time.
+
+The registry (:mod:`repro.obs.registry`) aggregates; the tracer keeps
+*individual* events.  A :class:`Span` is a named bag of numeric/string
+fields plus child spans — the two-phase engines record predicate-phase
+nanoseconds, bit-vector set counts, clusters visited and residual
+checks, and the sharded engine nests per-shard fan-out under its own
+span.  ``repro explain --trace`` renders the tree.
+
+Like the metrics registry, the default on every matcher is the disabled
+:data:`NULL_TRACER`; hot paths check ``tracer.enabled`` (a class
+attribute read) before doing any timing work.  Attach a live tracer
+with ``matcher.use_tracer()``.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Deque, Dict, List, Optional
+
+
+def _format_field(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class Span:
+    """One named node in a trace tree."""
+
+    __slots__ = ("name", "fields", "children")
+
+    def __init__(self, name: str, **fields: Any) -> None:
+        self.name = name
+        self.fields: Dict[str, Any] = dict(fields)
+        self.children: List["Span"] = []
+
+    def child(self, name: str, **fields: Any) -> "Span":
+        """Create, attach and return a child span."""
+        span = Span(name, **fields)
+        self.children.append(span)
+        return span
+
+    def add(self, **fields: Any) -> "Span":
+        """Merge more fields into this span; returns self."""
+        self.fields.update(fields)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (fields plus nested children)."""
+        return {
+            "name": self.name,
+            "fields": dict(self.fields),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def format(self, indent: int = 0) -> str:
+        """Indented multi-line rendering of the span tree."""
+        pad = "  " * indent
+        fields = " ".join(
+            f"{k}={_format_field(v)}" for k, v in self.fields.items()
+        )
+        lines = [f"{pad}{self.name}" + (f" {fields}" if fields else "")]
+        lines.extend(c.format(indent + 1) for c in self.children)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, fields={self.fields}, children={len(self.children)})"
+
+
+class Tracer:
+    """Collects finished spans in a bounded ring buffer."""
+
+    #: Hot paths test this before building spans.
+    enabled = True
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        self._spans: Deque[Span] = collections.deque(maxlen=capacity)
+
+    def start(self, name: str, **fields: Any) -> Span:
+        """Create a root span (record it later with :meth:`finish`)."""
+        return Span(name, **fields)
+
+    def finish(self, span: Span) -> Span:
+        """Record a completed root span; returns it."""
+        self._spans.append(span)
+        return span
+
+    def last(self) -> Optional[Span]:
+        """The most recently finished root span, if any."""
+        return self._spans[-1] if self._spans else None
+
+    def spans(self) -> List[Span]:
+        """Snapshot of retained root spans, oldest first."""
+        return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop all retained spans."""
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class NullTracer(Tracer):
+    """The zero-cost default: never consulted by instrumented paths.
+
+    Defensive ``start``/``finish`` still work (spans are simply not
+    retained) so misguided callers cannot crash an engine.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def finish(self, span: Span) -> Span:
+        """Discard the span."""
+        return span
+
+
+#: Singleton default for every matcher; attach a live tracer with
+#: ``matcher.use_tracer()`` to start recording spans.
+NULL_TRACER = NullTracer()

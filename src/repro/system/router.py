@@ -212,7 +212,11 @@ class AffinityRouter(ShardRouter):
     def stats(self) -> Dict[str, Any]:
         base = super().stats()
         base["routing_attributes"] = dict(sorted(self._attr_refs.items()))
-        base["keyless_per_shard"] = dict(sorted(self._keyless.items()))
+        # str keys: the stats contract demands stable JSON round-trips
+        # (json.dumps would silently coerce int keys to strings anyway).
+        base["keyless_per_shard"] = {
+            str(shard): n for shard, n in sorted(self._keyless.items())
+        }
         return base
 
 

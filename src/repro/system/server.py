@@ -24,13 +24,17 @@ import dataclasses
 import queue
 import threading
 import time
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.errors import ReproError
 from repro.core.matcher import Matcher
 from repro.core.threadsafe import ThreadSafeMatcher
 from repro.core.types import Event, Subscription
 from repro.matchers.dynamic import DynamicMatcher
+from repro.obs.registry import MetricsRegistry
+
+#: Request kinds a batch can carry (the label set of the server families).
+_KINDS = ("subscribe", "unsubscribe", "publish")
 
 
 class ServerClosedError(ReproError, RuntimeError):
@@ -60,7 +64,12 @@ class _Request:
 class BatchServer:
     """Matcher on one or more worker threads, fed through a request queue."""
 
-    def __init__(self, matcher: Optional[Matcher] = None, workers: int = 1) -> None:
+    def __init__(
+        self,
+        matcher: Optional[Matcher] = None,
+        workers: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
         matcher = matcher if matcher is not None else DynamicMatcher()
@@ -70,12 +79,40 @@ class BatchServer:
         self.workers = workers
         self._requests: "queue.Queue[Optional[_Request]]" = queue.Queue()
         self._closed = False
+        # Server-side observability: one sample per *batch*, so a live
+        # registry is the default.  Workers share children — updates are
+        # serialized by this lock, not by the GIL.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._bind_metrics()
         self._threads = [
             threading.Thread(target=self._serve, daemon=True, name=f"repro-server-{i}")
             for i in range(workers)
         ]
         for thread in self._threads:
             thread.start()
+
+    def _bind_metrics(self) -> None:
+        m = self.metrics
+        self._m_queue_depth = m.gauge(
+            "repro_server_queue_depth", "Batches waiting in the request queue."
+        ).labels()
+        batches = m.counter(
+            "repro_server_batches_total", "Batches processed, by request kind.", ("kind",)
+        )
+        items = m.counter(
+            "repro_server_items_total",
+            "Items (subscriptions/ids/events) processed, by request kind.",
+            ("kind",),
+        )
+        seconds = m.histogram(
+            "repro_server_batch_seconds",
+            "Server-side processing latency per batch, by request kind.",
+            ("kind",),
+        )
+        self._m_batches = {k: batches.labels(kind=k) for k in _KINDS}
+        self._m_items = {k: items.labels(kind=k) for k in _KINDS}
+        self._m_batch_seconds = {k: seconds.labels(kind=k) for k in _KINDS}
 
     # ------------------------------------------------------------------
     # worker
@@ -100,6 +137,11 @@ class BatchServer:
                 else:  # pragma: no cover - guarded by the submit methods
                     raise AssertionError(request.kind)
                 elapsed = time.perf_counter() - start
+                with self._metrics_lock:
+                    self._m_batches[request.kind].inc()
+                    self._m_items[request.kind].inc(len(request.payload))
+                    self._m_batch_seconds[request.kind].observe(elapsed)
+                    self._m_queue_depth.set(self._requests.qsize())
                 request.reply_queue.put((results, elapsed, None))
             except Exception as exc:  # deliver failures to the caller
                 request.reply_queue.put((None, 0.0, exc))
@@ -113,6 +155,8 @@ class BatchServer:
         reply: "queue.Queue[Any]" = queue.Queue()
         submitted = time.perf_counter()
         self._requests.put(_Request(kind, payload, reply, submitted))
+        with self._metrics_lock:
+            self._m_queue_depth.set(self._requests.qsize())
         results, processing, error = reply.get()
         if error is not None:
             raise error
@@ -134,6 +178,26 @@ class BatchServer:
         """Match an event batch (the paper's ``n_E_b`` unit); the reply's
         results hold one id-list per event."""
         return self._submit("publish", list(batch))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Unified stats shape: server counters plus the engine's own."""
+        with self._metrics_lock:
+            counters: Dict[str, Any] = {}
+            for kind in _KINDS:
+                counters[f"batches_{kind}"] = self._m_batches[kind].value
+                counters[f"items_{kind}"] = self._m_items[kind].value
+                counters[f"seconds_{kind}"] = self._m_batch_seconds[kind].sum
+        return {
+            "name": "batch-server",
+            "subscriptions": len(self.matcher),
+            "workers": self.workers,
+            "queue_depth": self._requests.qsize(),
+            "counters": counters,
+            "matcher": self.matcher.stats(),
+        }
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -23,11 +23,16 @@ design the multi-worker :class:`~repro.system.server.BatchServer`
 relies on — while each inner engine still sees strictly serial
 operations.
 
-Observability: :meth:`stats` exposes per-shard populations, per-shard
-events-routed counters, the number of whole-shard skips the router
-achieved, and cumulative fan-out/merge timings, so the benefit of
-affinity routing is measurable (``benchmarks/bench_sharding.py``)
-rather than asserted.
+Observability: routing counters live in a
+:class:`~repro.obs.registry.MetricsRegistry` (per-shard populations,
+per-shard events-routed, whole-shard skips, fan-out/merge latency
+histograms), so the benefit of affinity routing is measurable
+(``benchmarks/bench_sharding.py``) rather than asserted.  The sharded
+layer is coarse-grained, so it carries a live registry by default;
+``use_metrics`` swaps in a shared registry and propagates it to every
+inner engine with a distinct ``shard`` label (keeping each series
+single-writer under that shard's lock).  ``use_tracer`` records one
+fan-out span per event with per-shard children.
 """
 
 from __future__ import annotations
@@ -40,6 +45,8 @@ from typing import Any, Callable, Dict, List, Optional, Union
 from repro.core.errors import DuplicateSubscriptionError, UnknownSubscriptionError
 from repro.core.matcher import Matcher
 from repro.core.types import Event, Subscription
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.system.router import ShardRouter, make_router
 
 #: How an inner engine may be specified: a ready factory, or a registered
@@ -88,15 +95,69 @@ class ShardedMatcher(Matcher):
         self._parallel = parallel and shards > 1
         self._max_workers = max_workers or shards
         self._pool: Optional[ThreadPoolExecutor] = None
-        #: Cumulative routing/merge observability counters.
-        self.counters: Dict[str, Any] = {
-            "events": 0,
-            "shard_visits": 0,
-            "shards_skipped": 0,
-            "fanout_seconds": 0.0,
-            "merge_seconds": 0.0,
+        # The fan-out layer records a handful of samples per event, so a
+        # live registry is the default here (inner engines stay no-op
+        # until use_metrics propagates a shared registry to them).
+        self.metrics = MetricsRegistry()
+        self._bind_metrics()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _bind_metrics(self) -> None:
+        m = self.metrics
+        self._m_events = m.counter(
+            "repro_sharded_events_total", "Events fanned out by the sharded engine."
+        ).labels()
+        self._m_skipped = m.counter(
+            "repro_sharded_shards_skipped_total",
+            "Whole-shard skips the router achieved.",
+        ).labels()
+        visits = m.counter(
+            "repro_sharded_shard_visits_total",
+            "Events routed to each shard.",
+            ("shard",),
+        )
+        self._m_visits = [visits.labels(shard=str(i)) for i in range(len(self._shards))]
+        self._m_fanout_seconds = m.histogram(
+            "repro_sharded_fanout_seconds",
+            "Per-event latency of the candidate-shard fan-out.",
+        ).labels()
+        self._m_merge_seconds = m.histogram(
+            "repro_sharded_merge_seconds",
+            "Per-event latency of concatenating per-shard results.",
+        ).labels()
+
+    def use_metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Attach a (shared) registry here *and* on every inner engine.
+
+        Each inner engine is stamped with its shard index as the
+        ``shard`` label, so the per-engine families stay one-writer-per-
+        series even when the fan-out pool probes shards concurrently.
+        """
+        registry = super().use_metrics(registry)
+        for index, inner in enumerate(self._shards):
+            inner.metrics_shard = str(index)
+            inner.use_metrics(registry)
+        return registry
+
+    def use_tracer(self, tracer: Optional[Tracer] = None) -> Tracer:
+        """Attach a tracer to the fan-out layer and every inner engine."""
+        tracer = super().use_tracer(tracer)
+        for inner in self._shards:
+            inner.use_tracer(tracer)
+        return tracer
+
+    @property
+    def counters(self) -> Dict[str, Any]:
+        """Cumulative routing counters (read from the registry families)."""
+        return {
+            "events": self._m_events.value,
+            "shard_visits": sum(c.value for c in self._m_visits),
+            "shards_skipped": self._m_skipped.value,
+            "fanout_seconds": self._m_fanout_seconds.sum,
+            "merge_seconds": self._m_merge_seconds.sum,
         }
-        self._visits_per_shard = [0] * shards
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -193,12 +254,22 @@ class ShardedMatcher(Matcher):
             candidates = [
                 s for s in self.router.candidate_shards(event) if self._population[s]
             ]
-            self.counters["events"] += 1
-            self.counters["shard_visits"] += len(candidates)
-            self.counters["shards_skipped"] += len(self._shards) - len(candidates)
+            self._m_events.inc()
+            self._m_skipped.inc(len(self._shards) - len(candidates))
             for s in candidates:
-                self._visits_per_shard[s] += 1
+                self._m_visits[s].inc()
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "fanout",
+                engine=self.name,
+                shards=len(self._shards),
+                candidates=len(candidates),
+                skipped=len(self._shards) - len(candidates),
+            )
         if not candidates:
+            if span is not None:
+                self.tracer.finish(span.add(matched=0))
             return []
         start = time.perf_counter()
         if self._parallel and len(candidates) > 1:
@@ -213,8 +284,17 @@ class ShardedMatcher(Matcher):
             merged.extend(ids)
         done = time.perf_counter()
         with self._meta:
-            self.counters["fanout_seconds"] += merged_at - start
-            self.counters["merge_seconds"] += done - merged_at
+            self._m_fanout_seconds.observe(merged_at - start)
+            self._m_merge_seconds.observe(done - merged_at)
+        if span is not None:
+            for shard, ids in zip(candidates, per_shard):
+                span.child("shard", index=shard, matched=len(ids))
+            span.add(
+                matched=len(merged),
+                fanout_ns=int((merged_at - start) * 1e9),
+                merge_ns=int((done - merged_at) * 1e9),
+            )
+            self.tracer.finish(span)
         return merged
 
     # ------------------------------------------------------------------
@@ -240,7 +320,7 @@ class ShardedMatcher(Matcher):
             base["inner"] = self._shards[0].name
             base["parallel"] = self._parallel
             base["per_shard_subscriptions"] = list(self._population)
-            base["per_shard_events_routed"] = list(self._visits_per_shard)
-            base["counters"] = dict(self.counters)
+            base["per_shard_events_routed"] = [c.value for c in self._m_visits]
+            base["counters"] = self.counters
             base["router"] = self.router.stats()
         return base

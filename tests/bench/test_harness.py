@@ -3,6 +3,7 @@
 import pytest
 
 from repro.bench import (
+    bench_snapshot_path,
     configured_scale,
     format_table,
     format_value,
@@ -101,6 +102,31 @@ class TestMeasurement:
         subs, events = self._population()
         out = run_series(CountingMatcher, subs, events)
         assert set(out) >= {"load_seconds", "events_per_second", "total_matches"}
+
+    def test_run_series_metrics_out(self, tmp_path):
+        import json
+
+        from repro.matchers import DynamicMatcher
+        from repro.obs.check import validate_file
+
+        subs, events = self._population()
+        path = bench_snapshot_path("smoke", directory=str(tmp_path))
+        assert path.endswith("BENCH_SMOKE.json")
+        out = run_series(
+            DynamicMatcher, subs, events, metrics_out=path, context={"figure": "t1"}
+        )
+        assert validate_file(path, "schemas/metrics_snapshot.schema.json") == []
+        snap = json.loads(open(path).read())
+        assert snap["context"]["figure"] == "t1"
+        assert snap["context"]["results"]["total_matches"] == out["total_matches"]
+        names = {m["name"] for m in snap["metrics"]}
+        assert "repro_events_total" in names
+
+    def test_bench_snapshot_path_sanitizes(self):
+        assert bench_snapshot_path("fig3a") == "./BENCH_FIG3A.json"
+        assert bench_snapshot_path("phase-split").endswith("BENCH_PHASE_SPLIT.json")
+        with pytest.raises(ValueError):
+            bench_snapshot_path("***")
 
 
 class TestMemory:

@@ -1,0 +1,91 @@
+"""Disabled instrumentation must cost (almost) nothing.
+
+The no-op default on every matcher is one boolean test per ``match``:
+``if self.metrics.enabled or self.tracer.enabled``.  This bench pins
+that claim on the Table-1 (W0) workload by racing the instrumented
+``match`` entry point — with the no-op registry/tracer attached —
+against a local replica of the *seed* match body (the pre-observability
+code, with no enabled check at all).  Best-of-N trials on both sides to
+squeeze out scheduler noise; the instrumented side must stay within 5%.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.matchers import DynamicMatcher
+from repro.obs import NOOP_REGISTRY, NULL_TRACER
+from repro.workload import WorkloadGenerator, w0
+
+TRIALS = 5
+ALLOWED_OVERHEAD = 1.05
+
+
+def _baseline_match(matcher, event):
+    """The seed's ``match`` body, with no instrumentation branch at all."""
+    matcher.bits.reset()
+    satisfied = matcher.indexes.evaluate(event, matcher.bits)
+    matcher.counters["events"] += 1
+    matcher.counters["predicates_satisfied"] += satisfied
+    return matcher._match_phase2(event)
+
+
+def _best_of(fn, trials=TRIALS):
+    best = float("inf")
+    for _ in range(trials):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.slow
+class TestNoopOverhead:
+    def test_disabled_metrics_within_5_percent(self):
+        gen = WorkloadGenerator(w0(n_subscriptions=2000, seed=11))
+        subs = list(gen.subscriptions())
+        events = list(gen.events(400))
+
+        matcher = DynamicMatcher()
+        for sub in subs:
+            matcher.add(sub)
+        # The defaults are the no-op sinks; make that explicit.
+        assert matcher.metrics is NOOP_REGISTRY
+        assert matcher.tracer is NULL_TRACER
+
+        def run_instrumented():
+            for event in events:
+                matcher.match(event)
+
+        def run_baseline():
+            for event in events:
+                _baseline_match(matcher, event)
+
+        # Same matcher state on both sides; warm up once each so dynamic
+        # clustering maintenance settles before timing.
+        run_baseline()
+        run_instrumented()
+
+        baseline = _best_of(run_baseline)
+        instrumented = _best_of(run_instrumented)
+        ratio = instrumented / baseline
+        assert ratio < ALLOWED_OVERHEAD, (
+            f"no-op instrumentation overhead {ratio:.3f}x exceeds "
+            f"{ALLOWED_OVERHEAD}x (baseline {baseline * 1e3:.2f} ms, "
+            f"instrumented {instrumented * 1e3:.2f} ms)"
+        )
+
+    def test_results_identical_to_baseline(self):
+        gen = WorkloadGenerator(w0(n_subscriptions=500, seed=13))
+        subs = list(gen.subscriptions())
+        events = list(gen.events(50))
+        a, b = DynamicMatcher(), DynamicMatcher()
+        for sub in subs:
+            a.add(sub)
+            b.add(sub)
+        for event in events:
+            assert sorted(a.match(event), key=str) == sorted(
+                _baseline_match(b, event), key=str
+            )

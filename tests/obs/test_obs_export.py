@@ -1,0 +1,115 @@
+"""Exporters: Prometheus text format, JSON snapshots, the schema checker."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs import MetricsRegistry, json_snapshot, prometheus_text, write_json_snapshot
+from repro.obs.check import validate, validate_file
+from repro.obs.export import escape_help, escape_label_value
+
+SCHEMA_PATH = "schemas/metrics_snapshot.schema.json"
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value(r"a\b") == "a\\\\b"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("line1\nline2") == "line1\\nline2"
+
+    def test_escaped_value_round_trips_in_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("esc_total", "help.", ("v",)).labels(v='q"\\\n').inc()
+        text = prometheus_text(reg)
+        assert 'esc_total{v="q\\"\\\\\\n"} 1' in text
+
+    def test_help_escaping(self):
+        assert escape_help("multi\nline \\ help") == "multi\\nline \\\\ help"
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", "Events seen.", ("engine",)).labels(
+            engine="dynamic"
+        ).inc(7)
+        reg.gauge("live", "Live things.").labels().set(3)
+        text = prometheus_text(reg)
+        assert "# HELP events_total Events seen.\n" in text
+        assert "# TYPE events_total counter\n" in text
+        assert 'events_total{engine="dynamic"} 7\n' in text
+        assert "# TYPE live gauge\n" in text
+        assert "live 3\n" in text
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat_seconds", "Latency.", ("phase",))
+        child = fam.labels(phase="p1")
+        child.observe(0.5)
+        child.observe(123.0)
+        text = prometheus_text(reg)
+        assert 'lat_seconds_bucket{phase="p1",le="+Inf"} 2\n' in text
+        assert 'lat_seconds_sum{phase="p1"} 123.5\n' in text
+        assert 'lat_seconds_count{phase="p1"} 2\n' in text
+        # Bucket counts are cumulative and the series is monotone.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("lat_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_non_finite_sample_rendering(self):
+        reg = MetricsRegistry()
+        reg.gauge("weird", "help.").labels().set(math.inf)
+        assert "weird +Inf\n" in prometheus_text(reg)
+
+
+class TestJsonSnapshot:
+    def test_context_embedded(self):
+        reg = MetricsRegistry()
+        snap = json_snapshot(reg, context={"engine": "static"})
+        assert snap["context"] == {"engine": "static"}
+
+    def test_written_file_passes_schema(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help.", ("engine", "shard")).labels(
+            engine="x", shard="0"
+        ).inc()
+        reg.histogram("b_seconds", "help.").labels().observe(0.1)
+        path = tmp_path / "snap.json"
+        write_json_snapshot(reg, str(path), context={"events": 1})
+        assert validate_file(str(path), SCHEMA_PATH) == []
+
+    def test_non_finite_sum_serializes_as_string(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.histogram("h", "help.").labels().observe(math.inf)
+        path = tmp_path / "snap.json"
+        write_json_snapshot(reg, str(path))
+        data = json.loads(path.read_text())
+        (metric,) = data["metrics"]
+        assert metric["samples"][0]["sum"] == "+Inf"
+
+
+class TestSchemaChecker:
+    def test_rejects_wrong_version(self):
+        schema = json.load(open(SCHEMA_PATH))
+        bad = {"version": 2, "metrics": []}
+        assert validate(bad, schema) != []
+
+    def test_rejects_missing_required(self):
+        schema = json.load(open(SCHEMA_PATH))
+        bad = {"version": 1, "metrics": [{"name": "x"}]}
+        assert validate(bad, schema) != []
+
+    def test_rejects_unknown_top_level_key(self):
+        schema = json.load(open(SCHEMA_PATH))
+        bad = {"version": 1, "metrics": [], "extra": 1}
+        assert validate(bad, schema) != []
+
+    def test_accepts_real_snapshot(self):
+        schema = json.load(open(SCHEMA_PATH))
+        reg = MetricsRegistry()
+        reg.counter("ok_total", "help.").labels().inc()
+        assert validate(json_snapshot(reg), schema) == []

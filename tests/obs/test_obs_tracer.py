@@ -1,0 +1,67 @@
+"""Span trees and the tracer ring buffer."""
+
+from __future__ import annotations
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class TestSpan:
+    def test_child_nesting_and_to_dict(self):
+        root = Span("match", engine="dynamic")
+        table = root.child("table", schema="a/b", checked=3)
+        table.child("cluster", size=2)
+        root.add(matched=1)
+        d = root.to_dict()
+        assert d["name"] == "match"
+        assert d["fields"] == {"engine": "dynamic", "matched": 1}
+        assert d["children"][0]["name"] == "table"
+        assert d["children"][0]["children"][0]["fields"] == {"size": 2}
+
+    def test_format_indents_children(self):
+        root = Span("match", engine="x")
+        root.child("table", schema="s")
+        text = root.format()
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("match")
+        assert lines[1].startswith("  ") and "table" in lines[1]
+
+    def test_format_renders_floats_compactly(self):
+        text = Span("s", ratio=0.3333333333333).format()
+        assert "0.333333" in text
+
+
+class TestTracer:
+    def test_start_finish_last(self):
+        tracer = Tracer()
+        span = tracer.start("match", engine="e")
+        assert tracer.last() is None  # not finished yet
+        tracer.finish(span)
+        assert tracer.last() is span
+        assert len(tracer) == 1
+
+    def test_ring_capacity_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        spans = [tracer.start("s", i=i) for i in range(5)]
+        for span in spans:
+            tracer.finish(span)
+        kept = tracer.spans()
+        assert len(kept) == 3
+        assert [s.fields["i"] for s in kept] == [2, 3, 4]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.finish(tracer.start("s"))
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.last() is None
+
+
+class TestNullTracer:
+    def test_disabled_and_discards(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        tracer.finish(tracer.start("s", a=1))
+        assert len(tracer) == 0
+        assert tracer.last() is None
+
+    def test_singleton_disabled(self):
+        assert not NULL_TRACER.enabled

@@ -1,0 +1,118 @@
+"""The unified stats() contract across every component that exposes one.
+
+Contract: ``stats()`` returns a dict that is (a) JSON-serializable with
+``json.dumps`` under strict mode, (b) keyed only by strings at every
+level, and (c) for matchers, carries at least ``name`` (str),
+``subscriptions`` (int) and ``counters`` (flat dict).  Keys must be
+stable across calls so dashboards can rely on them.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.bench.harness import matcher_for, uniform_statistics_for
+from repro.cache.metrics import CacheMetrics
+from repro.core.threadsafe import ThreadSafeMatcher
+from repro.matchers import MATCHER_FACTORIES, DynamicMatcher
+from repro.system.router import ROUTERS, make_router
+from repro.system.server import BatchServer
+from repro.workload.scenarios import paper_workloads
+
+from tests.conftest import make_event, make_subscription
+
+
+def _exercised(matcher):
+    """Load a small workload and match a few events through *matcher*."""
+    rng = random.Random(7)
+    for i in range(30):
+        matcher.add(make_subscription(rng, f"s{i}"))
+    rebuild = getattr(matcher, "rebuild", None)
+    if callable(rebuild):
+        rebuild()
+    for _ in range(10):
+        matcher.match(make_event(rng))
+    return matcher
+
+
+def _assert_str_keys(obj, path="$"):
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            assert isinstance(key, str), f"non-str key {key!r} at {path}"
+            _assert_str_keys(value, f"{path}.{key}")
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            _assert_str_keys(value, f"{path}[{i}]")
+
+
+def _assert_contract(stats):
+    # Strict JSON (no NaN/Infinity literals) and str keys throughout.
+    json.loads(json.dumps(stats, allow_nan=False))
+    _assert_str_keys(stats)
+
+
+@pytest.mark.parametrize("algorithm", sorted(MATCHER_FACTORIES))
+def test_every_registered_matcher(algorithm):
+    spec = paper_workloads(0.001)["W0"]
+    matcher = _exercised(matcher_for(algorithm, spec))
+    stats = matcher.stats()
+    _assert_contract(stats)
+    assert isinstance(stats["name"], str) and stats["name"]
+    assert stats["subscriptions"] == 30
+    assert isinstance(stats["counters"], dict)
+
+
+@pytest.mark.parametrize("algorithm", sorted(MATCHER_FACTORIES))
+def test_keys_stable_across_calls(algorithm):
+    spec = paper_workloads(0.001)["W0"]
+    matcher = _exercised(matcher_for(algorithm, spec))
+    first = set(matcher.stats())
+    matcher.match(make_event(random.Random(9)))
+    assert set(matcher.stats()) == first
+
+
+def test_thread_safe_wrapper():
+    matcher = _exercised(ThreadSafeMatcher(DynamicMatcher()))
+    stats = matcher.stats()
+    _assert_contract(stats)
+    assert stats["subscriptions"] == 30
+
+
+def test_batch_server():
+    rng = random.Random(7)
+    with BatchServer(DynamicMatcher()) as server:
+        server.submit_subscriptions(
+            [make_subscription(rng, f"s{i}") for i in range(10)]
+        )
+        server.submit_events([make_event(rng) for _ in range(5)])
+        stats = server.stats()
+    _assert_contract(stats)
+    assert stats["name"] == "batch-server"
+    assert stats["subscriptions"] == 10
+    assert stats["counters"]["batches_publish"] == 1
+    assert stats["counters"]["items_publish"] == 5
+    assert stats["matcher"]["name"] == "dynamic"
+
+
+@pytest.mark.parametrize("policy", sorted(ROUTERS))
+def test_routers(policy):
+    rng = random.Random(7)
+    router = make_router(policy, 4)
+    for i in range(20):
+        router.shard_for(make_subscription(rng, f"s{i}"))
+    stats = router.stats()
+    _assert_contract(stats)
+    assert stats["router"] == policy
+    assert stats["shards"] == 4
+
+
+def test_cache_metrics():
+    metrics = CacheMetrics(accesses=10, hits=7, misses=3, cycles=100, stall_cycles=30)
+    stats = metrics.stats()
+    _assert_contract(stats)
+    assert stats["name"] == "cache"
+    assert stats["counters"]["misses"] == 3
+    assert stats["miss_rate"] == pytest.approx(0.3)

@@ -1,0 +1,106 @@
+"""Observability invariants: what the tracer and registry report is true.
+
+For any seeded workload, the per-event ``match`` span must satisfy the
+structural invariants of the two-phase algorithm:
+
+* every matched subscription was checked, so
+  ``clusters_visited * avg_cluster_size >= matched`` where the average
+  cluster size is taken over the visited clusters
+  (``subscriptions_checked / clusters_visited``);
+* ``bits_set`` equals the number of distinct live predicates the event
+  satisfies, recomputed against the predicate registry by brute force;
+* the registry counter mirror agrees with the engine's own counters.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.matchers import DynamicMatcher
+from repro.obs import Tracer
+from tests.properties.strategies import events, subscriptions
+
+COMMON_SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _oracle_bits_set(matcher, event) -> int:
+    """Distinct registered predicates the event satisfies, by brute force."""
+    count = 0
+    for bit in range(len(matcher.registry)):
+        pred = matcher.registry.predicate(bit)
+        if event.has(pred.attribute) and pred.matches(event.get(pred.attribute)):
+            count += 1
+    return count
+
+
+@pytest.mark.slow
+class TestSpanInvariants:
+    @COMMON_SETTINGS
+    @given(
+        subs=st.lists(subscriptions(), min_size=1, max_size=40, unique_by=lambda s: s.id),
+        evts=st.lists(events(), min_size=1, max_size=10),
+    )
+    def test_match_span_is_truthful(self, subs, evts):
+        matcher = DynamicMatcher()
+        tracer = matcher.use_tracer(Tracer(capacity=len(evts) + 1))
+        registry = matcher.use_metrics()
+        for sub in subs:
+            matcher.add(sub)
+        for event in evts:
+            matched = matcher.match(event)
+            span = tracer.last()
+            assert span is not None and span.name == "match"
+
+            # Phase-1 truth: the reported bit count is the oracle's.
+            assert span.fields["bits_set"] == _oracle_bits_set(matcher, event)
+
+            # Phase-2 coverage: every match was checked, i.e. the visited
+            # clusters held at least the matched subscriptions.
+            checked = span.fields["subscriptions_checked"]
+            visited = span.fields["clusters_visited"]
+            assert span.fields["matched"] == len(matched)
+            assert checked >= len(matched)
+            if visited:
+                avg_cluster_size = checked / visited
+                assert visited * avg_cluster_size >= len(matched)
+            else:
+                assert not matched
+
+            # Phase timings are present and non-negative.
+            assert span.fields["predicate_ns"] >= 0
+            assert span.fields["subscription_ns"] >= 0
+
+        # The registry mirror equals the engine's own bookkeeping.
+        labels = {"engine": matcher.name, "shard": ""}
+        fam = registry.family("repro_events_total")
+        assert fam.labels(**labels).value == len(evts)
+        assert (
+            registry.family("repro_predicates_satisfied_total").labels(**labels).value
+            == matcher.counters["predicates_satisfied"]
+        )
+        assert (
+            registry.family("repro_subscription_checks_total").labels(**labels).value
+            == matcher.counters["subscription_checks"]
+        )
+
+    @COMMON_SETTINGS
+    @given(
+        subs=st.lists(subscriptions(), min_size=1, max_size=40, unique_by=lambda s: s.id),
+        evts=st.lists(events(), min_size=1, max_size=10),
+    )
+    def test_instrumented_and_plain_matches_agree(self, subs, evts):
+        plain = DynamicMatcher()
+        traced = DynamicMatcher()
+        traced.use_metrics()
+        traced.use_tracer(Tracer())
+        for sub in subs:
+            plain.add(sub)
+            traced.add(sub)
+        for event in evts:
+            assert sorted(plain.match(event), key=str) == sorted(
+                traced.match(event), key=str
+            )

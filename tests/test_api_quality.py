@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.algorithms",
     "repro.clustering",
     "repro.matchers",
+    "repro.obs",
     "repro.cache",
     "repro.workload",
     "repro.system",
