@@ -5,9 +5,9 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all bench-smoke metrics-smoke
+.PHONY: test test-all bench-smoke metrics-smoke durability-smoke
 
-test: metrics-smoke
+test: metrics-smoke durability-smoke
 	$(PYTEST) -q -m "not slow"
 
 test-all:
@@ -34,3 +34,13 @@ metrics-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.check \
 		$(METRICS_SMOKE_DIR)/snapshot.json schemas/metrics_snapshot.schema.json
 	rm -rf $(METRICS_SMOKE_DIR)
+
+# End-to-end durability check: journal a churning workload, compact to
+# a snapshot mid-stream, tear the WAL tail (a crash mid-append), then
+# recover and differentially match against the pre-crash oracle. Part
+# of tier-1 (`make test` runs it alongside metrics-smoke).
+DURABILITY_SMOKE_DIR := .durability-smoke
+durability-smoke:
+	rm -rf $(DURABILITY_SMOKE_DIR)
+	PYTHONPATH=src $(PYTHON) examples/durability_smoke.py $(DURABILITY_SMOKE_DIR)
+	rm -rf $(DURABILITY_SMOKE_DIR)

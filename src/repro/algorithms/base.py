@@ -177,6 +177,9 @@ class TwoPhaseMatcher(Matcher):
     def __contains__(self, sub_id: Any) -> bool:
         return sub_id in self._subs
 
+    def iter_subscriptions(self) -> List[Subscription]:
+        return list(self._subs.values())
+
     def __len__(self) -> int:
         return len(self._subs)
 

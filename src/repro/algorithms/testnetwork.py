@@ -240,6 +240,9 @@ class TreeMatcher(Matcher):
         self.nodes_visited += visited
         return out
 
+    def iter_subscriptions(self) -> List[Subscription]:
+        return list(self._subs.values())
+
     def __len__(self) -> int:
         return len(self._subs)
 

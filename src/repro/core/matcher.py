@@ -69,6 +69,18 @@ class Matcher(abc.ABC):
     def __len__(self) -> int:
         """Number of live subscriptions."""
 
+    def iter_subscriptions(self) -> List[Subscription]:
+        """Snapshot of the stored subscriptions (a stable list, not a view).
+
+        The durability layer (``repro.system.snapshot``, ``repro.system.wal``)
+        persists broker state through this surface, so every engine and
+        wrapper must implement it; returning a fresh list keeps callers safe
+        from concurrent mutation in locking wrappers.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose its subscriptions"
+        )
+
     # ------------------------------------------------------------------
     # conveniences shared by all matchers
     # ------------------------------------------------------------------

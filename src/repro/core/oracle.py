@@ -44,5 +44,8 @@ class OracleMatcher(Matcher):
         except KeyError:
             raise UnknownSubscriptionError(sub_id) from None
 
+    def iter_subscriptions(self) -> List[Subscription]:
+        return list(self._subs.values())
+
     def __len__(self) -> int:
         return len(self._subs)

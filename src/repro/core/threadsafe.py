@@ -45,6 +45,10 @@ class ThreadSafeMatcher(Matcher):
         with self._lock:
             return self.inner.match(event)
 
+    def iter_subscriptions(self) -> List[Subscription]:
+        with self._lock:
+            return self.inner.iter_subscriptions()
+
     def __len__(self) -> int:
         with self._lock:
             return len(self.inner)

@@ -53,5 +53,8 @@ class TriggerMatcher(Matcher):
         fired = self._table.insert_event(event)
         return [self._id_of_trigger[name] for name in fired]
 
+    def iter_subscriptions(self) -> List[Subscription]:
+        return list(self._subs.values())
+
     def __len__(self) -> int:
         return len(self._subs)

@@ -19,9 +19,22 @@ from repro.system.router import (
     ShardRouter,
     make_router,
 )
+from repro.system.recovery import (
+    RecoveryError,
+    RecoveryReport,
+    recover,
+    recover_files,
+)
 from repro.system.server import BatchReply, BatchServer, ServerClosedError
 from repro.system.sharding import ShardedMatcher
-from repro.system.snapshot import SnapshotError, load_snapshot, save_snapshot
+from repro.system.snapshot import (
+    SnapshotError,
+    SnapshotRecord,
+    load_snapshot,
+    read_snapshot,
+    save_snapshot,
+)
+from repro.system.wal import FSYNC_POLICIES, WalError, WriteAheadLog, read_wal
 
 __all__ = [
     "AffinityRouter",
@@ -30,8 +43,11 @@ __all__ = [
     "CallbackNotifier",
     "Clock",
     "EventStore",
+    "FSYNC_POLICIES",
     "HashRouter",
     "ROUTERS",
+    "RecoveryError",
+    "RecoveryReport",
     "RoundRobinRouter",
     "ServerClosedError",
     "ShardRouter",
@@ -43,10 +59,17 @@ __all__ = [
     "PubSubBroker",
     "QueueNotifier",
     "SnapshotError",
+    "SnapshotRecord",
     "SubscriptionLike",
     "SystemClock",
     "VirtualClock",
+    "WalError",
+    "WriteAheadLog",
     "load_snapshot",
     "make_router",
+    "read_snapshot",
+    "read_wal",
+    "recover",
+    "recover_files",
     "save_snapshot",
 ]

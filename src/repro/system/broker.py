@@ -17,9 +17,22 @@ injected clock.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.errors import (
     ExpiredError,
@@ -33,6 +46,9 @@ from repro.matchers.dynamic import DynamicMatcher
 from repro.system.clock import Clock, SystemClock
 from repro.system.event_store import EventStore
 from repro.system.notifier import Notification, Notifier, QueueNotifier
+
+if TYPE_CHECKING:  # runtime import would be circular (wal → snapshot → broker)
+    from repro.system.wal import WriteAheadLog
 
 #: Things subscribe() accepts: a full Subscription or bare predicates.
 SubscriptionLike = Union[Subscription, Sequence[Predicate]]
@@ -48,6 +64,7 @@ class PubSubBroker:
         notifier: Optional[Notifier] = None,
         default_subscription_ttl: Optional[float] = None,
         event_retention_ttl: Optional[float] = None,
+        wal: Optional["WriteAheadLog"] = None,
     ) -> None:
         """Create a broker.
 
@@ -66,12 +83,22 @@ class PubSubBroker:
         event_retention_ttl:
             how long published events stay matchable against *new*
             subscriptions; None = events are not retained.
+        wal:
+            optional :class:`~repro.system.wal.WriteAheadLog`; when set,
+            every accepted subscribe/unsubscribe is journaled so the
+            broker can be rebuilt by :func:`repro.system.recovery.recover`.
         """
         self.matcher = matcher if matcher is not None else DynamicMatcher()
         self.clock = clock if clock is not None else SystemClock()
         self.notifier = notifier if notifier is not None else QueueNotifier()
         self.default_subscription_ttl = default_subscription_ttl
         self.event_retention_ttl = event_retention_ttl
+        self.wal: Optional["WriteAheadLog"] = None
+        self._wal_suppress = 0
+        #: Fault-injection hook (tests): called with a named crash point
+        #: around every durability-relevant step; raising from it
+        #: simulates a crash at that exact point.
+        self.crash_hook: Optional[Callable[[str], None]] = None
         self._events = EventStore()
         self._sub_expiry_heap: List[Tuple[float, Any]] = []
         self._sub_expires: Dict[Any, float] = {}
@@ -87,6 +114,38 @@ class PubSubBroker:
             "expired_subscriptions": 0,
             "notifications": 0,
         }
+        if wal is not None:
+            self.attach_wal(wal)
+
+    # ------------------------------------------------------------------
+    # durability plumbing
+    # ------------------------------------------------------------------
+    def attach_wal(self, wal: "WriteAheadLog") -> None:
+        """Journal all future mutations to *wal*.
+
+        An anchor is appended immediately, pinning this broker's current
+        clock in the log's time domain (the WAL and the broker must
+        share a clock for recovery's ttl aging to be exact).
+        """
+        self.wal = wal
+        wal.append_anchor(self.clock.now())
+
+    @contextlib.contextmanager
+    def wal_suppressed(self) -> Iterator[None]:
+        """Suspend WAL journaling (snapshot restore / recovery replay:
+        the durable copy already exists, re-logging it would double it)."""
+        self._wal_suppress += 1
+        try:
+            yield
+        finally:
+            self._wal_suppress -= 1
+
+    def _wal_active(self) -> bool:
+        return self.wal is not None and not self._wal_suppress
+
+    def _crash_point(self, name: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(name)
 
     # ------------------------------------------------------------------
     # expiry plumbing
@@ -111,6 +170,11 @@ class PubSubBroker:
                     # Already unsubscribed explicitly; the heap entry is stale.
                     pass
         self.counters["expired_subscriptions"] += dropped
+        if dropped and self._wal_active():
+            # Expiry is recomputed from ttls at recovery, so it is not
+            # journaled per subscription — but an anchor pins the clock
+            # so recovery's crash-time estimate keeps pace.
+            self.wal.append_anchor(now)
         return dropped
 
     # ------------------------------------------------------------------
@@ -137,12 +201,19 @@ class PubSubBroker:
         ttl = self.default_subscription_ttl if ttl is None else ttl
         if ttl is not None and ttl <= 0:
             raise ExpiredError(f"subscription ttl must be positive, got {ttl}")
+        self._crash_point("subscribe:pre-apply")
         self.matcher.add(subscription)
         if ttl is not None:
             expires_at = self.clock.now() + ttl
             self._sub_expires[subscription.id] = expires_at
             heapq.heappush(self._sub_expiry_heap, (expires_at, subscription.id))
         self.counters["subscribed"] += 1
+        if self._wal_active():
+            # Applied-then-logged: a crash in the gap loses only this
+            # not-yet-acknowledged mutation — still a consistent prefix.
+            self._crash_point("subscribe:pre-log")
+            self.wal.append_subscribe(subscription, ttl=ttl, at=self.clock.now())
+            self._crash_point("subscribe:post-log")
         if notify_retained and len(self._events):
             now = self.clock.now()
             for event in self._events.retro_match(subscription, now):
@@ -166,11 +237,23 @@ class PubSubBroker:
             sub_id = f"sub-{next(self._auto_id)}"
         disjuncts = parse_subscriptions(text, f"{sub_id}~dnf")
         ids = []
-        for disjunct in disjuncts:
-            ids.append(self.subscribe(disjunct, ttl=ttl, notify_retained=False))
+        # Disjuncts are journaled below with their logical id attached,
+        # so the per-disjunct subscribe must not log them bare.
+        with self.wal_suppressed():
+            for disjunct in disjuncts:
+                ids.append(self.subscribe(disjunct, ttl=ttl, notify_retained=False))
         self._formula_disjuncts[sub_id] = ids
         for did in ids:
             self._logical_of[did] = sub_id
+        if self._wal_active():
+            effective_ttl = self.default_subscription_ttl if ttl is None else ttl
+            now = self.clock.now()
+            self._crash_point("subscribe:pre-log")
+            for disjunct in disjuncts:
+                self.wal.append_subscribe(
+                    disjunct, ttl=effective_ttl, logical=sub_id, at=now
+                )
+            self._crash_point("subscribe:post-log")
         # Retro-match once at the logical level (deduplicated).
         if len(self._events):
             now = self.clock.now()
@@ -199,11 +282,20 @@ class PubSubBroker:
             if not removed:
                 raise UnknownSubscriptionError(sub_id)
             self.counters["unsubscribed"] += 1
+            self._wal_unsubscribed(sub_id)
             return removed[0]
         sub = self.matcher.remove(sub_id)
         self._sub_expires.pop(sub_id, None)
         self.counters["unsubscribed"] += 1
+        self._wal_unsubscribed(sub_id)
         return sub
+
+    def _wal_unsubscribed(self, sub_id: Any) -> None:
+        """Journal one accepted unsubscription (logical or plain id)."""
+        if self._wal_active():
+            self._crash_point("unsubscribe:pre-log")
+            self.wal.append_unsubscribe(sub_id, at=self.clock.now())
+            self._crash_point("unsubscribe:post-log")
 
     def subscribe_batch(
         self, subscriptions: Iterable[SubscriptionLike], ttl: Optional[float] = None
@@ -266,9 +358,12 @@ class PubSubBroker:
 
     def stats(self) -> Dict[str, Any]:
         """Broker counters plus the engine's own statistics."""
-        return {
+        out = {
             "subscriptions": self.subscription_count,
             "retained_events": self.retained_event_count,
             "counters": dict(self.counters),
             "matcher": self.matcher.stats(),
         }
+        if self.wal is not None:
+            out["wal"] = self.wal.stats()
+        return out

@@ -1,0 +1,249 @@
+"""Crash recovery: rebuild a broker from its snapshot and WAL tail.
+
+The durable state of a broker is (last snapshot, WAL since that
+snapshot).  :func:`recover` merges the two into the pre-crash
+subscription set and installs it into an empty broker:
+
+1. the snapshot's records seed a merge table keyed by subscription id,
+   each carrying its *absolute* expiry in the source broker's clock
+   domain (the snapshot header's ``clock`` plus the record's remaining
+   ttl);
+2. the WAL's longest valid prefix is replayed over the table in order —
+   ``subscribe`` inserts/overwrites, ``unsubscribe`` deletes (including
+   every disjunct of a logical formula id), ``anchor`` only advances
+   time;
+3. the crash time is estimated as the newest timestamp seen anywhere
+   (so clock anchors tighten ttl aging even across mutation-free
+   stretches, and records with negative clock skew cannot move it
+   backwards); every surviving entry is installed with its *remaining*
+   validity, re-anchored on the recovering broker's clock, and entries
+   that already expired before the crash are skipped.
+
+The merge is idempotent: replaying records that predate the snapshot
+(possible when a crash lands between compaction's snapshot rename and
+its log restart) rewrites entries with the same absolute expiry, so the
+result is unchanged.  Everything after the first damaged WAL record is
+discarded — recovery yields a *prefix-consistent* state, never a
+partially-trusted one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import IO, Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import ReproError
+from repro.core.types import Subscription
+from repro.io import SerializationError, subscription_from_dict
+from repro.obs.registry import MetricsRegistry
+from repro.system.broker import PubSubBroker
+from repro.system.snapshot import read_snapshot
+from repro.system.wal import read_wal
+
+
+class RecoveryError(ReproError, ValueError):
+    """Recovery precondition violated (e.g. a non-empty target broker)."""
+
+
+@dataclasses.dataclass
+class RecoveryReport:
+    """What one :func:`recover` run saw and rebuilt."""
+
+    #: Subscriptions installed into the recovering broker.
+    restored: int = 0
+    #: Subscription records read from the snapshot.
+    snapshot_records: int = 0
+    #: Valid WAL records replayed (all kinds).
+    wal_records: int = 0
+    replayed_subscribes: int = 0
+    replayed_unsubscribes: int = 0
+    anchors: int = 0
+    #: Entries dropped because their validity ended before the crash.
+    skipped_expired: int = 0
+    #: WAL lines distrusted after the first damaged record.
+    torn_tail_discarded: int = 0
+    #: Unsubscribes whose target was already gone (expired at source).
+    unknown_unsubscribes: int = 0
+    #: Estimated source-broker clock at crash time.
+    source_clock: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the CLI's ``repro recover`` output)."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class _Entry:
+    subscription: Subscription
+    #: Absolute expiry in the source clock domain; None = immortal.
+    expires_src: Optional[float]
+    logical: Optional[Any]
+
+
+def _bind_metrics(registry: MetricsRegistry):
+    replayed = registry.counter(
+        "repro_recovery_replayed_total",
+        "WAL records replayed during recovery, by kind.",
+        ("kind",),
+    )
+    return {
+        "subscribe": replayed.labels(kind="subscribe"),
+        "unsubscribe": replayed.labels(kind="unsubscribe"),
+        "anchor": replayed.labels(kind="anchor"),
+        "restored": registry.counter(
+            "repro_recovery_restored_total",
+            "Subscriptions installed into the recovering broker.",
+        ).labels(),
+        "skipped_expired": registry.counter(
+            "repro_recovery_skipped_expired_total",
+            "Entries dropped at recovery because they expired pre-crash.",
+        ).labels(),
+        "torn_tail_discarded": registry.counter(
+            "repro_recovery_torn_tail_discarded_total",
+            "WAL lines distrusted after the first damaged record.",
+        ).labels(),
+    }
+
+
+def recover(
+    broker: PubSubBroker,
+    snapshot_fp: Optional[IO[str]] = None,
+    wal_fp: Optional[IO[str]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RecoveryReport:
+    """Restore *broker* (must be empty) from a snapshot and/or WAL.
+
+    Either stream may be omitted: a snapshot alone behaves like
+    :func:`~repro.system.snapshot.load_snapshot` (plus aging against any
+    later anchors), a WAL alone rebuilds from an empty base.  Raises
+    :class:`RecoveryError` on a non-empty broker,
+    :class:`~repro.system.snapshot.SnapshotError` /
+    :class:`~repro.system.wal.WalError` on inputs that are not a
+    snapshot / WAL at all.  The rebuilt state is *not* re-logged to any
+    attached WAL — compact afterwards to re-establish durability.
+    """
+    if broker.subscription_count:
+        raise RecoveryError("recovery requires an empty broker")
+    report = RecoveryReport()
+
+    snap_clock: Optional[float] = None
+    snap_records = []
+    if snapshot_fp is not None:
+        snap_clock, snap_records = read_snapshot(snapshot_fp)
+        report.snapshot_records = len(snap_records)
+
+    wal_records: List[Dict[str, Any]] = []
+    if wal_fp is not None:
+        wal_records, report.torn_tail_discarded = read_wal(wal_fp)
+
+    times = [
+        float(r["at"]) for r in wal_records if isinstance(r.get("at"), (int, float))
+    ]
+    if snap_clock is None and snapshot_fp is not None:
+        # Legacy snapshot without a clock header: anchor it at the
+        # earliest WAL time (compaction restarts the log, so the first
+        # record is the best lower bound), or zero with no WAL.
+        snap_clock = min(times) if times else 0.0
+
+    entries: Dict[Any, _Entry] = {}
+    for record in snap_records:
+        ttl = record.ttl_remaining
+        if ttl is not None and ttl <= 0:
+            # Expired when saved (the pre-fix format could contain
+            # these); never revive them.
+            report.skipped_expired += 1
+            continue
+        expires = None if ttl is None else snap_clock + ttl
+        entries[record.subscription.id] = _Entry(
+            record.subscription, expires, record.logical
+        )
+
+    for index, record in enumerate(wal_records):
+        kind = record.get("type")
+        at = record.get("at")
+        if not isinstance(at, (int, float)):
+            at = None
+        if kind == "anchor":
+            report.anchors += 1
+        elif kind == "subscribe":
+            try:
+                sub = subscription_from_dict(record["subscription"])
+            except (KeyError, TypeError, SerializationError):
+                # Structurally valid JSON but not a replayable record:
+                # treat like tail damage — trust nothing further.
+                report.torn_tail_discarded += len(wal_records) - index
+                break
+            ttl = record.get("ttl")
+            if ttl is not None and not isinstance(ttl, (int, float)):
+                report.torn_tail_discarded += len(wal_records) - index
+                break
+            base = at if at is not None else (times and max(times)) or 0.0
+            expires = None if ttl is None else base + ttl
+            entries[sub.id] = _Entry(sub, expires, record.get("logical"))
+            report.replayed_subscribes += 1
+        elif kind == "unsubscribe":
+            sid = record.get("id")
+            removed = entries.pop(sid, None) is not None
+            for key in [k for k, e in entries.items() if e.logical == sid]:
+                del entries[key]
+                removed = True
+            if not removed:
+                report.unknown_unsubscribes += 1
+            report.replayed_unsubscribes += 1
+        report.wal_records += 1
+
+    if snap_clock is not None:
+        times.append(snap_clock)
+    now_src = max(times) if times else 0.0
+    report.source_clock = now_src if (snapshot_fp or wal_records) else None
+
+    with broker.wal_suppressed():
+        for entry in entries.values():
+            remaining = (
+                None if entry.expires_src is None else entry.expires_src - now_src
+            )
+            if remaining is not None and remaining <= 0:
+                report.skipped_expired += 1
+                continue
+            broker.subscribe(entry.subscription, ttl=remaining, notify_retained=False)
+            if entry.logical is not None:
+                broker._logical_of[entry.subscription.id] = entry.logical
+                broker._formula_disjuncts.setdefault(entry.logical, []).append(
+                    entry.subscription.id
+                )
+            report.restored += 1
+
+    if metrics is not None:
+        m = _bind_metrics(metrics)
+        m["subscribe"].inc(report.replayed_subscribes)
+        m["unsubscribe"].inc(report.replayed_unsubscribes)
+        m["anchor"].inc(report.anchors)
+        m["restored"].inc(report.restored)
+        m["skipped_expired"].inc(report.skipped_expired)
+        m["torn_tail_discarded"].inc(report.torn_tail_discarded)
+    return report
+
+
+def recover_files(
+    broker: PubSubBroker,
+    snapshot_path: Optional[Union[str, os.PathLike]] = None,
+    wal_path: Optional[Union[str, os.PathLike]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RecoveryReport:
+    """:func:`recover` from file paths, tolerating absent files.
+
+    A missing snapshot or WAL file is simply not part of the durable
+    state yet (e.g. a broker that crashed before its first compaction).
+    """
+    snap_fp = wal_fp = None
+    try:
+        if snapshot_path is not None and os.path.exists(snapshot_path):
+            snap_fp = open(snapshot_path, encoding="utf-8")
+        if wal_path is not None and os.path.exists(wal_path):
+            wal_fp = open(wal_path, encoding="utf-8")
+        return recover(broker, snap_fp, wal_fp, metrics=metrics)
+    finally:
+        for fp in (snap_fp, wal_fp):
+            if fp is not None:
+                fp.close()

@@ -309,6 +309,13 @@ class ShardedMatcher(Matcher):
         with self._shard_locks[shard]:
             return self._shards[shard].get(sub_id)  # type: ignore[attr-defined]
 
+    def iter_subscriptions(self) -> List[Subscription]:
+        out: List[Subscription] = []
+        for shard, inner in enumerate(self._shards):
+            with self._shard_locks[shard]:
+                out.extend(inner.iter_subscriptions())
+        return out
+
     def __len__(self) -> int:
         with self._meta:
             return sum(self._population)

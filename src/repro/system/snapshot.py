@@ -1,21 +1,30 @@
 """Broker snapshots: persist and restore the live subscription state.
 
-A snapshot is JSON lines: one header record, then one record per live
-subscription carrying its predicates, its remaining validity (relative,
-so restore re-anchors on the new broker's clock) and, for formula
-disjuncts, the logical subscription id they belong to.
+A snapshot is JSON lines: one header record (carrying the saving
+broker's clock so recovery can age the snapshot against a newer WAL
+tail), then one record per live subscription carrying its predicates,
+its remaining validity (relative, so restore re-anchors on the new
+broker's clock) and, for formula disjuncts, the logical subscription id
+they belong to.
 
 Retained *events* are deliberately not persisted: their validity
 windows are short-lived by nature and the paper's system model treats
 them as stream state, not durable state.
+
+Snapshots are one half of the durability story; the other half is the
+write-ahead log (:mod:`repro.system.wal`), which records the mutations
+*since* the last snapshot so :func:`repro.system.recovery.recover` can
+rebuild the pre-crash state.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
-from typing import Any, Dict, TextIO
+from typing import Any, Dict, List, Optional, TextIO, Tuple
 
 from repro.core.errors import ReproError
+from repro.core.types import Subscription
 from repro.io import SerializationError, subscription_from_dict, subscription_to_dict
 from repro.system.broker import PubSubBroker
 
@@ -27,21 +36,37 @@ class SnapshotError(ReproError, ValueError):
     """Malformed snapshot stream or non-empty restore target."""
 
 
+@dataclasses.dataclass(frozen=True)
+class SnapshotRecord:
+    """One persisted subscription: payload, remaining validity, identity."""
+
+    subscription: Subscription
+    #: Seconds of validity left at save time; None = immortal.
+    ttl_remaining: Optional[float]
+    #: Logical (formula) subscription id this disjunct belongs to, if any.
+    logical: Optional[Any]
+
+
 def save_snapshot(broker: PubSubBroker, fp: TextIO) -> int:
-    """Write the broker's live subscriptions; returns how many."""
+    """Write the broker's live subscriptions; returns how many.
+
+    Works with any matcher backend (including the sharded and
+    thread-safe wrappers) through the public
+    :meth:`~repro.core.matcher.Matcher.iter_subscriptions` surface.
+    """
     broker.purge_expired()
     now = broker.clock.now()
-    header = {"type": "repro-broker-snapshot", "version": FORMAT_VERSION}
-    fp.write(json.dumps(header) + "\n")
+    header = {"type": "repro-broker-snapshot", "version": FORMAT_VERSION, "clock": now}
+    fp.write(json.dumps(header, sort_keys=True) + "\n")
     count = 0
-    for sub_id, sub in broker.matcher._subs.items():
-        expires_at = broker._sub_expires.get(sub_id)
+    for sub in broker.matcher.iter_subscriptions():
+        expires_at = broker._sub_expires.get(sub.id)
         record: Dict[str, Any] = {
             "type": "subscription",
             "subscription": subscription_to_dict(sub),
             "ttl_remaining": None if expires_at is None else max(0.0, expires_at - now),
         }
-        logical = broker._logical_of.get(sub_id)
+        logical = broker._logical_of.get(sub.id)
         if logical is not None:
             record["logical"] = logical
         fp.write(json.dumps(record, sort_keys=True) + "\n")
@@ -49,25 +74,27 @@ def save_snapshot(broker: PubSubBroker, fp: TextIO) -> int:
     return count
 
 
-def load_snapshot(broker: PubSubBroker, fp: TextIO) -> int:
-    """Restore a snapshot into an *empty* broker; returns subscriptions.
+def read_snapshot(fp: TextIO) -> Tuple[Optional[float], List[SnapshotRecord]]:
+    """Parse a snapshot stream; returns ``(save_clock, records)``.
 
-    Validity windows resume with their remaining duration measured from
-    the restoring broker's current clock.  Retro-matching is skipped —
-    the restored subscriptions already saw their past.
+    ``save_clock`` is the saving broker's clock at save time (None for
+    snapshots written before the header carried it).  Raises
+    :class:`SnapshotError` on any malformed line — snapshots are written
+    atomically, so unlike the WAL there is no torn tail to tolerate.
     """
-    if broker.subscription_count:
-        raise SnapshotError("snapshot restore requires an empty broker")
     first = fp.readline()
     try:
         header = json.loads(first)
     except json.JSONDecodeError as exc:
         raise SnapshotError(f"bad snapshot header: {exc}") from exc
-    if header.get("type") != "repro-broker-snapshot":
+    if not isinstance(header, dict) or header.get("type") != "repro-broker-snapshot":
         raise SnapshotError("not a broker snapshot")
     if header.get("version") != FORMAT_VERSION:
         raise SnapshotError(f"unsupported snapshot version {header.get('version')!r}")
-    count = 0
+    clock = header.get("clock")
+    if clock is not None and not isinstance(clock, (int, float)):
+        raise SnapshotError(f"bad snapshot clock {clock!r}")
+    records: List[SnapshotRecord] = []
     for lineno, line in enumerate(fp, start=2):
         line = line.strip()
         if not line:
@@ -83,11 +110,38 @@ def load_snapshot(broker: PubSubBroker, fp: TextIO) -> int:
         except SerializationError as exc:
             raise SnapshotError(f"line {lineno}: {exc}") from exc
         ttl = record.get("ttl_remaining")
-        broker.subscribe(sub, ttl=ttl if ttl is None or ttl > 0 else None,
-                         notify_retained=False)
-        logical = record.get("logical")
-        if logical is not None:
-            broker._logical_of[sub.id] = logical
-            broker._formula_disjuncts.setdefault(logical, []).append(sub.id)
-        count += 1
+        if ttl is not None and not isinstance(ttl, (int, float)):
+            raise SnapshotError(f"line {lineno}: bad ttl_remaining {ttl!r}")
+        records.append(SnapshotRecord(sub, ttl, record.get("logical")))
+    return clock, records
+
+
+def load_snapshot(broker: PubSubBroker, fp: TextIO) -> int:
+    """Restore a snapshot into an *empty* broker; returns subscriptions.
+
+    Validity windows resume with their remaining duration measured from
+    the restoring broker's current clock.  Records whose remaining ttl
+    was already zero or negative at save time are *skipped*, not revived
+    as immortal.  Retro-matching is skipped — the restored subscriptions
+    already saw their past.  The restore is not re-logged to an attached
+    write-ahead log (the snapshot itself is the durable copy).
+    """
+    if broker.subscription_count:
+        raise SnapshotError("snapshot restore requires an empty broker")
+    _clock, records = read_snapshot(fp)
+    count = 0
+    with broker.wal_suppressed():
+        for record in records:
+            ttl = record.ttl_remaining
+            if ttl is not None and ttl <= 0:
+                # Already expired when saved; restoring it as immortal
+                # (the old `ttl or None` collapse) was a bug.
+                continue
+            broker.subscribe(record.subscription, ttl=ttl, notify_retained=False)
+            if record.logical is not None:
+                broker._logical_of[record.subscription.id] = record.logical
+                broker._formula_disjuncts.setdefault(record.logical, []).append(
+                    record.subscription.id
+                )
+            count += 1
     return count

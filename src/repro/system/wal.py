@@ -1,0 +1,461 @@
+"""Write-ahead log: an append-only journal of broker mutations.
+
+The paper's system model (Section 5) keeps the whole subscription base
+in main memory at a broker under continuous churn; a crash between
+snapshots would lose every mutation since the last
+:func:`~repro.system.snapshot.save_snapshot`.  The WAL closes that gap:
+every ``subscribe``/``unsubscribe`` the broker accepts is appended here
+as one JSON line, so :func:`repro.system.recovery.recover` can replay
+the log tail over the last snapshot and restore the pre-crash state.
+
+Format — JSON lines, one record per line, ``sort_keys`` for stability:
+
+* header (first line): ``{"type": "repro-broker-wal", "version": 1,
+  "clock": t}``;
+* ``{"type": "anchor", "at": t}`` — clock anchor: proof that the source
+  broker's clock reached *t*, even if no mutation happened.  Recovery
+  takes the max of all timestamps as the crash-time estimate, so
+  anchors tighten ttl aging;
+* ``{"type": "subscribe", "at": t, "subscription": {...}, "ttl": x}``
+  (plus ``"logical": id`` for formula disjuncts);
+* ``{"type": "unsubscribe", "at": t, "id": sid}``.
+
+All timestamps are in the *source broker's* clock domain; recovery only
+ever uses differences between them, so any monotonic clock works as
+long as the snapshot and the WAL share it (the broker passes its own).
+
+Durability knobs:
+
+* ``fsync="always"`` — fsync after every append (each acknowledged
+  mutation survives power loss);
+* ``fsync="interval"`` — fsync at most every ``fsync_interval`` seconds
+  of real time (bounded loss window, amortized cost); callers with a
+  natural batching boundary (the
+  :class:`~repro.system.server.BatchServer`) call :meth:`sync`
+  explicitly at it;
+* ``fsync="never"`` — never fsync (the OS page cache is the only
+  durability; process crashes are still survivable because every append
+  is flushed to the OS).
+
+Torn tails: a crash mid-append leaves a truncated or garbled last line.
+Both the append path (re-opening an existing log truncates it back to
+its longest valid prefix) and the read path (:func:`read_wal` stops at
+the first invalid record) treat the log as *prefix-consistent*: nothing
+after the first damage is trusted.
+
+Compaction: :meth:`WriteAheadLog.compact` writes a fresh snapshot
+(atomically: temp file, fsync, rename) and restarts the log, bounding
+replay work.  A crash between the rename and the restart is harmless —
+replaying pre-snapshot records over the snapshot is idempotent by
+construction of the recovery merge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import IO, Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import ReproError
+from repro.core.types import Subscription
+from repro.io import subscription_to_dict
+from repro.obs.registry import MetricsRegistry
+from repro.system.clock import Clock, SystemClock
+
+#: WAL format version (bump on incompatible changes).
+FORMAT_VERSION = 1
+
+#: The header's type tag.
+HEADER_TYPE = "repro-broker-wal"
+
+#: Valid non-header record types.
+RECORD_TYPES = ("anchor", "subscribe", "unsubscribe")
+
+#: Supported fsync policies.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+#: How log files are opened (injectable so the fault harness can wrap
+#: the file object; see ``tests/system/faults.py``).
+Opener = Callable[[str, str], IO[str]]
+
+
+class WalError(ReproError, ValueError):
+    """Malformed write-ahead log or invalid WAL configuration."""
+
+
+def _default_opener(path: str, mode: str) -> IO[str]:
+    return open(path, mode, encoding="utf-8")
+
+
+def _fsync(fp: IO[str]) -> None:
+    """fsync a file object, tolerating sinks that have no descriptor."""
+    try:
+        fileno = fp.fileno()
+    except (AttributeError, OSError, ValueError):
+        return
+    os.fsync(fileno)
+
+
+def _check_header(record: Optional[Dict[str, Any]], parsed_ok: bool) -> None:
+    """Reject files that are *valid JSON but not our WAL* — those are
+    alien files, not crash damage, and must not be silently truncated."""
+    if record is None:
+        if parsed_ok:
+            raise WalError(f"not a v{FORMAT_VERSION} broker WAL")
+        return  # unparseable first line: crash damage, caller discards
+    if record.get("type") != HEADER_TYPE or record.get("version") != FORMAT_VERSION:
+        raise WalError(f"not a v{FORMAT_VERSION} broker WAL")
+
+
+def _parse_line(text: str) -> Tuple[Optional[Dict[str, Any]], bool]:
+    """``(record-or-None, parsed_ok)`` for one complete line."""
+    try:
+        parsed = json.loads(text)
+    except json.JSONDecodeError:
+        return None, False
+    return (parsed, True) if isinstance(parsed, dict) else (None, True)
+
+
+def scan_valid_prefix(path: Union[str, os.PathLike]) -> Tuple[int, int, int, Optional[float]]:
+    """Find the longest valid prefix of the WAL file at *path*.
+
+    Returns ``(prefix_bytes, records, discarded_lines, last_at)``:
+    byte length of the trusted prefix (header included), its non-header
+    record count, the (full or partial) lines after the first damage,
+    and the newest timestamp seen.  A damaged or torn header yields an
+    empty prefix; a first line that is valid JSON but not our header
+    raises :class:`WalError` (that file is not a WAL at all).
+    """
+    prefix_bytes = 0
+    records = 0
+    last_at: Optional[float] = None
+    with open(path, "rb") as fp:
+        first = True
+        while True:
+            line = fp.readline()
+            if not line:
+                return prefix_bytes, records, 0, last_at
+            record: Optional[Dict[str, Any]] = None
+            parsed_ok = False
+            if line.endswith(b"\n"):
+                try:
+                    record, parsed_ok = _parse_line(line.decode("utf-8"))
+                except UnicodeDecodeError:
+                    record, parsed_ok = None, False
+            if first:
+                _check_header(record, parsed_ok)
+                if record is None:
+                    break  # damaged header: trust nothing
+                clock = record.get("clock")
+                if isinstance(clock, (int, float)):
+                    last_at = float(clock)
+                first = False
+            elif record is None or record.get("type") not in RECORD_TYPES:
+                break  # first damaged/alien record: distrust the rest
+            else:
+                at = record.get("at")
+                if isinstance(at, (int, float)):
+                    last_at = at if last_at is None else max(last_at, float(at))
+                records += 1
+            prefix_bytes = fp.tell()
+        # Count the damaged line and everything after it.
+        rest = line + fp.read()
+        discarded = rest.count(b"\n")
+        if not rest.endswith(b"\n"):
+            discarded += 1
+    return prefix_bytes, records, discarded, last_at
+
+
+def read_wal(fp: IO[str]) -> Tuple[List[Dict[str, Any]], int]:
+    """Read WAL records from a text stream, tolerating a damaged tail.
+
+    Returns ``(records, discarded_lines)``: the longest valid prefix of
+    non-header records, and how many trailing lines (the first torn or
+    garbled one and everything after it) were discarded.  An empty
+    stream — or one whose very header was torn mid-write — is an empty
+    log; a stream that is readable but not a WAL raises
+    :class:`WalError`.
+    """
+    raw = fp.read()
+    if not raw:
+        return [], 0
+    torn_tail = not raw.endswith("\n")
+    chunks = raw.split("\n")
+    if chunks and chunks[-1] == "":
+        chunks.pop()  # the final newline's empty remainder, not a line
+    records: List[Dict[str, Any]] = []
+    first = True
+    for index, chunk in enumerate(chunks):
+        complete = not (torn_tail and index == len(chunks) - 1)
+        record: Optional[Dict[str, Any]] = None
+        parsed_ok = False
+        if complete:
+            record, parsed_ok = _parse_line(chunk) if chunk.strip() else (None, False)
+        if first:
+            if complete:
+                _check_header(record, parsed_ok)
+            if record is None:
+                return [], len(chunks) - index  # damaged header
+            first = False
+            continue
+        if record is None or record.get("type") not in RECORD_TYPES:
+            return records, len(chunks) - index
+        records.append(record)
+    return records, 0
+
+
+class WriteAheadLog:
+    """Append-only JSON-lines journal with pluggable fsync policy.
+
+    Thread-safe: one internal lock serializes appends, syncs and
+    compactions, so a multi-worker :class:`~repro.system.server.BatchServer`
+    can share one log.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        fsync: str = "interval",
+        fsync_interval: float = 1.0,
+        clock: Optional[Clock] = None,
+        opener: Opener = _default_opener,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r}; known: {', '.join(FSYNC_POLICIES)}"
+            )
+        if fsync_interval < 0:
+            raise WalError(f"fsync interval must be >= 0, got {fsync_interval}")
+        self.path = os.fspath(path)
+        self.fsync_policy = fsync
+        self.fsync_interval = fsync_interval
+        self.clock = clock if clock is not None else SystemClock()
+        self._opener = opener
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self._last_sync = time.monotonic()
+        self._closed = False
+        # Appends are I/O-bound, so a live registry is the default (the
+        # same reasoning as the sharded fan-out layer); ``use_metrics``
+        # swaps in a shared one.
+        self.metrics = MetricsRegistry()
+        self._bind_metrics()
+        torn = 0
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            # Re-opening an existing log: distrust any damaged tail
+            # *before* appending after it, or the new records would sit
+            # beyond the damage and be invisible to recovery.
+            prefix_bytes, _records, torn, _last_at = scan_valid_prefix(self.path)
+            if torn:
+                with open(self.path, "r+b") as raw:
+                    raw.truncate(prefix_bytes)
+            self._bytes = prefix_bytes
+            self._fp = self._opener(self.path, "a")
+            if prefix_bytes == 0:  # even the header was damaged
+                self._write_header(self.clock.now())
+        else:
+            self._fp = self._opener(self.path, "w")
+            self._write_header(self.clock.now())
+        if torn:
+            self._m_torn.inc(torn)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _bind_metrics(self) -> None:
+        m = self.metrics
+        appends = m.counter(
+            "repro_wal_appends_total", "WAL records appended, by kind.", ("kind",)
+        )
+        self._m_appends = {k: appends.labels(kind=k) for k in RECORD_TYPES}
+        self._m_bytes = m.counter(
+            "repro_wal_bytes_total", "Bytes appended to the WAL (header included)."
+        ).labels()
+        self._m_fsyncs = m.counter(
+            "repro_wal_fsyncs_total", "fsync calls issued by the WAL."
+        ).labels()
+        self._m_compactions = m.counter(
+            "repro_wal_compactions_total",
+            "Snapshot-based compactions (snapshot written, log restarted).",
+        ).labels()
+        self._m_torn = m.counter(
+            "repro_wal_torn_tail_discarded_total",
+            "Damaged tail lines discarded when re-opening an existing log.",
+        ).labels()
+
+    def use_metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Attach a (shared) metrics registry; returns it."""
+        registry = MetricsRegistry() if registry is None else registry
+        self.metrics = registry
+        self._bind_metrics()
+        return registry
+
+    @property
+    def counters(self) -> Dict[str, Any]:
+        """Cumulative WAL counters (read from the registry families)."""
+        return {
+            "appends": sum(c.value for c in self._m_appends.values()),
+            "fsyncs": self._m_fsyncs.value,
+            "bytes": self._m_bytes.value,
+            "compactions": self._m_compactions.value,
+            "torn_tail_discarded": self._m_torn.value,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Unified stats shape (same contract as the matchers)."""
+        return {
+            "name": "wal",
+            "path": self.path,
+            "fsync": self.fsync_policy,
+            "bytes": self._bytes,
+            "counters": self.counters,
+        }
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """The log's own clock (used when the caller has none)."""
+        return self.clock.now()
+
+    def _write_header(self, at: float) -> None:
+        header = {"type": HEADER_TYPE, "version": FORMAT_VERSION, "clock": at}
+        line = json.dumps(header, sort_keys=True) + "\n"
+        self._fp.write(line)
+        self._fp.flush()
+        self._bytes += len(line.encode("utf-8"))
+        self._m_bytes.inc(len(line.encode("utf-8")))
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            raise WalError("append to a closed WAL")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        encoded = len(line.encode("utf-8"))
+        with self._lock:
+            self._fp.write(line)
+            # Always hand the bytes to the OS: a *process* crash then
+            # loses nothing; only the fsync policy decides what a
+            # *machine* crash can lose.
+            self._fp.flush()
+            self._bytes += encoded
+            self._m_bytes.inc(encoded)
+            self._m_appends[record["type"]].inc()
+            if self.fsync_policy == "always":
+                self._sync_locked()
+            elif (
+                self.fsync_policy == "interval"
+                and time.monotonic() - self._last_sync >= self.fsync_interval
+            ):
+                self._sync_locked()
+
+    def append_subscribe(
+        self,
+        subscription: Subscription,
+        ttl: Optional[float] = None,
+        logical: Optional[Any] = None,
+        at: Optional[float] = None,
+    ) -> None:
+        """Journal one accepted subscription (with its effective ttl)."""
+        record: Dict[str, Any] = {
+            "type": "subscribe",
+            "at": self.clock.now() if at is None else at,
+            "subscription": subscription_to_dict(subscription),
+            "ttl": ttl,
+        }
+        if logical is not None:
+            record["logical"] = logical
+        self._append(record)
+
+    def append_unsubscribe(self, sub_id: Any, at: Optional[float] = None) -> None:
+        """Journal one accepted unsubscription (plain or logical id)."""
+        self._append(
+            {"type": "unsubscribe", "at": self.clock.now() if at is None else at, "id": sub_id}
+        )
+
+    def append_anchor(self, at: Optional[float] = None) -> None:
+        """Journal a clock anchor (time passed without mutations)."""
+        self._append({"type": "anchor", "at": self.clock.now() if at is None else at})
+
+    # ------------------------------------------------------------------
+    # durability boundary
+    # ------------------------------------------------------------------
+    def _sync_locked(self) -> None:
+        self._fp.flush()
+        _fsync(self._fp)
+        self._last_sync = time.monotonic()
+        self._m_fsyncs.inc()
+
+    def sync(self) -> None:
+        """Flush and fsync now, regardless of policy (batch boundaries)."""
+        with self._lock:
+            if not self._closed:
+                self._sync_locked()
+
+    def tell(self) -> int:
+        """Bytes in the trusted log (header included)."""
+        with self._lock:
+            return self._bytes
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def compact(self, broker: Any, snapshot_path: Union[str, os.PathLike]) -> int:
+        """Snapshot *broker* and restart the log; returns subs persisted.
+
+        The snapshot is written atomically (temp file, fsync, rename),
+        so a crash at any point leaves either the old snapshot + full
+        log or the new snapshot + (possibly still-full) log — both
+        recoverable, because replaying pre-snapshot records over the
+        snapshot is idempotent.
+        """
+        # Imported lazily: snapshot.py imports the broker, which carries
+        # a WAL — a module-level import would be circular.
+        from repro.system.snapshot import save_snapshot
+
+        snapshot_path = os.fspath(snapshot_path)
+        tmp_path = snapshot_path + ".tmp"
+        with self._lock:
+            if self._closed:
+                raise WalError("compact on a closed WAL")
+            with broker.wal_suppressed():
+                with open(tmp_path, "w", encoding="utf-8") as sfp:
+                    count = save_snapshot(broker, sfp)
+                    sfp.flush()
+                    _fsync(sfp)
+                os.replace(tmp_path, snapshot_path)
+                # Everything up to here is covered by the snapshot:
+                # restart the journal.
+                self._fp.close()
+                self._fp = self._opener(self.path, "w")
+                self._bytes = 0
+                self._write_header(broker.clock.now())
+                self._sync_locked()
+                self._m_compactions.inc()
+        return count
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush (and, unless policy is ``never``, fsync) and close."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._fp.flush()
+            if self.fsync_policy != "never":
+                _fsync(self._fp)
+                self._m_fsyncs.inc()
+            self._fp.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

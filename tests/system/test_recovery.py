@@ -1,0 +1,329 @@
+"""Crash recovery: merging a snapshot with the WAL tail."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import Event, Subscription, eq
+from repro.obs import MetricsRegistry
+from repro.system import (
+    PubSubBroker,
+    QueueNotifier,
+    RecoveryError,
+    VirtualClock,
+    WriteAheadLog,
+    recover,
+    recover_files,
+    save_snapshot,
+)
+
+
+def fresh(clock=None, wal=None):
+    return PubSubBroker(
+        clock=clock or VirtualClock(), notifier=QueueNotifier(), wal=wal
+    )
+
+
+def wal_text(*records, clock=0.0):
+    """Hand-rolled WAL stream: header plus the given record dicts."""
+    header = {"type": "repro-broker-wal", "version": 1, "clock": clock}
+    return "".join(json.dumps(r, sort_keys=True) + "\n" for r in [header, *records])
+
+
+def subscribe_record(sub_id, at, ttl=None, **extra):
+    sub = {"id": sub_id, "predicates": [["x", "=", at]]}
+    return {"type": "subscribe", "at": at, "subscription": sub, "ttl": ttl, **extra}
+
+
+class TestSources:
+    def test_snapshot_only(self):
+        src = fresh()
+        src.subscribe(Subscription("a", [eq("x", 1)]), ttl=30.0)
+        buf = io.StringIO()
+        save_snapshot(src, buf)
+        buf.seek(0)
+        dst = fresh()
+        report = recover(dst, snapshot_fp=buf)
+        assert (report.restored, report.snapshot_records, report.wal_records) == (1, 1, 0)
+        assert dst.publish(Event({"x": 1})) == ["a"]
+
+    def test_wal_only(self):
+        stream = io.StringIO(
+            wal_text(
+                subscribe_record("a", at=1.0),
+                subscribe_record("b", at=2.0),
+                {"type": "unsubscribe", "at": 3.0, "id": "a"},
+            )
+        )
+        dst = fresh()
+        report = recover(dst, wal_fp=stream)
+        assert report.restored == 1
+        assert report.replayed_subscribes == 2
+        assert report.replayed_unsubscribes == 1
+        assert report.source_clock == 3.0
+        assert dst.publish(Event({"x": 2.0})) == ["b"]
+
+    def test_neither_source_is_a_noop(self):
+        dst = fresh()
+        report = recover(dst)
+        assert report.restored == 0 and report.source_clock is None
+
+    def test_wal_unsubscribe_removes_snapshot_resident_sub(self):
+        src = fresh()
+        src.subscribe(Subscription("a", [eq("x", 1)]))
+        src.subscribe(Subscription("b", [eq("x", 2)]))
+        snap = io.StringIO()
+        save_snapshot(src, snap)
+        snap.seek(0)
+        wal = io.StringIO(wal_text({"type": "unsubscribe", "at": 1.0, "id": "a"}))
+        dst = fresh()
+        report = recover(dst, snapshot_fp=snap, wal_fp=wal)
+        assert report.restored == 1
+        assert dst.publish(Event({"x": 1})) == []
+        assert dst.publish(Event({"x": 2})) == ["b"]
+
+    def test_wal_subscribe_overwrites_snapshot_entry(self):
+        # Re-subscribing an id after the snapshot wins over the old copy.
+        src = fresh()
+        src.subscribe(Subscription("a", [eq("x", 1)]))
+        snap = io.StringIO()
+        save_snapshot(src, snap)
+        snap.seek(0)
+        replacement = {"id": "a", "predicates": [["x", "=", 99]]}
+        wal = io.StringIO(
+            wal_text(
+                {"type": "subscribe", "at": 1.0, "subscription": replacement, "ttl": None}
+            )
+        )
+        dst = fresh()
+        recover(dst, snapshot_fp=snap, wal_fp=wal)
+        assert dst.publish(Event({"x": 99})) == ["a"]
+        assert dst.publish(Event({"x": 1})) == []
+
+    def test_replay_is_idempotent_over_the_snapshot(self):
+        # A crash between compaction's snapshot rename and its log
+        # restart leaves pre-snapshot records in the WAL; replaying them
+        # over the snapshot must not change the result.
+        clock = VirtualClock()
+        wal = WriteAheadLog("/dev/null", clock=clock, opener=lambda p, m: io.StringIO())
+        src = fresh(clock, wal=wal)
+        src.subscribe(Subscription("a", [eq("x", 1)]), ttl=50.0)
+        src.subscribe(Subscription("b", [eq("x", 2)]))
+        src.unsubscribe("b")
+        snap = io.StringIO()
+        save_snapshot(src, snap)
+        log_text = wal._fp.getvalue()  # full pre-snapshot history
+        snap.seek(0)
+        dst = fresh()
+        report = recover(dst, snapshot_fp=snap, wal_fp=io.StringIO(log_text))
+        assert report.restored == 1
+        assert dst.publish(Event({"x": 1})) == ["a"]
+        assert dst.publish(Event({"x": 2})) == []
+
+
+class TestTtlAging:
+    def snapshot_with(self, ttl, clock_at=0.0):
+        src = fresh(VirtualClock(clock_at))
+        src.subscribe(Subscription("a", [eq("x", 1)]), ttl=ttl)
+        buf = io.StringIO()
+        save_snapshot(src, buf)
+        buf.seek(0)
+        return buf
+
+    def test_anchor_ages_snapshot_ttls(self):
+        snap = self.snapshot_with(ttl=30.0)
+        wal = io.StringIO(wal_text({"type": "anchor", "at": 20.0}))
+        dst_clock = VirtualClock()
+        dst = fresh(dst_clock)
+        recover(dst, snapshot_fp=snap, wal_fp=wal)
+        dst_clock.advance(9.0)  # 10 s were left at the crash
+        assert dst.publish(Event({"x": 1})) == ["a"]
+        dst_clock.advance(2.0)
+        assert dst.publish(Event({"x": 1})) == []
+
+    def test_anchor_past_expiry_skips_entry(self):
+        snap = self.snapshot_with(ttl=30.0)
+        wal = io.StringIO(wal_text({"type": "anchor", "at": 40.0}))
+        dst = fresh()
+        report = recover(dst, snapshot_fp=snap, wal_fp=wal)
+        assert report.restored == 0 and report.skipped_expired == 1
+
+    def test_negative_skew_cannot_rewind_the_clock(self):
+        # A WAL record stamped *before* the snapshot clock (skew between
+        # two monotonic readings) must not extend anyone's validity.
+        snap = self.snapshot_with(ttl=30.0, clock_at=100.0)
+        wal = io.StringIO(wal_text({"type": "anchor", "at": 50.0}))
+        dst_clock = VirtualClock()
+        dst = fresh(dst_clock)
+        report = recover(dst, snapshot_fp=snap, wal_fp=wal)
+        assert report.source_clock == 100.0  # max() held the line
+        dst_clock.advance(31.0)
+        assert dst.publish(Event({"x": 1})) == []
+
+    def test_immortal_subscriptions_ignore_aging(self):
+        snap = self.snapshot_with(ttl=None)
+        wal = io.StringIO(wal_text({"type": "anchor", "at": 1e6}))
+        dst = fresh()
+        assert recover(dst, snapshot_fp=snap, wal_fp=wal).restored == 1
+
+    def test_wal_subscribe_ttl_ages_from_its_own_timestamp(self):
+        wal = io.StringIO(
+            wal_text(
+                subscribe_record("a", at=10.0, ttl=30.0),  # expires at 40
+                subscribe_record("b", at=36.0, ttl=2.0),  # expires at 38
+                {"type": "anchor", "at": 39.0},  # the crash-time estimate
+            )
+        )
+        dst_clock = VirtualClock()
+        dst = fresh(dst_clock)
+        report = recover(dst, wal_fp=wal)
+        # "b" expired before the crash; "a" has one second left.
+        assert report.restored == 1 and report.skipped_expired == 1
+        dst_clock.advance(0.5)
+        assert dst.publish(Event({"x": 10.0})) == ["a"]
+        dst_clock.advance(1.0)
+        assert dst.publish(Event({"x": 10.0})) == []
+
+    def test_legacy_snapshot_without_clock_anchors_at_first_wal_time(self):
+        legacy = io.StringIO(
+            '{"type": "repro-broker-snapshot", "version": 1}\n'
+            '{"type": "subscription", "subscription": '
+            '{"id": "a", "predicates": [["x", "=", 1]]}, "ttl_remaining": 30.0}\n'
+        )
+        wal = io.StringIO(
+            wal_text({"type": "anchor", "at": 500.0}, {"type": "anchor", "at": 520.0})
+        )
+        dst = fresh()
+        report = recover(dst, snapshot_fp=legacy, wal_fp=wal)
+        # Anchored at 500 (the earliest WAL time), aged 20 s by the
+        # crash-time estimate of 520 → 10 s remain, not expired.
+        assert report.restored == 1 and report.source_clock == 520.0
+
+
+class TestDamageTolerance:
+    def test_torn_tail_counted_and_prefix_restored(self):
+        text = wal_text(
+            subscribe_record("a", at=1.0), subscribe_record("b", at=2.0)
+        ) + '{"type": "subscribe", "at": 3.0, "subscr'
+        dst = fresh()
+        report = recover(dst, wal_fp=io.StringIO(text))
+        assert report.restored == 2 and report.torn_tail_discarded == 1
+
+    def test_undecodable_subscription_distrusts_the_rest(self):
+        wal = io.StringIO(
+            wal_text(
+                subscribe_record("a", at=1.0),
+                {"type": "subscribe", "at": 2.0, "subscription": {"bogus": True}},
+                subscribe_record("c", at=3.0),  # beyond the damage: dropped
+            )
+        )
+        dst = fresh()
+        report = recover(dst, wal_fp=wal)
+        assert report.restored == 1
+        assert report.torn_tail_discarded == 2
+
+    def test_unknown_unsubscribe_tolerated(self):
+        # The target expired at the source before the crash; recovery
+        # must shrug, not fail.
+        wal = io.StringIO(wal_text({"type": "unsubscribe", "at": 1.0, "id": "ghost"}))
+        dst = fresh()
+        report = recover(dst, wal_fp=wal)
+        assert report.unknown_unsubscribes == 1 and report.restored == 0
+
+
+class TestSemantics:
+    def test_requires_empty_broker(self):
+        dst = fresh()
+        dst.subscribe(Subscription("pre", [eq("q", 1)]))
+        with pytest.raises(RecoveryError):
+            recover(dst, wal_fp=io.StringIO(wal_text()))
+
+    def test_formula_identity_survives_recovery(self):
+        clock = VirtualClock()
+        wal = WriteAheadLog("/dev/null", clock=clock, opener=lambda p, m: io.StringIO())
+        src = fresh(clock, wal=wal)
+        src.subscribe_formula("a = 1 or b = 2", "logical")
+        dst = fresh()
+        recover(dst, wal_fp=io.StringIO(wal._fp.getvalue()))
+        assert dst.publish(Event({"a": 1, "b": 2})) == ["logical"]
+        dst.unsubscribe("logical")
+        assert dst.publish(Event({"a": 1})) == []
+
+    def test_logical_unsubscribe_in_wal_removes_all_disjuncts(self):
+        clock = VirtualClock()
+        wal = WriteAheadLog("/dev/null", clock=clock, opener=lambda p, m: io.StringIO())
+        src = fresh(clock, wal=wal)
+        src.subscribe_formula("a = 1 or b = 2", "logical")
+        src.unsubscribe("logical")
+        dst = fresh()
+        report = recover(dst, wal_fp=io.StringIO(wal._fp.getvalue()))
+        assert report.restored == 0
+        assert dst.publish(Event({"a": 1})) == []
+
+    def test_recovered_state_is_not_relogged(self):
+        src = fresh()
+        src.subscribe(Subscription("a", [eq("x", 1)]))
+        snap = io.StringIO()
+        save_snapshot(src, snap)
+        snap.seek(0)
+        clock = VirtualClock()
+        new_wal = WriteAheadLog(
+            "/dev/null", clock=clock, opener=lambda p, m: io.StringIO()
+        )
+        dst = fresh(clock, wal=new_wal)
+        recover(dst, snapshot_fp=snap)
+        # Only the attach anchor; the restore itself was suppressed.
+        assert new_wal.counters["appends"] == 1
+
+    def test_metrics_filled(self):
+        registry = MetricsRegistry()
+        wal = io.StringIO(
+            wal_text(
+                subscribe_record("a", at=1.0),
+                {"type": "anchor", "at": 2.0},
+                {"type": "unsubscribe", "at": 3.0, "id": "ghost"},
+            )
+        )
+        recover(fresh(), wal_fp=wal, metrics=registry)
+        replayed = registry.counter(
+            "repro_recovery_replayed_total",
+            "WAL records replayed during recovery, by kind.",
+            ("kind",),
+        )
+        assert replayed.labels(kind="subscribe").value == 1
+        assert replayed.labels(kind="unsubscribe").value == 1
+        assert replayed.labels(kind="anchor").value == 1
+
+    def test_report_as_dict_round_trips_json(self):
+        dst = fresh()
+        report = recover(dst, wal_fp=io.StringIO(wal_text(subscribe_record("a", 1.0))))
+        assert json.loads(json.dumps(report.as_dict()))["restored"] == 1
+
+
+class TestRecoverFiles:
+    def test_missing_files_are_an_empty_state(self, tmp_path):
+        dst = fresh()
+        report = recover_files(
+            dst,
+            snapshot_path=tmp_path / "never.snap",
+            wal_path=tmp_path / "never.wal",
+        )
+        assert report.restored == 0
+
+    def test_round_trip_via_paths(self, tmp_path):
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=clock)
+        src = fresh(clock, wal=wal)
+        src.subscribe(Subscription("a", [eq("x", 1)]))
+        snap = tmp_path / "a.snap"
+        wal.compact(src, snap)
+        src.subscribe(Subscription("b", [eq("x", 2)]))
+        wal.close()
+        dst = fresh()
+        report = recover_files(dst, snapshot_path=snap, wal_path=wal.path)
+        assert report.restored == 2
+        assert sorted(dst.publish(Event({"x": 1})) + dst.publish(Event({"x": 2}))) == [
+            "a",
+            "b",
+        ]

@@ -4,13 +4,42 @@ import io
 
 import pytest
 
+from repro.bench.harness import matcher_for
 from repro.core import Event, Subscription, eq, le
+from repro.core.threadsafe import ThreadSafeMatcher
+from repro.matchers import DynamicMatcher
 from repro.system import PubSubBroker, QueueNotifier, VirtualClock
 from repro.system.snapshot import SnapshotError, load_snapshot, save_snapshot
+from repro.workload.scenarios import paper_workloads
+
+#: Every matcher backend a broker can sit on, wrappers included.
+BACKENDS = (
+    "oracle",
+    "counting",
+    "propagation",
+    "propagation-wp",
+    "static",
+    "dynamic",
+    "test-network",
+    "sharded",
+    "threadsafe",
+    "trigger",
+)
 
 
-def fresh(clock=None):
+def backend_matcher(name):
+    if name == "threadsafe":
+        return ThreadSafeMatcher(DynamicMatcher())
+    if name == "trigger":
+        from repro.sqltrigger.matcher import TriggerMatcher
+
+        return TriggerMatcher()
+    return matcher_for(name, paper_workloads(0.001)["W0"])
+
+
+def fresh(clock=None, matcher=None):
     return PubSubBroker(
+        matcher=matcher,
         clock=clock or VirtualClock(), notifier=QueueNotifier(),
         event_retention_ttl=50.0,
     )
@@ -103,3 +132,94 @@ class TestValidation:
     def test_malformed_rejected(self, payload):
         with pytest.raises(SnapshotError):
             load_snapshot(fresh(), io.StringIO(payload))
+
+
+class TestExpiredRecordRegression:
+    """An on-disk record with ``ttl_remaining: 0.0`` (writable by the
+    pre-fix save path) used to be revived *immortal*: the old restore
+    collapsed it with ``ttl or None``."""
+
+    SNAPSHOT = (
+        '{"type": "repro-broker-snapshot", "version": 1, "clock": 0.0}\n'
+        '{"type": "subscription", "subscription": '
+        '{"id": "dead", "predicates": [["x", "=", 1]]}, "ttl_remaining": 0.0}\n'
+        '{"type": "subscription", "subscription": '
+        '{"id": "live", "predicates": [["x", "=", 2]]}, "ttl_remaining": 9.0}\n'
+    )
+
+    def test_zero_ttl_record_stays_dead(self):
+        clock = VirtualClock()  # frozen: nothing can expire after restore
+        dst = fresh(clock)
+        assert load_snapshot(dst, io.StringIO(self.SNAPSHOT)) == 1
+        assert dst.publish(Event({"x": 1})) == []  # not revived
+        assert dst.publish(Event({"x": 2})) == ["live"]
+
+    def test_negative_ttl_record_stays_dead(self):
+        payload = self.SNAPSHOT.replace('"ttl_remaining": 0.0', '"ttl_remaining": -3.0')
+        dst = fresh(VirtualClock())
+        assert load_snapshot(dst, io.StringIO(payload)) == 1
+        assert dst.publish(Event({"x": 1})) == []
+
+
+class TestWrapperRegression:
+    """``save_snapshot`` used to read ``broker.matcher._subs`` directly,
+    which raised AttributeError on the sharded and thread-safe wrappers
+    (they hold no ``_subs`` of their own)."""
+
+    @pytest.mark.parametrize("name", ["sharded", "threadsafe"])
+    def test_save_through_wrapper(self, name):
+        src = fresh(matcher=backend_matcher(name))
+        src.subscribe(Subscription("a", [eq("x", 1)]))
+        src.subscribe(Subscription("b", [eq("y", 2)]))
+        buf = io.StringIO()
+        assert save_snapshot(src, buf) == 2  # AttributeError before the fix
+        buf.seek(0)
+        dst = fresh(matcher=backend_matcher(name))
+        assert load_snapshot(dst, buf) == 2
+        assert dst.publish(Event({"x": 1})) == ["a"]
+
+
+class TestEveryBackend:
+    """Snapshot and WAL round-trips across every registered backend."""
+
+    EVENTS = [
+        Event({"x": 1}),
+        Event({"x": 1, "y": 2}),
+        Event({"y": 2, "z": 3}),
+        Event({"q": 9}),
+    ]
+
+    def populate(self, broker):
+        broker.subscribe(Subscription("a", [eq("x", 1)]))
+        broker.subscribe(Subscription("b", [eq("y", 2), le("z", 5)]), ttl=60.0)
+        broker.subscribe(Subscription("c", [eq("q", 9)]))
+        broker.unsubscribe("c")
+
+    def matches(self, broker):
+        return [sorted(broker.publish(e)) for e in self.EVENTS]
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_snapshot_round_trip(self, name):
+        src = fresh(matcher=backend_matcher(name))
+        self.populate(src)
+        buf = io.StringIO()
+        assert save_snapshot(src, buf) == 2
+        buf.seek(0)
+        dst = fresh(matcher=backend_matcher(name))
+        assert load_snapshot(dst, buf) == 2
+        assert self.matches(dst) == self.matches(src)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_wal_recovery_round_trip(self, name, tmp_path):
+        from repro.system import WriteAheadLog, recover_files
+
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "b.wal", clock=clock)
+        src = fresh(clock, matcher=backend_matcher(name))
+        src.attach_wal(wal)
+        self.populate(src)
+        wal.close()
+        dst = fresh(matcher=backend_matcher(name))
+        report = recover_files(dst, wal_path=wal.path)
+        assert report.restored == 2
+        assert self.matches(dst) == self.matches(src)

@@ -1,0 +1,331 @@
+"""Write-ahead log: format, fsync policies, torn tails, compaction."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import Event, Subscription, eq
+from repro.system import (
+    BatchServer,
+    PubSubBroker,
+    QueueNotifier,
+    VirtualClock,
+    WalError,
+    WriteAheadLog,
+    read_wal,
+    recover_files,
+)
+from repro.system.wal import HEADER_TYPE, scan_valid_prefix
+from tests.system.faults import SimulatedCrash, crash_at, faulty_opener
+
+
+def fresh_broker(clock=None, wal=None):
+    return PubSubBroker(
+        clock=clock or VirtualClock(), notifier=QueueNotifier(), wal=wal
+    )
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8") as fp:
+        return fp.read().splitlines()
+
+
+class TestFormat:
+    def test_header_first_then_records(self, tmp_path):
+        path = tmp_path / "a.wal"
+        clock = VirtualClock(100.0)
+        with WriteAheadLog(path, clock=clock) as wal:
+            wal.append_anchor()
+            wal.append_subscribe(Subscription("s1", [eq("x", 1)]), ttl=30.0)
+            wal.append_unsubscribe("s1")
+        lines = [json.loads(line) for line in read_lines(path)]
+        assert lines[0] == {"type": HEADER_TYPE, "version": 1, "clock": 100.0}
+        assert [r["type"] for r in lines[1:]] == ["anchor", "subscribe", "unsubscribe"]
+        assert lines[2]["ttl"] == 30.0
+        assert lines[3]["id"] == "s1"
+
+    def test_read_wal_round_trip(self, tmp_path):
+        path = tmp_path / "a.wal"
+        with WriteAheadLog(path, clock=VirtualClock()) as wal:
+            wal.append_subscribe(Subscription("s1", [eq("x", 1)]), at=1.0)
+            wal.append_subscribe(
+                Subscription("s2", [eq("y", 2)]), ttl=5.0, logical="f", at=2.0
+            )
+        with open(path, encoding="utf-8") as fp:
+            records, discarded = read_wal(fp)
+        assert discarded == 0
+        assert [r["type"] for r in records] == ["subscribe", "subscribe"]
+        assert records[1]["logical"] == "f"
+
+    def test_logical_id_recorded_for_formulas(self, tmp_path):
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=clock)
+        broker = fresh_broker(clock, wal=wal)
+        broker.subscribe_formula("a = 1 or b = 2", "logical")
+        wal.close()
+        with open(wal.path, encoding="utf-8") as fp:
+            records, _ = read_wal(fp)
+        subs = [r for r in records if r["type"] == "subscribe"]
+        assert len(subs) == 2 and all(r["logical"] == "logical" for r in subs)
+
+    def test_alien_file_rejected(self, tmp_path):
+        path = tmp_path / "alien.json"
+        path.write_text('{"type": "something-else"}\n{"more": 1}\n')
+        with pytest.raises(WalError):
+            WriteAheadLog(path)
+        with pytest.raises(WalError):
+            with open(path, encoding="utf-8") as fp:
+                read_wal(fp)
+
+    def test_append_after_close_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=VirtualClock())
+        wal.close()
+        assert wal.closed
+        with pytest.raises(WalError):
+            wal.append_anchor(1.0)
+
+    def test_bad_configuration_rejected(self, tmp_path):
+        with pytest.raises(WalError):
+            WriteAheadLog(tmp_path / "a.wal", fsync="sometimes")
+        with pytest.raises(WalError):
+            WriteAheadLog(tmp_path / "a.wal", fsync="interval", fsync_interval=-1)
+
+
+class TestFsyncPolicies:
+    def append_n(self, tmp_path, n, **kwargs):
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=VirtualClock(), **kwargs)
+        for i in range(n):
+            wal.append_anchor(float(i))
+        return wal
+
+    def test_always_syncs_every_append(self, tmp_path):
+        wal = self.append_n(tmp_path, 5, fsync="always")
+        assert wal.counters["fsyncs"] == 5
+        wal.close()  # close adds one more
+        assert wal.counters["fsyncs"] == 6
+
+    def test_interval_zero_behaves_like_always(self, tmp_path):
+        wal = self.append_n(tmp_path, 5, fsync="interval", fsync_interval=0.0)
+        assert wal.counters["fsyncs"] == 5
+
+    def test_long_interval_defers_to_explicit_sync(self, tmp_path):
+        wal = self.append_n(tmp_path, 5, fsync="interval", fsync_interval=3600.0)
+        assert wal.counters["fsyncs"] == 0
+        wal.sync()
+        assert wal.counters["fsyncs"] == 1
+
+    def test_never_still_flushes_but_does_not_fsync(self, tmp_path):
+        wal = self.append_n(tmp_path, 5, fsync="never")
+        # Bytes reach the OS on every append (readable before close) ...
+        with open(wal.path, encoding="utf-8") as fp:
+            records, _ = read_wal(fp)
+        assert len(records) == 5
+        wal.close()
+        # ... but no fsync is ever issued, not even on close.
+        assert wal.counters["fsyncs"] == 0
+
+    def test_stats_shape(self, tmp_path):
+        wal = self.append_n(tmp_path, 3, fsync="always")
+        stats = wal.stats()
+        assert stats["name"] == "wal"
+        assert stats["counters"]["appends"] == 3
+        assert stats["bytes"] == wal.tell() == os.path.getsize(wal.path)
+
+
+class TestTornTail:
+    def make_log(self, tmp_path, n=3):
+        path = tmp_path / "a.wal"
+        with WriteAheadLog(path, clock=VirtualClock()) as wal:
+            for i in range(n):
+                wal.append_subscribe(Subscription(f"s{i}", [eq("x", i)]), at=float(i))
+        return path
+
+    def test_scan_valid_prefix_whole_file(self, tmp_path):
+        path = self.make_log(tmp_path)
+        prefix, records, discarded, last_at = scan_valid_prefix(path)
+        assert prefix == os.path.getsize(path)
+        assert (records, discarded, last_at) == (3, 0, 2.0)
+
+    def test_truncated_tail_detected(self, tmp_path):
+        path = self.make_log(tmp_path)
+        with open(path, "r+b") as raw:
+            raw.truncate(os.path.getsize(path) - 5)  # tear the last record
+        with open(path, encoding="utf-8") as fp:
+            records, discarded = read_wal(fp)
+        assert len(records) == 2 and discarded == 1
+
+    def test_garbled_tail_detected(self, tmp_path):
+        path = self.make_log(tmp_path)
+        with open(path, "a", encoding="utf-8") as fp:
+            fp.write('{"type": "subscribe", oops\n{"half')
+        with open(path, encoding="utf-8") as fp:
+            records, discarded = read_wal(fp)
+        assert len(records) == 3 and discarded == 2
+
+    def test_reopen_truncates_damage_before_appending(self, tmp_path):
+        path = self.make_log(tmp_path)
+        intact = os.path.getsize(path)
+        with open(path, "a", encoding="utf-8") as fp:
+            fp.write('{"torn')
+        wal = WriteAheadLog(path, clock=VirtualClock(10.0))
+        assert wal.counters["torn_tail_discarded"] == 1
+        assert os.path.getsize(path) == intact  # damage gone, prefix kept
+        wal.append_subscribe(Subscription("new", [eq("z", 1)]), at=10.0)
+        wal.close()
+        with open(path, encoding="utf-8") as fp:
+            records, discarded = read_wal(fp)
+        # The new record is visible *because* the damage was cut first.
+        assert [r["subscription"]["id"] for r in records] == ["s0", "s1", "s2", "new"]
+        assert discarded == 0
+
+    def test_reopen_with_damaged_header_restarts_log(self, tmp_path):
+        path = tmp_path / "a.wal"
+        path.write_text('{"type": "repro-broker-w')  # torn mid-header
+        wal = WriteAheadLog(path, clock=VirtualClock(5.0))
+        wal.append_anchor(5.0)
+        wal.close()
+        with open(path, encoding="utf-8") as fp:
+            records, discarded = read_wal(fp)
+        assert len(records) == 1 and discarded == 0
+
+    @pytest.mark.parametrize("mode", ["truncate", "garble", "drop"])
+    def test_faulty_file_yields_valid_prefix(self, tmp_path, mode):
+        path = tmp_path / "a.wal"
+        wal = WriteAheadLog(
+            path,
+            clock=VirtualClock(),
+            fsync="never",
+            opener=faulty_opener(fail_after=260, mode=mode),
+        )
+        for i in range(10):
+            wal.append_subscribe(Subscription(f"s{i}", [eq("x", i)]), at=float(i))
+        wal.close()
+        with open(path, encoding="utf-8") as fp:
+            records, discarded = read_wal(fp)
+        ids = [r["subscription"]["id"] for r in records]
+        # Whatever landed is a strict prefix of what was written.
+        assert ids == [f"s{i}" for i in range(len(ids))]
+        assert len(ids) < 10
+        if mode == "drop":
+            assert discarded == 0  # damage fell on a line boundary
+        # Recovery happily consumes the damaged file end to end.
+        broker = fresh_broker()
+        report = recover_files(broker, wal_path=path)
+        assert report.restored == len(ids)
+
+
+class TestCompaction:
+    def test_compact_snapshots_and_restarts(self, tmp_path):
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=clock, fsync="always")
+        broker = fresh_broker(clock, wal=wal)
+        for i in range(4):
+            broker.subscribe(Subscription(f"s{i}", [eq("x", i)]))
+        grown = wal.tell()
+        snap = tmp_path / "a.snap"
+        assert wal.compact(broker, snap) == 4
+        assert wal.counters["compactions"] == 1
+        assert wal.tell() < grown  # only a fresh header remains
+        # Post-compaction mutations land in the restarted log.
+        broker.unsubscribe("s0")
+        broker.subscribe(Subscription("s9", [eq("x", 9)]))
+        wal.close()
+        restored = fresh_broker()
+        report = recover_files(restored, snapshot_path=snap, wal_path=wal.path)
+        assert report.restored == 4
+        assert sorted(restored.publish(Event({"x": 1}))) == ["s1"]
+        assert restored.publish(Event({"x": 9})) == ["s9"]
+        assert restored.publish(Event({"x": 0})) == []
+
+    def test_compact_on_closed_wal_rejected(self, tmp_path):
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=clock)
+        broker = fresh_broker(clock, wal=wal)
+        wal.close()
+        with pytest.raises(WalError):
+            wal.compact(broker, tmp_path / "a.snap")
+
+
+class TestBrokerIntegration:
+    def test_mutations_journaled(self, tmp_path):
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=clock)
+        broker = fresh_broker(clock, wal=wal)
+        broker.subscribe(Subscription("a", [eq("x", 1)]), ttl=60.0)
+        broker.unsubscribe("a")
+        assert broker.stats()["wal"]["counters"]["appends"] == 3  # anchor+sub+unsub
+        wal.close()
+        with open(wal.path, encoding="utf-8") as fp:
+            records, _ = read_wal(fp)
+        assert [r["type"] for r in records] == ["anchor", "subscribe", "unsubscribe"]
+
+    def test_suppression_skips_journaling(self, tmp_path):
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=clock)
+        broker = fresh_broker(clock, wal=wal)
+        with broker.wal_suppressed():
+            broker.subscribe(Subscription("quiet", [eq("x", 1)]))
+        assert wal.counters["appends"] == 1  # just the attach anchor
+
+    def test_expiry_appends_anchor(self, tmp_path):
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=clock)
+        broker = fresh_broker(clock, wal=wal)
+        broker.subscribe(Subscription("brief", [eq("x", 1)]), ttl=5.0)
+        clock.advance(10.0)
+        assert broker.purge_expired() == 1
+        wal.close()
+        with open(wal.path, encoding="utf-8") as fp:
+            records, _ = read_wal(fp)
+        assert records[-1] == {"type": "anchor", "at": 10.0}
+
+    def test_crash_before_log_loses_only_that_mutation(self, tmp_path):
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=clock, fsync="always")
+        broker = fresh_broker(clock, wal=wal)
+        broker.subscribe(Subscription("kept", [eq("x", 1)]))
+        broker.crash_hook = crash_at("subscribe:pre-log")
+        with pytest.raises(SimulatedCrash):
+            broker.subscribe(Subscription("lost", [eq("y", 2)]))
+        # Applied in memory but never acknowledged/journaled ...
+        assert broker.subscription_count == 2
+        restored = fresh_broker()
+        recover_files(restored, wal_path=wal.path)
+        # ... so after the crash only the acknowledged prefix survives.
+        assert restored.publish(Event({"x": 1})) == ["kept"]
+        assert restored.publish(Event({"y": 2})) == []
+
+    def test_crash_before_unsubscribe_log_keeps_subscription(self, tmp_path):
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "a.wal", clock=clock, fsync="always")
+        broker = fresh_broker(clock, wal=wal)
+        broker.subscribe(Subscription("a", [eq("x", 1)]))
+        broker.crash_hook = crash_at("unsubscribe:pre-log")
+        with pytest.raises(SimulatedCrash):
+            broker.unsubscribe("a")
+        restored = fresh_broker()
+        recover_files(restored, wal_path=wal.path)
+        # The removal was never acknowledged; durably, "a" still exists.
+        assert restored.publish(Event({"x": 1})) == ["a"]
+
+
+class TestBatchServer:
+    def test_batches_journaled_and_synced_per_batch(self, tmp_path):
+        wal = WriteAheadLog(
+            tmp_path / "a.wal", clock=VirtualClock(), fsync="interval",
+            fsync_interval=3600.0,
+        )
+        with BatchServer(wal=wal) as server:
+            subs = [Subscription(f"s{i}", [eq("x", i)]) for i in range(5)]
+            assert server.submit_subscriptions(subs).results == 5
+            assert server.submit_unsubscriptions(["s0", "s1"]).results == ["s0", "s1"]
+            server.submit_events([Event({"x": 2})])
+            assert server.stats()["wal"]["counters"]["appends"] == 7
+            # One explicit sync per mutating batch, none for publishes.
+            assert wal.counters["fsyncs"] == 2
+        wal.close()
+        restored = fresh_broker()
+        report = recover_files(restored, wal_path=wal.path)
+        assert report.restored == 3
+        assert restored.publish(Event({"x": 4})) == ["s4"]
