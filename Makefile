@@ -5,9 +5,9 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all bench-smoke metrics-smoke durability-smoke
+.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke
 
-test: metrics-smoke durability-smoke
+test: metrics-smoke durability-smoke robustness-smoke
 	$(PYTEST) -q -m "not slow"
 
 test-all:
@@ -44,3 +44,10 @@ durability-smoke:
 	rm -rf $(DURABILITY_SMOKE_DIR)
 	PYTHONPATH=src $(PYTHON) examples/durability_smoke.py $(DURABILITY_SMOKE_DIR)
 	rm -rf $(DURABILITY_SMOKE_DIR)
+
+# End-to-end overload-safety check: burst a bounded server (shed +
+# retry must converge, differentially checked), then fault a shard
+# (degrade, reroute, heal through the breaker's half-open probe). Part
+# of tier-1 (`make test` runs it alongside the other smokes).
+robustness-smoke:
+	PYTHONPATH=src $(PYTHON) examples/robustness_smoke.py

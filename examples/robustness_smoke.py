@@ -1,0 +1,191 @@
+"""End-to-end robustness smoke test (the tier-1 ``make robustness-smoke``).
+
+Drives the overload-safety story once, at small scale:
+
+1. **Backpressure** — a :class:`BatchServer` with a tiny bounded queue
+   and ``reject`` admission is hit by a burst of concurrent producers
+   while a deliberately slow matcher keeps its worker busy: some
+   submissions must be shed with :class:`ServerOverloadedError`, none
+   may deadlock, and :class:`RetryingClient` wrappers must all succeed
+   within their backoff budgets.
+2. **Differential check** — once the burst drains, every event is
+   re-matched and compared against a brute-force oracle: overload may
+   delay answers but never corrupt them.
+3. **Quarantine** — a :class:`ShardedMatcher` with per-shard breakers
+   takes a fault-injected shard: results degrade (flagged, healthy
+   shards still correct), new subscriptions route away from the sick
+   shard, the half-open probe heals it after cool-down, and the final
+   results are complete again.  ``health()`` must report each stage.
+
+Exits non-zero (with a diagnostic) on any divergence.
+"""
+
+import random
+import sys
+import threading
+
+from repro.core import Event, OracleMatcher, Subscription, eq
+from repro.matchers import DynamicMatcher
+from repro.system import (
+    BREAKER_CLOSED,
+    BREAKER_OPEN,
+    BatchServer,
+    RetryPolicy,
+    RetryingClient,
+    ShardedMatcher,
+    VirtualClock,
+)
+from repro.testing import FlakyMatcher, SlowMatcher
+
+
+def fail(message):
+    print(f"robustness smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def overload_stage():
+    """Burst a bounded server; retrying clients must all get through."""
+    oracle = OracleMatcher()
+    matcher = SlowMatcher(DynamicMatcher(), delay=0.002, operations=("match",))
+    server = BatchServer(matcher, queue_limit=3, admission="reject")
+    try:
+        subs = [Subscription(f"s{i}", [eq("topic", i % 4)]) for i in range(40)]
+        server.submit_subscriptions(subs)
+        for sub in subs:
+            oracle.add(sub)
+
+        errors = []
+
+        def producer(k):
+            client = RetryingClient(
+                server,
+                RetryPolicy(
+                    max_attempts=200,
+                    base_delay=0.001,
+                    max_delay=0.02,
+                    rng=random.Random(k),
+                ),
+            )
+            try:
+                for i in range(5):
+                    event = Event({"topic": (k + i) % 4})
+                    reply = client.submit_events([event])
+                    got = sorted(reply.results[0])
+                    want = sorted(oracle.match(event))
+                    if got != want:
+                        raise AssertionError(
+                            f"producer {k} got {got}, oracle says {want}"
+                        )
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=producer, args=(k,)) for k in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        if any(t.is_alive() for t in threads):
+            fail("overload burst deadlocked (producer still blocked)")
+        if errors:
+            fail(f"retrying producer failed: {errors[0]!r}")
+
+        health = server.health()
+        if health["status"] != "ok":
+            fail(f"expected status ok after the burst, got {health['status']}")
+        if health["shed"]["overload"] < 1:
+            fail("the burst never shed — queue bound not exercised")
+        # Post-storm differential sweep: overload must not corrupt state.
+        for topic in range(4):
+            event = Event({"topic": topic})
+            got = sorted(server.submit_events([event]).results[0])
+            want = sorted(oracle.match(event))
+            if got != want:
+                fail(f"post-burst divergence on topic {topic}: {got} != {want}")
+        print(
+            f"robustness smoke: burst ok "
+            f"(shed {health['shed']['overload']} of 30 submissions, "
+            f"all recovered by retry)"
+        )
+    finally:
+        server.close()
+
+
+def quarantine_stage():
+    """Fault one shard; results degrade, reroute, then heal."""
+    clock = VirtualClock()
+    flaky_holder = []
+
+    def inner():
+        engine = DynamicMatcher()
+        if not flaky_holder:
+            engine = FlakyMatcher(engine, failures=0)
+            flaky_holder.append(engine)
+        return engine
+
+    matcher = ShardedMatcher(
+        shards=3,
+        router="roundrobin",
+        inner=inner,
+        parallel=False,
+        breaker={"failure_threshold": 2, "reset_timeout": 5.0, "clock": clock},
+    )
+    flaky = flaky_holder[0]
+    server = BatchServer(matcher)
+    try:
+        subs = [Subscription(f"s{i}", [eq("x", 1)]) for i in range(12)]
+        server.submit_subscriptions(subs)
+        sick = set(matcher.shard_ids()[0])
+        all_ids = {s.id for s in subs}
+        event = Event({"x": 1})
+
+        healthy = server.submit_events([event]).results[0]
+        if set(healthy) != all_ids or getattr(healthy, "degraded", True):
+            fail("pre-fault results incomplete")
+
+        flaky.rearm(2)  # exactly enough faults to trip the breaker
+        for step in range(2):
+            got = server.submit_events([event]).results[0]
+            if not getattr(got, "degraded", False):
+                fail(f"fault step {step}: results not flagged degraded")
+            if set(got) != all_ids - sick:
+                fail(f"fault step {step}: healthy shards diverged")
+        if server.health()["breakers"]["0"] != BREAKER_OPEN:
+            fail("breaker did not open after repeated shard faults")
+
+        # New subscriptions must route away from the quarantined shard.
+        rerouted = Subscription("late", [eq("x", 1)])
+        server.submit_subscriptions([rerouted])
+        if matcher.stats()["per_shard_subscriptions"][0] != len(sick):
+            fail("a new subscription landed on the quarantined shard")
+        got = server.submit_events([event]).results[0]
+        if "late" not in got:
+            fail("rerouted subscription is not matchable while degraded")
+
+        # Cool-down elapses; the half-open probe heals the shard.
+        clock.advance(6.0)
+        healed = server.submit_events([event]).results[0]
+        if getattr(healed, "degraded", True):
+            fail("results still degraded after the recovery probe")
+        if set(healed) != all_ids | {"late"}:
+            fail("post-heal results incomplete")
+        health = server.health()
+        if health["status"] != "ok" or health["breakers"]["0"] != BREAKER_CLOSED:
+            fail(f"health did not return to ok/closed: {health}")
+        print(
+            "robustness smoke: quarantine ok "
+            f"(shard 0 degraded {matcher.counters['degraded_events']} events, "
+            "rerouted 1 subscription, healed after cool-down)"
+        )
+    finally:
+        server.close()
+        matcher.close()
+
+
+def main():
+    overload_stage()
+    quarantine_stage()
+    print("robustness smoke passed")
+
+
+if __name__ == "__main__":
+    main()

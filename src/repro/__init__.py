@@ -63,6 +63,15 @@ from repro.matchers import (
     make_matcher,
 )
 from repro.obs import MetricsRegistry, Tracer
+from repro.system.resilience import (
+    CircuitBreaker,
+    DeadlineExceededError,
+    PartialResults,
+    RetryBudgetExceededError,
+    RetryPolicy,
+    RetryingClient,
+    ServerOverloadedError,
+)
 from repro.system.router import ShardRouter, make_router
 from repro.system.sharding import ShardedMatcher
 
@@ -84,6 +93,8 @@ __all__ = [
     "InvalidPredicateError",
     "InvalidSubscriptionError",
     "InvalidWorkloadError",
+    "CircuitBreaker",
+    "DeadlineExceededError",
     "MATCHER_FACTORIES",
     "MatchExplanation",
     "Matcher",
@@ -91,11 +102,16 @@ __all__ = [
     "Operator",
     "OracleMatcher",
     "ParseError",
+    "PartialResults",
     "Predicate",
     "PredicateRegistry",
     "PrefetchPropagationMatcher",
     "PropagationMatcher",
     "ReproError",
+    "RetryBudgetExceededError",
+    "RetryPolicy",
+    "RetryingClient",
+    "ServerOverloadedError",
     "ShardRouter",
     "ShardedMatcher",
     "StaticMatcher",

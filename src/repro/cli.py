@@ -17,6 +17,11 @@ Commands
     paper scenario (W0–W6), as JSON lines.
 ``bench``
     Run one of the paper-figure experiment drivers.
+``health``
+    Replay a workload through a bounded :class:`BatchServer` and print
+    the server's health report (queue depth, shed counts, breaker
+    states, WAL lag) as JSON — the operational view of
+    ``docs/resilience.md``.
 ``snapshot``
     Load JSON-lines subscriptions into a broker and write a durable
     snapshot file (the compaction artifact of the durability subsystem).
@@ -45,6 +50,7 @@ from repro.io import (
     load_subscriptions,
 )
 from repro.obs import MetricsRegistry, json_snapshot, prometheus_text, write_json_snapshot
+from repro.system.resilience import ADMISSION_POLICIES, DeadlineExceededError, ServerOverloadedError
 from repro.system.router import ROUTERS
 from repro.system.sharding import ShardedMatcher
 from repro.workload.generator import WorkloadGenerator
@@ -130,6 +136,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         action="store_true",
         help="also print the recorded per-event span tree",
+    )
+
+    health = commands.add_parser(
+        "health", help="replay a workload through a bounded server, report health"
+    )
+    health.add_argument("--subscriptions", required=True, help="JSON-lines file")
+    health.add_argument("--events", required=True, help="JSON-lines file")
+    health.add_argument("--engine", choices=ENGINES, default="dynamic")
+    health.add_argument("--shards", type=int, default=1, metavar="N")
+    health.add_argument("--router", choices=sorted(ROUTERS), default="affinity")
+    health.add_argument("--workers", type=int, default=1, metavar="N")
+    health.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the request queue at N batches (default: unbounded)",
+    )
+    health.add_argument(
+        "--admission",
+        choices=ADMISSION_POLICIES,
+        default="block",
+        help="full-queue policy with --queue-limit (default: block)",
+    )
+    health.add_argument(
+        "--batch-size",
+        type=int,
+        default=50,
+        metavar="N",
+        help="events per submitted batch (default 50)",
+    )
+    health.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-batch deadline; expired batches are shed, not matched",
     )
 
     gen = commands.add_parser("generate", help="emit a synthetic workload")
@@ -280,6 +323,50 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace, out) -> int:
+    from repro.system.server import BatchServer
+
+    subs, events = _load_workload(args)
+    spec = paper_workloads(0.001)["W0"]
+    if args.shards > 1:
+        matcher = ShardedMatcher(
+            shards=args.shards,
+            router=args.router,
+            inner=lambda: matcher_for(args.engine, spec),
+            breaker=True,
+        )
+    else:
+        matcher = matcher_for(args.engine, spec)
+    client_errors = {"overload": 0, "deadline": 0}
+    with BatchServer(
+        matcher,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        admission=args.admission,
+    ) as server:
+        server.submit_subscriptions(subs)
+        rebuild = getattr(matcher, "rebuild", None)
+        if callable(rebuild):
+            rebuild()
+        size = max(1, args.batch_size)
+        for start in range(0, len(events), size):
+            try:
+                server.submit_events(
+                    events[start : start + size], deadline=args.deadline
+                )
+            except ServerOverloadedError:
+                client_errors["overload"] += 1
+            except DeadlineExceededError:
+                client_errors["deadline"] += 1
+        report = server.health()
+    closer = getattr(matcher, "close", None)
+    if callable(closer):
+        closer()
+    report["client_errors"] = client_errors
+    out.write(json.dumps(report, sort_keys=True) + "\n")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace, out) -> int:
     spec = paper_workloads(1.0)[args.workload].with_seed(args.seed)
     gen = WorkloadGenerator(spec)
@@ -348,6 +435,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "match": _cmd_match,
         "stats": _cmd_stats,
         "explain": _cmd_explain,
+        "health": _cmd_health,
         "generate": _cmd_generate,
         "bench": _cmd_bench,
         "snapshot": _cmd_snapshot,

@@ -25,6 +25,19 @@ from repro.system.recovery import (
     recover,
     recover_files,
 )
+from repro.system.resilience import (
+    ADMISSION_POLICIES,
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    DeadlineExceededError,
+    PartialResults,
+    RetryBudgetExceededError,
+    RetryPolicy,
+    RetryingClient,
+    ServerOverloadedError,
+)
 from repro.system.server import BatchReply, BatchServer, ServerClosedError
 from repro.system.sharding import ShardedMatcher
 from repro.system.snapshot import (
@@ -37,19 +50,30 @@ from repro.system.snapshot import (
 from repro.system.wal import FSYNC_POLICIES, WalError, WriteAheadLog, read_wal
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "AffinityRouter",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
     "BatchReply",
     "BatchServer",
     "CallbackNotifier",
+    "CircuitBreaker",
     "Clock",
+    "DeadlineExceededError",
     "EventStore",
     "FSYNC_POLICIES",
     "HashRouter",
+    "PartialResults",
     "ROUTERS",
     "RecoveryError",
     "RecoveryReport",
+    "RetryBudgetExceededError",
+    "RetryPolicy",
+    "RetryingClient",
     "RoundRobinRouter",
     "ServerClosedError",
+    "ServerOverloadedError",
     "ShardRouter",
     "ShardedMatcher",
     "FanoutNotifier",

@@ -46,6 +46,7 @@ from repro.matchers.dynamic import DynamicMatcher
 from repro.system.clock import Clock, SystemClock
 from repro.system.event_store import EventStore
 from repro.system.notifier import Notification, Notifier, QueueNotifier
+from repro.system.resilience import PartialResults
 
 if TYPE_CHECKING:  # runtime import would be circular (wal → snapshot → broker)
     from repro.system.wal import WriteAheadLog
@@ -113,6 +114,7 @@ class PubSubBroker:
             "unsubscribed": 0,
             "expired_subscriptions": 0,
             "notifications": 0,
+            "degraded_publishes": 0,
         }
         if wal is not None:
             self.attach_wal(wal)
@@ -331,6 +333,13 @@ class PubSubBroker:
         if ttl is not None and ttl > 0:
             self._events.add(event, now + ttl)
         self.counters["published"] += 1
+        if getattr(raw, "degraded", False):
+            # A quarantining engine answered without its sick shards;
+            # hand the incompleteness flag on to the publisher.
+            self.counters["degraded_publishes"] += 1
+            return PartialResults(
+                matched, degraded=True, failed_shards=raw.failed_shards
+            )
         return matched
 
     def publish_batch(

@@ -16,6 +16,20 @@ let concurrent batches pipeline across shards) are used as-is; any
 other matcher is wrapped in a
 :class:`~repro.core.threadsafe.ThreadSafeMatcher`, which keeps the
 results correct but serializes the actual matching.
+
+Overload safety (see ``docs/resilience.md``): by default the request
+queue is unbounded (a harness measuring the paper's figures must never
+shed).  Deployments serving untrusted producers pass ``queue_limit`` to
+bound it and an admission policy for the full-queue case — ``block``
+the producer, ``reject`` with :class:`ServerOverloadedError`, or
+``shed-oldest`` (evict the stalest queued batch, answering *its* caller
+with the overload error, in favour of the new one).  Requests may carry
+a ``deadline`` (seconds from submission); a batch whose deadline passed
+while queued is shed with :class:`DeadlineExceededError` instead of
+being matched.  Every shed increments ``repro_server_shed_total`` with
+a ``reason`` label, and :meth:`BatchServer.health` reports queue depth,
+shed counts, breaker states and WAL lag in one place (the ``repro
+health`` CLI prints it).
 """
 
 from __future__ import annotations
@@ -32,10 +46,19 @@ from repro.core.threadsafe import ThreadSafeMatcher
 from repro.core.types import Event, Subscription
 from repro.matchers.dynamic import DynamicMatcher
 from repro.obs.registry import MetricsRegistry
+from repro.system.resilience import (
+    ADMISSION_POLICIES,
+    BREAKER_CLOSED,
+    DeadlineExceededError,
+    ServerOverloadedError,
+)
 from repro.system.wal import WriteAheadLog
 
 #: Request kinds a batch can carry (the label set of the server families).
 _KINDS = ("subscribe", "unsubscribe", "publish")
+
+#: Reasons a request can be shed (the ``repro_server_shed_total`` labels).
+_SHED_REASONS = ("overload", "deadline", "closed")
 
 
 class ServerClosedError(ReproError, RuntimeError):
@@ -60,6 +83,8 @@ class _Request:
     payload: Any
     reply_queue: "queue.Queue[Any]"
     submitted_at: float
+    #: Absolute monotonic instant after which the work is worthless.
+    deadline_at: Optional[float] = None
 
 
 class BatchServer:
@@ -71,21 +96,38 @@ class BatchServer:
         workers: int = 1,
         metrics: Optional[MetricsRegistry] = None,
         wal: Optional["WriteAheadLog"] = None,
+        queue_limit: Optional[int] = None,
+        admission: str = "block",
     ) -> None:
         if workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {queue_limit}")
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r}; "
+                f"known: {', '.join(ADMISSION_POLICIES)}"
+            )
         matcher = matcher if matcher is not None else DynamicMatcher()
         if workers > 1 and not getattr(matcher, "thread_safe", False):
             matcher = ThreadSafeMatcher(matcher)
         self.matcher = matcher
         self.workers = workers
+        self.queue_limit = queue_limit
+        self.admission = admission
         # Durability: mutations are journaled per item but fsynced once
         # per *batch* — the batch boundary is the natural amortization
         # point (the paper submits in n_S_b / n_E_b units), so even
         # wal("always") pays one disk sync per batch, not per item.
         self.wal = wal
-        self._requests: "queue.Queue[Optional[_Request]]" = queue.Queue()
+        self._requests: "queue.Queue[Optional[_Request]]" = queue.Queue(
+            maxsize=queue_limit or 0
+        )
         self._closed = False
+        self._close_lock = threading.Lock()
+        #: Unexpected worker-loop failures (not per-request errors, which
+        #: are delivered to their caller); ``__exit__`` re-raises these.
+        self._worker_errors: List[BaseException] = []
         # Server-side observability: one sample per *batch*, so a live
         # registry is the default.  Workers share children — updates are
         # serialized by this lock, not by the GIL.
@@ -104,6 +146,17 @@ class BatchServer:
         self._m_queue_depth = m.gauge(
             "repro_server_queue_depth", "Batches waiting in the request queue."
         ).labels()
+        self._m_queue_limit = m.gauge(
+            "repro_server_queue_limit",
+            "Configured request-queue bound (0 = unbounded).",
+        ).labels()
+        self._m_queue_limit.set(self.queue_limit or 0)
+        shed = m.counter(
+            "repro_server_shed_total",
+            "Requests shed without being processed, by reason.",
+            ("reason",),
+        )
+        self._m_shed = {r: shed.labels(reason=r) for r in _SHED_REASONS}
         batches = m.counter(
             "repro_server_batches_total", "Batches processed, by request kind.", ("kind",)
         )
@@ -121,6 +174,10 @@ class BatchServer:
         self._m_items = {k: items.labels(kind=k) for k in _KINDS}
         self._m_batch_seconds = {k: seconds.labels(kind=k) for k in _KINDS}
 
+    def _count_shed(self, reason: str) -> None:
+        with self._metrics_lock:
+            self._m_shed[reason].inc()
+
     # ------------------------------------------------------------------
     # worker
     # ------------------------------------------------------------------
@@ -129,48 +186,144 @@ class BatchServer:
             request = self._requests.get()
             if request is None:
                 return
-            start = time.perf_counter()
             try:
-                wal = self.wal
-                if request.kind == "subscribe":
-                    n = 0
-                    for sub in request.payload:
-                        self.matcher.add(sub)
-                        if wal is not None:
-                            wal.append_subscribe(sub, at=wal.now())
-                        n += 1
-                    results: Any = n
-                elif request.kind == "unsubscribe":
-                    results = []
-                    for sid in request.payload:
-                        results.append(self.matcher.remove(sid).id)
-                        if wal is not None:
-                            wal.append_unsubscribe(sid, at=wal.now())
-                elif request.kind == "publish":
-                    results = [self.matcher.match(e) for e in request.payload]
-                else:  # pragma: no cover - guarded by the submit methods
-                    raise AssertionError(request.kind)
-                if wal is not None and request.kind != "publish":
-                    wal.sync()  # flush-on-batch boundary
-                elapsed = time.perf_counter() - start
-                with self._metrics_lock:
-                    self._m_batches[request.kind].inc()
-                    self._m_items[request.kind].inc(len(request.payload))
-                    self._m_batch_seconds[request.kind].observe(elapsed)
-                    self._m_queue_depth.set(self._requests.qsize())
-                request.reply_queue.put((results, elapsed, None))
-            except Exception as exc:  # deliver failures to the caller
+                self._handle(request)
+            except BaseException as exc:  # a bug in the serve loop itself
+                # Per-request failures are delivered by _handle; anything
+                # landing here killed the worker.  Answer the in-flight
+                # caller (nobody else will) before dying.
+                self._worker_errors.append(exc)
                 request.reply_queue.put((None, 0.0, exc))
+                raise
+
+    def _handle(self, request: _Request) -> None:
+        if (
+            request.deadline_at is not None
+            and time.monotonic() >= request.deadline_at
+        ):
+            # Expired while queued: shed, don't match.  Matching work
+            # nobody is waiting for anymore only deepens an overload.
+            self._count_shed("deadline")
+            request.reply_queue.put(
+                (
+                    None,
+                    0.0,
+                    DeadlineExceededError(
+                        f"{request.kind} batch expired before processing"
+                    ),
+                )
+            )
+            return
+        start = time.perf_counter()
+        try:
+            wal = self.wal
+            if request.kind == "subscribe":
+                n = 0
+                for sub in request.payload:
+                    self.matcher.add(sub)
+                    if wal is not None:
+                        wal.append_subscribe(sub, at=wal.now())
+                    n += 1
+                results: Any = n
+            elif request.kind == "unsubscribe":
+                results = []
+                for sid in request.payload:
+                    results.append(self.matcher.remove(sid).id)
+                    if wal is not None:
+                        wal.append_unsubscribe(sid, at=wal.now())
+            elif request.kind == "publish":
+                results = [self.matcher.match(e) for e in request.payload]
+            else:  # pragma: no cover - guarded by the submit methods
+                raise AssertionError(request.kind)
+            if wal is not None and request.kind != "publish":
+                wal.sync()  # flush-on-batch boundary
+            elapsed = time.perf_counter() - start
+            with self._metrics_lock:
+                self._m_batches[request.kind].inc()
+                self._m_items[request.kind].inc(len(request.payload))
+                self._m_batch_seconds[request.kind].observe(elapsed)
+                self._m_queue_depth.set(self._requests.qsize())
+            request.reply_queue.put((results, elapsed, None))
+        except Exception as exc:  # deliver failures to the caller
+            request.reply_queue.put((None, 0.0, exc))
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _admit(self, request: _Request) -> None:
+        """Enqueue *request* under the configured admission policy."""
+        requests = self._requests
+        if self.queue_limit is None:
+            requests.put(request)
+            return
+        if self.admission == "block":
+            if request.deadline_at is None:
+                requests.put(request)
+                return
+            remaining = request.deadline_at - time.monotonic()
+            if remaining > 0:
+                try:
+                    requests.put(request, timeout=remaining)
+                    return
+                except queue.Full:
+                    pass
+            self._count_shed("deadline")
+            raise DeadlineExceededError(
+                f"{request.kind} batch deadline passed while waiting for queue space"
+            )
+        if self.admission == "reject":
+            try:
+                requests.put_nowait(request)
+            except queue.Full:
+                self._count_shed("overload")
+                raise ServerOverloadedError(
+                    f"request queue full ({self.queue_limit} batches)"
+                ) from None
+            return
+        # shed-oldest: evict stale work in favour of fresh work.  The
+        # loop races benignly with workers draining the queue — every
+        # iteration either enqueues, sheds one victim, or observes the
+        # queue momentarily empty and retries.
+        while True:
+            try:
+                requests.put_nowait(request)
+                return
+            except queue.Full:
+                pass
+            try:
+                victim = requests.get_nowait()
+            except queue.Empty:
+                continue
+            if victim is None:  # close() sentinel: put it back, stop shedding
+                requests.put(victim)
+                self._count_shed("closed")
+                raise ServerClosedError("server is closed")
+            self._count_shed("overload")
+            victim.reply_queue.put(
+                (
+                    None,
+                    0.0,
+                    ServerOverloadedError(
+                        f"shed from a full queue ({self.queue_limit} batches) "
+                        f"in favour of newer work"
+                    ),
+                )
+            )
 
     # ------------------------------------------------------------------
     # client surface
     # ------------------------------------------------------------------
-    def _submit(self, kind: str, payload: Any) -> BatchReply:
+    def _submit(
+        self, kind: str, payload: Any, deadline: Optional[float] = None
+    ) -> BatchReply:
         if self._closed:
             raise ServerClosedError("server is closed")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive seconds, got {deadline}")
         reply: "queue.Queue[Any]" = queue.Queue()
         submitted = time.perf_counter()
-        self._requests.put(_Request(kind, payload, reply, submitted))
+        deadline_at = None if deadline is None else time.monotonic() + deadline
+        self._admit(_Request(kind, payload, reply, submitted, deadline_at))
         with self._metrics_lock:
             self._m_queue_depth.set(self._requests.qsize())
         results, processing, error = reply.get()
@@ -182,18 +335,24 @@ class BatchServer:
             round_trip_seconds=time.perf_counter() - submitted,
         )
 
-    def submit_subscriptions(self, batch: Sequence[Subscription]) -> BatchReply:
+    def submit_subscriptions(
+        self, batch: Sequence[Subscription], deadline: Optional[float] = None
+    ) -> BatchReply:
         """Insert a subscription batch (the paper's ``n_S_b`` unit)."""
-        return self._submit("subscribe", list(batch))
+        return self._submit("subscribe", list(batch), deadline)
 
-    def submit_unsubscriptions(self, sub_ids: Sequence[Any]) -> BatchReply:
+    def submit_unsubscriptions(
+        self, sub_ids: Sequence[Any], deadline: Optional[float] = None
+    ) -> BatchReply:
         """Remove a batch of subscriptions by id."""
-        return self._submit("unsubscribe", list(sub_ids))
+        return self._submit("unsubscribe", list(sub_ids), deadline)
 
-    def submit_events(self, batch: Sequence[Event]) -> BatchReply:
+    def submit_events(
+        self, batch: Sequence[Event], deadline: Optional[float] = None
+    ) -> BatchReply:
         """Match an event batch (the paper's ``n_E_b`` unit); the reply's
         results hold one id-list per event."""
-        return self._submit("publish", list(batch))
+        return self._submit("publish", list(batch), deadline)
 
     # ------------------------------------------------------------------
     # introspection
@@ -206,11 +365,15 @@ class BatchServer:
                 counters[f"batches_{kind}"] = self._m_batches[kind].value
                 counters[f"items_{kind}"] = self._m_items[kind].value
                 counters[f"seconds_{kind}"] = self._m_batch_seconds[kind].sum
+            for reason in _SHED_REASONS:
+                counters[f"shed_{reason}"] = self._m_shed[reason].value
         out = {
             "name": "batch-server",
             "subscriptions": len(self.matcher),
             "workers": self.workers,
             "queue_depth": self._requests.qsize(),
+            "queue_limit": self.queue_limit or 0,
+            "admission": self.admission,
             "counters": counters,
             "matcher": self.matcher.stats(),
         }
@@ -218,21 +381,87 @@ class BatchServer:
             out["wal"] = self.wal.stats()
         return out
 
+    def health(self) -> Dict[str, Any]:
+        """One overload-focused snapshot of the serving stack.
+
+        ``status`` is ``"ok"``, ``"degraded"`` (any shard breaker not
+        closed), or ``"closed"``.  Also reports queue depth vs. limit,
+        per-reason shed counts, worker liveness, per-shard breaker
+        states (when the engine quarantines), and WAL lag (appends not
+        yet fsynced).  This is what ``repro health`` prints.
+        """
+        with self._metrics_lock:
+            shed = {r: int(self._m_shed[r].value) for r in _SHED_REASONS}
+        breakers: Optional[Dict[str, str]] = None
+        breaker_states = getattr(self.matcher, "breaker_states", None)
+        if callable(breaker_states):
+            states = breaker_states()
+            if states is not None:
+                breakers = {str(shard): state for shard, state in states.items()}
+        status = "ok"
+        if breakers and any(s != BREAKER_CLOSED for s in breakers.values()):
+            status = "degraded"
+        if self._closed:
+            status = "closed"
+        out: Dict[str, Any] = {
+            "status": status,
+            "workers": self.workers,
+            "workers_alive": sum(t.is_alive() for t in self._threads),
+            "queue_depth": self._requests.qsize(),
+            "queue_limit": self.queue_limit or 0,
+            "admission": self.admission,
+            "shed": shed,
+            "subscriptions": len(self.matcher),
+            "breakers": breakers,
+        }
+        if self.wal is not None:
+            wal_stats = self.wal.stats()
+            out["wal"] = {
+                "bytes": wal_stats["bytes"],
+                "unsynced_appends": wal_stats["unsynced_appends"],
+            }
+        return out
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the workers (idempotent); pending batches finish first."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop the workers (idempotent); pending batches finish first.
+
+        Workers drain everything queued ahead of the stop sentinels, so
+        in-flight batches get real replies; anything that slips in
+        behind the sentinels (a submit racing with close) is answered
+        with :class:`ServerClosedError` instead of hanging its caller.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         for _ in self._threads:
             self._requests.put(None)
         for thread in self._threads:
             thread.join(timeout=10.0)
+        # Drain-on-close: fail leftovers (racing submits, or requests a
+        # dead worker never reached) rather than leaving callers blocked.
+        while True:
+            try:
+                request = self._requests.get_nowait()
+            except queue.Empty:
+                break
+            if request is None:
+                continue
+            self._count_shed("closed")
+            request.reply_queue.put(
+                (None, 0.0, ServerClosedError("server closed before processing"))
+            )
 
     def __enter__(self) -> "BatchServer":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+        # Worker-loop failures are bugs, not per-request errors; surface
+        # them at the context boundary unless an exception is already
+        # propagating (never mask the caller's own failure).
+        if self._worker_errors and exc_info[0] is None:
+            raise self._worker_errors[0]

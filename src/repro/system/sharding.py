@@ -33,6 +33,19 @@ layer is coarse-grained, so it carries a live registry by default;
 inner engine with a distinct ``shard`` label (keeping each series
 single-writer under that shard's lock).  ``use_tracer`` records one
 fan-out span per event with per-shard children.
+
+Shard quarantine (``breaker=``; see ``docs/resilience.md``): with
+per-shard :class:`~repro.system.resilience.CircuitBreaker` protection
+enabled, a shard whose inner engine raises (or answers slower than
+``slow_match_seconds``) repeatedly is quarantined instead of poisoning
+every publish — events skip it, ``match`` returns the healthy shards'
+results as a :class:`~repro.system.resilience.PartialResults` flagged
+``degraded=True``, and *new* subscriptions are overflow-placed on a
+healthy neighbour (tracked so routing stays sound for any router: the
+overflow shards are always probed).  After the breaker's cool-down the
+next event runs a half-open probe through the shard; success heals it.
+Without ``breaker`` (the default) behaviour is exactly the pre-quarantine
+contract: inner-engine exceptions propagate to the caller.
 """
 
 from __future__ import annotations
@@ -40,14 +53,24 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.errors import DuplicateSubscriptionError, UnknownSubscriptionError
 from repro.core.matcher import Matcher
 from repro.core.types import Event, Subscription
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
+from repro.system.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_STATE_VALUES,
+    CircuitBreaker,
+    PartialResults,
+)
 from repro.system.router import ShardRouter, make_router
+
+#: How per-shard breakers may be requested: ``True`` for defaults, a
+#: kwargs dict for :class:`CircuitBreaker`, or a zero-arg factory.
+BreakerSpec = Union[None, bool, Dict[str, Any], Callable[[], CircuitBreaker]]
 
 #: How an inner engine may be specified: a ready factory, or a registered
 #: algorithm name resolved through :func:`repro.matchers.make_matcher`.
@@ -78,9 +101,15 @@ class ShardedMatcher(Matcher):
         inner: InnerSpec = "dynamic",
         parallel: bool = True,
         max_workers: Optional[int] = None,
+        breaker: BreakerSpec = None,
+        slow_match_seconds: Optional[float] = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shard count must be >= 1, got {shards}")
+        if slow_match_seconds is not None and slow_match_seconds <= 0:
+            raise ValueError(
+                f"slow-match threshold must be positive, got {slow_match_seconds}"
+            )
         self.router = router if isinstance(router, ShardRouter) else make_router(router, shards)
         if self.router.shards != shards:
             raise ValueError(
@@ -95,11 +124,49 @@ class ShardedMatcher(Matcher):
         self._parallel = parallel and shards > 1
         self._max_workers = max_workers or shards
         self._pool: Optional[ThreadPoolExecutor] = None
+        # Quarantine state: one breaker per shard (None = disabled), the
+        # per-shard count of overflow-placed subscriptions (placed off
+        # their router-preferred shard while it was quarantined — those
+        # shards must always be probed for routing to stay sound), and
+        # the preferred shard of each overflow placement (for router
+        # bookkeeping on removal).
+        self.slow_match_seconds = slow_match_seconds
+        self._breakers: Optional[List[CircuitBreaker]] = None
+        if breaker:
+            self._breakers = [
+                self._build_breaker(breaker, index) for index in range(shards)
+            ]
+        self._overflow = [0] * shards
+        self._routed_of: Dict[Any, int] = {}
         # The fan-out layer records a handful of samples per event, so a
         # live registry is the default here (inner engines stay no-op
         # until use_metrics propagates a shared registry to them).
         self.metrics = MetricsRegistry()
         self._bind_metrics()
+
+    def _build_breaker(self, spec: BreakerSpec, index: int) -> CircuitBreaker:
+        if spec is True:
+            built = CircuitBreaker()
+        elif isinstance(spec, dict):
+            built = CircuitBreaker(**spec)
+        elif callable(spec):
+            built = spec()
+        else:  # pragma: no cover - guarded by the truthiness check above
+            raise ValueError(f"unsupported breaker spec {spec!r}")
+        user_hook = built.on_transition
+
+        def on_transition(old: str, new: str, _shard: int = index) -> None:
+            self._on_breaker_transition(_shard, new)
+            if user_hook is not None:
+                user_hook(old, new)
+
+        built.on_transition = on_transition
+        return built
+
+    def _on_breaker_transition(self, shard: int, new_state: str) -> None:
+        with self._meta:
+            self._m_breaker_state[shard].set(BREAKER_STATE_VALUES[new_state])
+            self._m_breaker_transitions.labels(shard=str(shard), state=new_state).inc()
 
     # ------------------------------------------------------------------
     # observability
@@ -127,6 +194,34 @@ class ShardedMatcher(Matcher):
             "repro_sharded_merge_seconds",
             "Per-event latency of concatenating per-shard results.",
         ).labels()
+        breaker_state = m.gauge(
+            "repro_breaker_state",
+            "Per-shard breaker state (0 closed, 1 half-open, 2 open).",
+            ("shard",),
+        )
+        self._m_breaker_state = [
+            breaker_state.labels(shard=str(i)) for i in range(len(self._shards))
+        ]
+        self._m_breaker_transitions = m.counter(
+            "repro_breaker_transitions_total",
+            "Breaker state transitions, by shard and entered state.",
+            ("shard", "state"),
+        )
+        self._m_degraded = m.counter(
+            "repro_sharded_degraded_total",
+            "Events answered with partial (degraded) results.",
+        ).labels()
+        self._m_quarantine_skips = m.counter(
+            "repro_sharded_quarantine_skips_total",
+            "Candidate-shard probes skipped because the breaker was open.",
+        ).labels()
+        self._m_rerouted = m.counter(
+            "repro_sharded_rerouted_total",
+            "Subscriptions overflow-placed away from a quarantined shard.",
+        ).labels()
+        if self._breakers is not None:
+            for i, b in enumerate(self._breakers):
+                self._m_breaker_state[i].set(BREAKER_STATE_VALUES[b.state])
 
     def use_metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
         """Attach a (shared) registry here *and* on every inner engine.
@@ -157,6 +252,9 @@ class ShardedMatcher(Matcher):
             "shards_skipped": self._m_skipped.value,
             "fanout_seconds": self._m_fanout_seconds.sum,
             "merge_seconds": self._m_merge_seconds.sum,
+            "degraded_events": self._m_degraded.value,
+            "quarantine_skips": self._m_quarantine_skips.value,
+            "rerouted_subscriptions": self._m_rerouted.value,
         }
 
     # ------------------------------------------------------------------
@@ -170,6 +268,23 @@ class ShardedMatcher(Matcher):
     def shard(self, index: int) -> Matcher:
         """The inner engine of one shard (for inspection/tests)."""
         return self._shards[index]
+
+    def breaker(self, index: int) -> Optional[CircuitBreaker]:
+        """The circuit breaker of one shard (None if quarantine is off)."""
+        if self._breakers is None:
+            return None
+        return self._breakers[index]
+
+    def breaker_states(self) -> Optional[Dict[int, str]]:
+        """Shard → breaker state (None if quarantine is off).
+
+        Reading the state advances lazy open → half-open transitions, so
+        polling this (``repro health`` does) is enough to see recovery
+        probes become available.
+        """
+        if self._breakers is None:
+            return None
+        return {i: b.state for i, b in enumerate(self._breakers)}
 
     def shard_ids(self) -> List[List[Any]]:
         """Per-shard lists of resident subscription ids."""
@@ -204,11 +319,36 @@ class ShardedMatcher(Matcher):
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    def _healthy_shard_near(self, preferred: int) -> int:
+        """The nearest shard with a closed breaker (or *preferred* if none)."""
+        breakers = self._breakers
+        n = len(self._shards)
+        for step in range(1, n):
+            candidate = (preferred + step) % n
+            if breakers[candidate].state == BREAKER_CLOSED:
+                return candidate
+        return preferred
+
     def add(self, subscription: Subscription) -> None:
         with self._meta:
             if subscription.id in self._shard_of:
                 raise DuplicateSubscriptionError(subscription.id)
-            shard = self.router.shard_for(subscription)
+            preferred = self.router.shard_for(subscription)
+            shard = preferred
+            if (
+                self._breakers is not None
+                and self._breakers[preferred].state != BREAKER_CLOSED
+            ):
+                # Quarantined destination: overflow-place on a healthy
+                # neighbour.  The preferred shard is remembered so the
+                # router's bookkeeping stays exact on removal, and the
+                # overflow count keeps the actual shard probe-eligible
+                # for every event (routing soundness for any router).
+                shard = self._healthy_shard_near(preferred)
+                if shard != preferred:
+                    self._overflow[shard] += 1
+                    self._routed_of[subscription.id] = preferred
+                    self._m_rerouted.inc()
             self._shard_of[subscription.id] = shard
             self._population[shard] += 1
         try:
@@ -218,7 +358,12 @@ class ShardedMatcher(Matcher):
             with self._meta:
                 del self._shard_of[subscription.id]
                 self._population[shard] -= 1
-                self.router.on_remove(subscription, shard)
+                preferred = self._routed_of.pop(subscription.id, shard)
+                if preferred != shard:
+                    self._overflow[shard] -= 1
+                self.router.on_remove(subscription, preferred)
+            if self._breakers is not None:
+                self._breakers[shard].record_failure()
             raise
 
     def remove(self, sub_id: Any) -> Subscription:
@@ -231,7 +376,10 @@ class ShardedMatcher(Matcher):
         with self._meta:
             del self._shard_of[sub_id]
             self._population[shard] -= 1
-            self.router.on_remove(subscription, shard)
+            preferred = self._routed_of.pop(sub_id, shard)
+            if preferred != shard:
+                self._overflow[shard] -= 1
+            self.router.on_remove(subscription, preferred)
         return subscription
 
     def rebuild(self) -> None:
@@ -249,15 +397,48 @@ class ShardedMatcher(Matcher):
         with self._shard_locks[shard]:
             return self._shards[shard].match(event)
 
+    def _match_shard_guarded(
+        self, shard: int, event: Event
+    ) -> Tuple[Optional[List[Any]], Optional[Exception], float]:
+        """One shard probe that reports instead of raising (breaker mode)."""
+        start = time.perf_counter()
+        try:
+            ids = self._match_shard(shard, event)
+        except Exception as exc:
+            return None, exc, time.perf_counter() - start
+        return ids, None, time.perf_counter() - start
+
     def match(self, event: Event) -> List[Any]:
+        breakers = self._breakers
         with self._meta:
-            candidates = [
-                s for s in self.router.candidate_shards(event) if self._population[s]
-            ]
+            candidates = set(self.router.candidate_shards(event))
+            if breakers is not None:
+                # Overflow shards hold subscriptions whose router-
+                # preferred home was quarantined at add time; the router
+                # does not know about them, so they are always probed.
+                candidates.update(s for s, n in enumerate(self._overflow) if n)
+            candidates = sorted(s for s in candidates if self._population[s])
             self._m_events.inc()
             self._m_skipped.inc(len(self._shards) - len(candidates))
+        # Breaker gating happens outside the metadata lock (the breakers
+        # carry their own locks); quarantined shards are skipped and the
+        # result flagged degraded — their subscriptions exist but cannot
+        # be checked right now.
+        quarantined: List[int] = []
+        if breakers is not None:
+            probe = []
             for s in candidates:
+                if breakers[s].allow():
+                    probe.append(s)
+                else:
+                    quarantined.append(s)
+        else:
+            probe = candidates
+        with self._meta:
+            for s in probe:
                 self._m_visits[s].inc()
+            if quarantined:
+                self._m_quarantine_skips.inc(len(quarantined))
         span = None
         if self.tracer.enabled:
             span = self.tracer.start(
@@ -266,36 +447,84 @@ class ShardedMatcher(Matcher):
                 shards=len(self._shards),
                 candidates=len(candidates),
                 skipped=len(self._shards) - len(candidates),
+                quarantined=len(quarantined),
             )
-        if not candidates:
+        if not probe:
+            degraded = bool(quarantined)
+            with self._meta:
+                if degraded:
+                    self._m_degraded.inc()
             if span is not None:
-                self.tracer.finish(span.add(matched=0))
-            return []
+                self.tracer.finish(span.add(matched=0, degraded=degraded))
+            if breakers is None:
+                return []
+            return PartialResults(
+                degraded=degraded, failed_shards=tuple(quarantined)
+            )
         start = time.perf_counter()
-        if self._parallel and len(candidates) > 1:
-            pool = self._ensure_pool()
-            futures = [pool.submit(self._match_shard, s, event) for s in candidates]
-            per_shard = [f.result() for f in futures]
+        if breakers is None:
+            if self._parallel and len(probe) > 1:
+                pool = self._ensure_pool()
+                futures = [pool.submit(self._match_shard, s, event) for s in probe]
+                outcomes = [(f.result(), None, 0.0) for f in futures]
+            else:
+                outcomes = [(self._match_shard(s, event), None, 0.0) for s in probe]
         else:
-            per_shard = [self._match_shard(s, event) for s in candidates]
+            if self._parallel and len(probe) > 1:
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(self._match_shard_guarded, s, event) for s in probe
+                ]
+                outcomes = [f.result() for f in futures]
+            else:
+                outcomes = [self._match_shard_guarded(s, event) for s in probe]
+            for s, (_ids, error, elapsed) in zip(probe, outcomes):
+                slow = (
+                    self.slow_match_seconds is not None
+                    and elapsed > self.slow_match_seconds
+                )
+                if error is not None or slow:
+                    # A slow answer is still *used* (it is correct) but
+                    # counts against the shard's health.
+                    breakers[s].record_failure()
+                else:
+                    breakers[s].record_success()
         merged_at = time.perf_counter()
+        failed = list(quarantined)
         merged: List[Any] = []
-        for ids in per_shard:
-            merged.extend(ids)
+        per_shard: List[Optional[List[Any]]] = []
+        for s, (ids, error, _elapsed) in zip(probe, outcomes):
+            per_shard.append(ids)
+            if error is not None:
+                failed.append(s)
+            else:
+                merged.extend(ids)
         done = time.perf_counter()
+        degraded = bool(failed)
         with self._meta:
             self._m_fanout_seconds.observe(merged_at - start)
             self._m_merge_seconds.observe(done - merged_at)
+            if degraded:
+                self._m_degraded.inc()
         if span is not None:
-            for shard, ids in zip(candidates, per_shard):
-                span.child("shard", index=shard, matched=len(ids))
+            for shard, ids in zip(probe, per_shard):
+                span.child(
+                    "shard",
+                    index=shard,
+                    matched=len(ids) if ids is not None else -1,
+                )
             span.add(
                 matched=len(merged),
+                degraded=degraded,
                 fanout_ns=int((merged_at - start) * 1e9),
                 merge_ns=int((done - merged_at) * 1e9),
             )
             self.tracer.finish(span)
-        return merged
+        if breakers is None:
+            return merged
+        return PartialResults(
+            merged, degraded=degraded, failed_shards=tuple(sorted(failed))
+        )
 
     # ------------------------------------------------------------------
     # introspection
@@ -321,6 +550,12 @@ class ShardedMatcher(Matcher):
             return sum(self._population)
 
     def stats(self) -> Dict[str, Any]:
+        breakers = None
+        if self._breakers is not None:
+            # Collected outside the metadata lock: reading a breaker's
+            # state may fire its transition callback, which re-enters
+            # the (reentrant) lock but is tidier kept out of it.
+            breakers = {str(i): b.stats() for i, b in enumerate(self._breakers)}
         with self._meta:
             base = super().stats()
             base["shards"] = len(self._shards)
@@ -330,4 +565,7 @@ class ShardedMatcher(Matcher):
             base["per_shard_events_routed"] = [c.value for c in self._m_visits]
             base["counters"] = self.counters
             base["router"] = self.router.stats()
+            if breakers is not None:
+                base["breakers"] = breakers
+                base["overflow_per_shard"] = list(self._overflow)
         return base

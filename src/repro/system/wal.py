@@ -235,6 +235,7 @@ class WriteAheadLog:
         self._opener = opener
         self._lock = threading.Lock()
         self._bytes = 0
+        self._unsynced = 0
         self._last_sync = time.monotonic()
         self._closed = False
         # Appends are I/O-bound, so a live registry is the default (the
@@ -284,6 +285,10 @@ class WriteAheadLog:
             "repro_wal_torn_tail_discarded_total",
             "Damaged tail lines discarded when re-opening an existing log.",
         ).labels()
+        self._m_unsynced = m.gauge(
+            "repro_wal_unsynced_appends",
+            "Records appended since the last fsync (WAL lag).",
+        ).labels()
 
     def use_metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
         """Attach a (shared) metrics registry; returns it."""
@@ -310,6 +315,7 @@ class WriteAheadLog:
             "path": self.path,
             "fsync": self.fsync_policy,
             "bytes": self._bytes,
+            "unsynced_appends": self._unsynced,
             "counters": self.counters,
         }
 
@@ -340,8 +346,10 @@ class WriteAheadLog:
             # *machine* crash can lose.
             self._fp.flush()
             self._bytes += encoded
+            self._unsynced += 1
             self._m_bytes.inc(encoded)
             self._m_appends[record["type"]].inc()
+            self._m_unsynced.set(self._unsynced)
             if self.fsync_policy == "always":
                 self._sync_locked()
             elif (
@@ -385,7 +393,9 @@ class WriteAheadLog:
         self._fp.flush()
         _fsync(self._fp)
         self._last_sync = time.monotonic()
+        self._unsynced = 0
         self._m_fsyncs.inc()
+        self._m_unsynced.set(0)
 
     def sync(self) -> None:
         """Flush and fsync now, regardless of policy (batch boundaries)."""
@@ -448,6 +458,8 @@ class WriteAheadLog:
             if self.fsync_policy != "never":
                 _fsync(self._fp)
                 self._m_fsyncs.inc()
+                self._unsynced = 0
+                self._m_unsynced.set(0)
             self._fp.close()
 
     @property

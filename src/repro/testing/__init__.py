@@ -1,0 +1,30 @@
+"""Public testing utilities: the fault-injection toolkit.
+
+Promoted from the internal test harness so chaos tests and users share
+one vocabulary of injected failures (broken files, simulated crashes,
+flaky and slow matchers).
+"""
+
+from repro.testing.faults import (
+    FAULT_MODES,
+    FaultyFile,
+    FlakyMatcher,
+    InjectedFault,
+    MATCHER_OPS,
+    SimulatedCrash,
+    SlowMatcher,
+    crash_at,
+    faulty_opener,
+)
+
+__all__ = [
+    "FAULT_MODES",
+    "FaultyFile",
+    "FlakyMatcher",
+    "InjectedFault",
+    "MATCHER_OPS",
+    "SimulatedCrash",
+    "SlowMatcher",
+    "crash_at",
+    "faulty_opener",
+]

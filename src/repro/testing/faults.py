@@ -1,0 +1,276 @@
+"""Public fault-injection toolkit: broken files, crashes, sick matchers.
+
+Chaos tests and users share one harness.  Four complementary failure
+models:
+
+* :class:`FaultyFile` — a wrapper file object that silently *drops*,
+  *truncates* (partial write) or *garbles* everything written after the
+  first N bytes, while reporting success to the writer — the way a
+  kernel page cache lies to an application when the machine dies before
+  writeback.  Inject it through the :class:`~repro.system.wal.WriteAheadLog`
+  ``opener`` parameter.
+* :class:`SimulatedCrash` + :func:`crash_at` — a broker ``crash_hook``
+  that raises at one named crash point (e.g. ``"subscribe:pre-log"``),
+  modeling a process death between applying a mutation and journaling
+  it.
+* :class:`FlakyMatcher` — a matcher wrapper whose listed operations
+  raise :class:`InjectedFault` while a failure budget lasts, modeling a
+  crashing shard; the budget makes recovery testable (the shard "heals"
+  once the budget is spent, or never, with an infinite budget).
+* :class:`SlowMatcher` — a matcher wrapper that sleeps before
+  delegating, modeling a degraded/overloaded shard or a matcher that
+  keeps a server worker busy long enough for its queue to fill.
+
+Fault-file damage leaves real bytes on disk for recovery to chew on,
+which is the point: the property suite asserts that *whatever* the
+damage, recovery yields a prefix-consistent subscription set.  The
+matcher wrappers leave a real engine underneath, which is equally the
+point: the chaos suite asserts that *whatever* the fault pattern, the
+healthy part of the system keeps returning correct results.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import IO, Any, Callable, Dict, List, Sequence
+
+from repro.core.matcher import Matcher
+from repro.core.types import Event, Subscription
+
+#: Supported damage models for writes past the byte budget.
+FAULT_MODES = ("drop", "truncate", "garble")
+
+#: Matcher operations the sick-matcher wrappers can target.
+MATCHER_OPS = ("add", "remove", "match")
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by an injected crash hook; carries the crash point name."""
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :class:`FlakyMatcher` while its failure budget lasts."""
+
+
+def crash_at(point: str):
+    """A broker ``crash_hook`` that dies at the named crash point."""
+
+    def hook(reached: str) -> None:
+        if reached == point:
+            raise SimulatedCrash(point)
+
+    return hook
+
+
+class FaultyFile:
+    """A text-file wrapper whose writes start failing after N bytes.
+
+    Modes (all report full success to the writer):
+
+    * ``drop`` — the write that would cross the budget, and every write
+      after it, vanishes entirely (damage lands on a line boundary);
+    * ``truncate`` — the crossing write lands partially, then nothing
+      (a torn line mid-record);
+    * ``garble`` — the crossing write lands with its tail replaced by
+      junk bytes, then nothing (a corrupted record, newline included).
+    """
+
+    def __init__(self, inner: IO[str], fail_after: int, mode: str = "truncate") -> None:
+        if mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; known: {FAULT_MODES}")
+        if fail_after < 0:
+            raise ValueError(f"fail_after must be >= 0, got {fail_after}")
+        self.inner = inner
+        self.fail_after = fail_after
+        self.mode = mode
+        self.written = 0
+        self.faulted = False
+
+    def write(self, text: str) -> int:
+        budget = self.fail_after - self.written
+        if not self.faulted and len(text) <= budget:
+            self.inner.write(text)
+            self.written += len(text)
+            return len(text)
+        # This write crosses the budget (or we already faulted).
+        if not self.faulted:
+            self.faulted = True
+            head = text[:budget]
+            if self.mode == "truncate":
+                self.inner.write(head)
+            elif self.mode == "garble":
+                self.inner.write(head + "#" * (len(text) - budget))
+            # drop: nothing of the crossing write lands
+            self.written = self.fail_after
+        return len(text)  # the lie every buffered write tells
+
+    # -- transparent proxies ------------------------------------------------
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def fileno(self) -> int:
+        return self.inner.fileno()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def faulty_opener(fail_after: int, mode: str = "truncate"):
+    """An ``opener`` for :class:`~repro.system.wal.WriteAheadLog` whose
+    files fail after *fail_after* bytes (budget counted per open)."""
+
+    def opener(path: str, file_mode: str) -> FaultyFile:
+        return FaultyFile(
+            open(path, file_mode, encoding="utf-8"), fail_after, mode=mode
+        )
+
+    return opener
+
+
+class _MatcherWrapper(Matcher):
+    """Shared transparent-delegation base for the sick-matcher wrappers."""
+
+    def __init__(self, inner: Matcher) -> None:
+        self.inner = inner
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    def add(self, subscription: Subscription) -> None:
+        self.inner.add(subscription)
+
+    def remove(self, sub_id: Any) -> Subscription:
+        return self.inner.remove(sub_id)
+
+    def match(self, event: Event) -> List[Any]:
+        return self.inner.match(event)
+
+    def iter_subscriptions(self) -> List[Subscription]:
+        return self.inner.iter_subscriptions()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.inner.stats()
+
+
+def _check_ops(operations: Sequence[str]) -> tuple:
+    ops = tuple(operations)
+    unknown = [op for op in ops if op not in MATCHER_OPS]
+    if unknown:
+        raise ValueError(f"unknown matcher operations {unknown}; known: {MATCHER_OPS}")
+    return ops
+
+
+class FlakyMatcher(_MatcherWrapper):
+    """A matcher whose listed operations fail while a budget lasts.
+
+    ``failures`` is the number of injected faults before the matcher
+    heals (``math.inf`` for a permanently broken matcher); ``rearm``
+    restocks the budget mid-test so quarantine → heal → relapse cycles
+    can be driven deterministically.  Faults are raised *before* the
+    inner engine is touched, so a failed ``add``/``remove`` leaves no
+    partial state behind.
+    """
+
+    def __init__(
+        self,
+        inner: Matcher,
+        failures: float = math.inf,
+        operations: Sequence[str] = ("match",),
+        exc_factory: Callable[[str], Exception] = None,
+    ) -> None:
+        super().__init__(inner)
+        if failures < 0:
+            raise ValueError(f"failure budget must be >= 0, got {failures}")
+        self.failures = failures
+        self.operations = _check_ops(operations)
+        self.exc_factory = exc_factory or (
+            lambda op: InjectedFault(f"injected {op} fault")
+        )
+        #: Faults injected so far (never reset by :meth:`rearm`).
+        self.injected = 0
+
+    def rearm(self, failures: float = math.inf) -> None:
+        """Restock the failure budget (relapse after healing)."""
+        if failures < 0:
+            raise ValueError(f"failure budget must be >= 0, got {failures}")
+        self.failures = failures
+
+    @property
+    def healed(self) -> bool:
+        """True once the failure budget is spent."""
+        return self.failures <= 0
+
+    def _maybe_fail(self, op: str) -> None:
+        if op in self.operations and self.failures > 0:
+            self.failures -= 1
+            self.injected += 1
+            raise self.exc_factory(op)
+
+    def add(self, subscription: Subscription) -> None:
+        self._maybe_fail("add")
+        self.inner.add(subscription)
+
+    def remove(self, sub_id: Any) -> Subscription:
+        self._maybe_fail("remove")
+        return self.inner.remove(sub_id)
+
+    def match(self, event: Event) -> List[Any]:
+        self._maybe_fail("match")
+        return self.inner.match(event)
+
+
+class SlowMatcher(_MatcherWrapper):
+    """A matcher that sleeps before delegating the listed operations.
+
+    ``sleep`` is injectable so virtual-time tests can observe the delay
+    without paying it; the default is real :func:`time.sleep`, which is
+    what overload tests want (a busy worker, a filling queue).
+    """
+
+    def __init__(
+        self,
+        inner: Matcher,
+        delay: float = 0.01,
+        operations: Sequence[str] = ("match",),
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__(inner)
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+        self.operations = _check_ops(operations)
+        self.sleep = sleep
+        #: Operations delayed so far.
+        self.delayed = 0
+
+    def _maybe_stall(self, op: str) -> None:
+        if op in self.operations and self.delay > 0:
+            self.delayed += 1
+            self.sleep(self.delay)
+
+    def add(self, subscription: Subscription) -> None:
+        self._maybe_stall("add")
+        self.inner.add(subscription)
+
+    def remove(self, sub_id: Any) -> Subscription:
+        self._maybe_stall("remove")
+        return self.inner.remove(sub_id)
+
+    def match(self, event: Event) -> List[Any]:
+        self._maybe_stall("match")
+        return self.inner.match(event)

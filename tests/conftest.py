@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import faulthandler
+import os
 import random
 from typing import List
 
@@ -10,6 +12,25 @@ import pytest
 from repro.core import Event, Operator, Predicate, Subscription
 
 ATTRS = [f"a{i}" for i in range(8)]
+
+#: Per-test watchdog budget in seconds; 0 disables it.  The chaos suite
+#: exercises bounded queues and breakers — a regression there deadlocks
+#: rather than fails, so every test gets a dependency-free stdlib timer
+#: that dumps all thread stacks and aborts the run instead of hanging CI.
+WATCHDOG_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _watchdog():
+    """Fail a wedged test fast (stack dump + abort) instead of hanging."""
+    if WATCHDOG_SECONDS <= 0 or not hasattr(faulthandler, "dump_traceback_later"):
+        yield
+        return
+    faulthandler.dump_traceback_later(WATCHDOG_SECONDS, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 def make_subscription(rng: random.Random, sub_id, max_preds: int = 5) -> Subscription:

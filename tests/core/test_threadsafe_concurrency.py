@@ -1,0 +1,153 @@
+"""ThreadSafeMatcher under real concurrency, checked against an oracle.
+
+Each worker thread owns a disjoint attribute namespace (thread *k* only
+uses attribute ``t{k}``), so an event ``{t_k: v}`` can only ever match
+thread *k*'s subscriptions — every other thread's subscriptions demand
+an attribute the event does not carry.  That makes the interleaved run
+exactly decomposable: replaying each thread's operation log against a
+fresh single-threaded matcher must reproduce that thread's observed
+match results, and the final resident set must be the union of the
+per-thread survivors.  Corrupted shared state (the failure mode of a
+missing lock) breaks one of those comparisons.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import Event, Subscription, eq
+from repro.core.threadsafe import ThreadSafeMatcher
+from repro.matchers import DynamicMatcher
+
+THREADS = 6
+OPS_PER_THREAD = 400
+
+
+def _run_thread(k, shared, barrier, log, errors):
+    rng = random.Random(1000 + k)
+    attr = f"t{k}"
+    alive = []
+    serial = 0
+    barrier.wait()
+    try:
+        for _ in range(OPS_PER_THREAD):
+            roll = rng.random()
+            if roll < 0.45 or not alive:
+                sub_id = f"{attr}-{serial}"
+                serial += 1
+                value = rng.randint(1, 5)
+                shared.add(Subscription(sub_id, [eq(attr, value)]))
+                alive.append((sub_id, value))
+                log.append(("add", sub_id, value))
+            elif roll < 0.70:
+                sub_id, _value = alive.pop(rng.randrange(len(alive)))
+                removed = shared.remove(sub_id)
+                assert removed.id == sub_id
+                log.append(("remove", sub_id, None))
+            else:
+                value = rng.randint(1, 5)
+                got = sorted(shared.match(Event({attr: value})))
+                log.append(("match", value, got))
+    except Exception as exc:  # pragma: no cover - failure detail
+        errors.append((k, exc))
+
+
+def _replay(k, log):
+    """Drive thread *k*'s op log through a fresh single-threaded oracle."""
+    attr = f"t{k}"
+    oracle = DynamicMatcher()
+    for op, a, b in log:
+        if op == "add":
+            oracle.add(Subscription(a, [eq(attr, b)]))
+        elif op == "remove":
+            oracle.remove(a)
+        else:
+            expected = sorted(oracle.match(Event({attr: a})))
+            assert b == expected, (
+                f"thread {k} observed {b} for {attr}={a}, oracle says {expected}"
+            )
+    return {s.id for s in oracle.iter_subscriptions()}
+
+
+@pytest.mark.parametrize("seed_round", range(2))
+def test_concurrent_mutation_matches_single_threaded_oracle(seed_round):
+    shared = ThreadSafeMatcher(DynamicMatcher())
+    barrier = threading.Barrier(THREADS)
+    logs = [[] for _ in range(THREADS)]
+    errors = []
+    threads = [
+        threading.Thread(
+            target=_run_thread, args=(k + seed_round * 100, shared, barrier, logs[k], errors)
+        )
+        for k in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads)
+    assert not errors, errors[:1]
+
+    survivors = set()
+    for k, log in enumerate(logs):
+        survivors |= _replay(k + seed_round * 100, log)
+    assert {s.id for s in shared.iter_subscriptions()} == survivors
+    assert len(shared) == len(survivors)
+
+    # The healed structure still answers correctly after the storm.
+    for k in range(THREADS):
+        attr = f"t{k + seed_round * 100}"
+        for value in range(1, 6):
+            got = set(shared.match(Event({attr: value})))
+            want = {
+                s.id
+                for s in shared.iter_subscriptions()
+                if s.id.startswith(f"{attr}-")
+                and any(p.attribute == attr and p.value == value for p in s.predicates)
+            }
+            assert got == want
+
+
+def test_concurrent_matchers_never_see_partial_state():
+    """Readers hammer ``match`` while writers churn; every result must
+    consist only of ids that were alive at some point, with no crashes
+    from mid-mutation structure sharing."""
+    shared = ThreadSafeMatcher(DynamicMatcher())
+    stop = threading.Event()
+    errors = []
+
+    def writer(k):
+        rng = random.Random(k)
+        attr = f"t{k}"
+        try:
+            for i in range(300):
+                sub_id = f"{attr}-{i}"
+                shared.add(Subscription(sub_id, [eq(attr, rng.randint(1, 3))]))
+                if i % 2:
+                    shared.remove(sub_id)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    def reader(k):
+        rng = random.Random(100 + k)
+        attr = f"t{k % 2}"
+        try:
+            while not stop.is_set():
+                for sid in shared.match(Event({attr: rng.randint(1, 3)})):
+                    assert sid.startswith(f"{attr}-")
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    writers = [threading.Thread(target=writer, args=(k,)) for k in range(2)]
+    readers = [threading.Thread(target=reader, args=(k,)) for k in range(2)]
+    for t in readers + writers:
+        t.start()
+    for t in writers:
+        t.join(timeout=60.0)
+    stop.set()
+    for t in readers:
+        t.join(timeout=60.0)
+    assert not errors, errors[:1]

@@ -217,6 +217,9 @@ class TestShardedMetrics:
             "shards_skipped",
             "fanout_seconds",
             "merge_seconds",
+            "degraded_events",
+            "quarantine_skips",
+            "rerouted_subscriptions",
         }
 
     def test_fanout_span_children(self):

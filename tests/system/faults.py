@@ -1,115 +1,18 @@
-"""Fault injection for the durability subsystem.
+"""Back-compat shim: the fault harness is now ``repro.testing.faults``.
 
-Two complementary failure models:
-
-* :class:`FaultyFile` — a wrapper file object that silently *drops*,
-  *truncates* (partial write) or *garbles* everything written after the
-  first N bytes, while reporting success to the writer — the way a
-  kernel page cache lies to an application when the machine dies before
-  writeback.  Inject it through the :class:`~repro.system.wal.WriteAheadLog`
-  ``opener`` parameter.
-* :class:`SimulatedCrash` + :func:`crash_at` — a broker ``crash_hook``
-  that raises at one named crash point (e.g. ``"subscribe:pre-log"``),
-  modeling a process death between applying a mutation and journaling
-  it.
-
-Both leave real bytes on disk for recovery to chew on, which is the
-point: the property suite asserts that *whatever* the damage, recovery
-yields a prefix-consistent subscription set.
+The toolkit was promoted from this private test module to the public
+package so chaos tests and users share one harness; existing test
+imports keep working through this re-export.
 """
 
-from __future__ import annotations
-
-from typing import IO
-
-#: Supported damage models for writes past the byte budget.
-FAULT_MODES = ("drop", "truncate", "garble")
-
-
-class SimulatedCrash(RuntimeError):
-    """Raised by an injected crash hook; carries the crash point name."""
-
-
-def crash_at(point: str):
-    """A broker ``crash_hook`` that dies at the named crash point."""
-
-    def hook(reached: str) -> None:
-        if reached == point:
-            raise SimulatedCrash(point)
-
-    return hook
-
-
-class FaultyFile:
-    """A text-file wrapper whose writes start failing after N bytes.
-
-    Modes (all report full success to the writer):
-
-    * ``drop`` — the write that would cross the budget, and every write
-      after it, vanishes entirely (damage lands on a line boundary);
-    * ``truncate`` — the crossing write lands partially, then nothing
-      (a torn line mid-record);
-    * ``garble`` — the crossing write lands with its tail replaced by
-      junk bytes, then nothing (a corrupted record, newline included).
-    """
-
-    def __init__(self, inner: IO[str], fail_after: int, mode: str = "truncate") -> None:
-        if mode not in FAULT_MODES:
-            raise ValueError(f"unknown fault mode {mode!r}; known: {FAULT_MODES}")
-        if fail_after < 0:
-            raise ValueError(f"fail_after must be >= 0, got {fail_after}")
-        self.inner = inner
-        self.fail_after = fail_after
-        self.mode = mode
-        self.written = 0
-        self.faulted = False
-
-    def write(self, text: str) -> int:
-        budget = self.fail_after - self.written
-        if not self.faulted and len(text) <= budget:
-            self.inner.write(text)
-            self.written += len(text)
-            return len(text)
-        # This write crosses the budget (or we already faulted).
-        if not self.faulted:
-            self.faulted = True
-            head = text[:budget]
-            if self.mode == "truncate":
-                self.inner.write(head)
-            elif self.mode == "garble":
-                self.inner.write(head + "#" * (len(text) - budget))
-            # drop: nothing of the crossing write lands
-            self.written = self.fail_after
-        return len(text)  # the lie every buffered write tells
-
-    # -- transparent proxies ------------------------------------------------
-    def flush(self) -> None:
-        self.inner.flush()
-
-    def fileno(self) -> int:
-        return self.inner.fileno()
-
-    def close(self) -> None:
-        self.inner.close()
-
-    @property
-    def closed(self) -> bool:
-        return self.inner.closed
-
-    def __enter__(self) -> "FaultyFile":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-
-def faulty_opener(fail_after: int, mode: str = "truncate"):
-    """An ``opener`` for :class:`~repro.system.wal.WriteAheadLog` whose
-    files fail after *fail_after* bytes (budget counted per open)."""
-
-    def opener(path: str, file_mode: str) -> FaultyFile:
-        return FaultyFile(
-            open(path, file_mode, encoding="utf-8"), fail_after, mode=mode
-        )
-
-    return opener
+from repro.testing.faults import (  # noqa: F401
+    FAULT_MODES,
+    FaultyFile,
+    FlakyMatcher,
+    InjectedFault,
+    MATCHER_OPS,
+    SimulatedCrash,
+    SlowMatcher,
+    crash_at,
+    faulty_opener,
+)
