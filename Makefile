@@ -5,9 +5,9 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke
+.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke batch-smoke
 
-test: metrics-smoke durability-smoke robustness-smoke
+test: metrics-smoke durability-smoke robustness-smoke batch-smoke
 	$(PYTEST) -q -m "not slow"
 
 test-all:
@@ -51,3 +51,11 @@ durability-smoke:
 # of tier-1 (`make test` runs it alongside the other smokes).
 robustness-smoke:
 	PYTHONPATH=src $(PYTHON) examples/robustness_smoke.py
+
+# End-to-end batch-kernel check: 10k events through every Figure-3
+# algorithm's match_batch in mixed-size batches, differentially checked
+# against the brute-force oracle, plus the BatchServer lane and the
+# batch metrics counters. Part of tier-1 (`make test` runs it alongside
+# the other smokes).
+batch-smoke:
+	PYTHONPATH=src $(PYTHON) examples/batch_smoke.py

@@ -12,7 +12,7 @@
 
 import pytest
 
-from benchmarks.conftest import match_batch, scaled
+from benchmarks.conftest import match_events, scaled
 from repro.bench.experiments.common import materialize
 from repro.bench.harness import load_subscriptions
 from repro.indexes import IndexKind
@@ -29,7 +29,7 @@ def test_kernel_ablation(benchmark, kernel):
     cls = PropagationMatcher if kernel == "scalar" else PrefetchPropagationMatcher
     matcher = cls()
     load_subscriptions(matcher, subs)
-    benchmark(match_batch, matcher, events)
+    benchmark(match_events, matcher, events)
     benchmark.group = "ablation-kernel"
     benchmark.extra_info["n_subscriptions"] = n
 
@@ -63,7 +63,7 @@ def test_dynamic_adaptation_ablation(benchmark, adaptation):
     if adaptation == "frozen":
         matcher.freeze()  # natural clustering only, no multi-attr tables
     load_subscriptions(matcher, subs)
-    benchmark(match_batch, matcher, events)
+    benchmark(match_events, matcher, events)
     benchmark.group = "ablation-dynamic-adaptation"
     benchmark.extra_info["tables"] = len(matcher.config)
     benchmark.extra_info["checks_per_event"] = round(

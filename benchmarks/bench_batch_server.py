@@ -10,7 +10,7 @@ overhead the paper's absolute numbers carry.
 
 import pytest
 
-from benchmarks.conftest import loaded_matcher, match_batch, scaled
+from benchmarks.conftest import loaded_matcher, match_events, scaled
 from repro.system.server import BatchServer
 from repro.workload.scenarios import w0
 
@@ -26,7 +26,7 @@ def loaded():
 
 def test_direct_batch(benchmark, loaded):
     n, matcher, events = loaded
-    benchmark(match_batch, matcher, events)
+    benchmark(match_events, matcher, events)
     benchmark.group = "batch-submission"
     benchmark.extra_info["n_subscriptions"] = n
     benchmark.extra_info["path"] = "direct"

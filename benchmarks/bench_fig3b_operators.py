@@ -7,7 +7,7 @@ between the two algorithms staying put.
 
 import pytest
 
-from benchmarks.conftest import loaded_matcher, match_batch, scaled
+from benchmarks.conftest import loaded_matcher, match_events, scaled
 from repro.workload.scenarios import w1, w2
 
 N_EVENTS = 20
@@ -20,7 +20,7 @@ WORKLOADS = {"W1": w1, "W2": w2}
 def test_fig3b_operator_mix(benchmark, algorithm, workload):
     n = scaled(3_000_000)
     matcher, events = loaded_matcher(algorithm, WORKLOADS[workload](), n, N_EVENTS)
-    benchmark(match_batch, matcher, events)
+    benchmark(match_events, matcher, events)
     benchmark.group = f"fig3b-{workload}"
     benchmark.extra_info["n_subscriptions"] = n
     benchmark.extra_info["workload"] = workload

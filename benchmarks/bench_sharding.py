@@ -25,7 +25,7 @@ speedup assertion (≥1.5× at 4 shards vs 1 shard).
 
 import pytest
 
-from benchmarks.conftest import match_batch, scaled
+from benchmarks.conftest import match_events, scaled
 from repro.bench.experiments.common import materialize
 from repro.bench.harness import load_subscriptions, matcher_for, measure_matching
 from repro.workload.scenarios import w0
@@ -48,7 +48,7 @@ def _loaded_sharded(shards: int, router: str, inner: str, n_subs: int, n_events:
 def test_sharding_sweep_affinity(benchmark, shards, inner):
     n = scaled(1_500_000)
     matcher, events = _loaded_sharded(shards, "affinity", inner, n, N_EVENTS)
-    total = benchmark(match_batch, matcher, events)
+    total = benchmark(match_events, matcher, events)
     benchmark.group = f"sharding-affinity-{inner}-n{n}"
     benchmark.extra_info["n_subscriptions"] = n
     benchmark.extra_info["matches_per_batch"] = total
@@ -66,7 +66,7 @@ def test_sharding_sweep_affinity(benchmark, shards, inner):
 def test_router_comparison_at_4_shards(benchmark, router):
     n = scaled(1_500_000)
     matcher, events = _loaded_sharded(4, router, "counting", n, N_EVENTS)
-    total = benchmark(match_batch, matcher, events)
+    total = benchmark(match_events, matcher, events)
     benchmark.group = f"sharding-routers-n{n}"
     benchmark.extra_info["matches_per_batch"] = total
     counters = matcher.counters
@@ -95,7 +95,7 @@ def test_affinity_speedup_at_4_shards():
             "sharded", spec, shards=shards, router="affinity", inner="counting"
         )
         load_subscriptions(matcher, subs)
-        match_batch(matcher, events)  # warmup
+        match_events(matcher, events)  # warmup
         best = max(
             measure_matching(matcher, events).events_per_second for _ in range(3)
         )

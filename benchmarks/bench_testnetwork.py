@@ -18,7 +18,7 @@ vs contiguous columnar ones); the memory overhead shows in the
 
 import pytest
 
-from benchmarks.conftest import match_batch, scaled
+from benchmarks.conftest import match_events, scaled
 from repro.bench.experiments.common import materialize
 from repro.bench.harness import load_subscriptions
 from repro.bench.memory import matcher_memory_bytes
@@ -38,7 +38,7 @@ def test_matching(benchmark, engine):
     subs, events = _inputs(n)
     matcher = TreeMatcher() if engine == "test-network" else DynamicMatcher()
     load_subscriptions(matcher, subs)
-    benchmark(match_batch, matcher, events)
+    benchmark(match_events, matcher, events)
     benchmark.group = "testnetwork-match"
     benchmark.extra_info["n_subscriptions"] = n
     benchmark.extra_info["resident_mb"] = round(matcher_memory_bytes(matcher) / 1e6, 1)

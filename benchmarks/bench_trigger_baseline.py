@@ -7,7 +7,7 @@ with the population while dynamic stays flat.
 
 import pytest
 
-from benchmarks.conftest import loaded_matcher, match_batch
+from benchmarks.conftest import loaded_matcher, match_events
 from repro.bench.experiments.common import materialize
 from repro.bench.harness import load_subscriptions
 from repro.sqltrigger import TriggerMatcher
@@ -23,7 +23,7 @@ def test_sql_trigger_baseline(benchmark, n):
     subs, events = materialize(spec, n, N_EVENTS)
     matcher = TriggerMatcher(columns=spec.attribute_names)
     load_subscriptions(matcher, subs)
-    benchmark(match_batch, matcher, events)
+    benchmark(match_events, matcher, events)
     benchmark.group = f"trigger-baseline-n{n}"
     benchmark.extra_info["n_subscriptions"] = n
 
@@ -31,6 +31,6 @@ def test_sql_trigger_baseline(benchmark, n):
 @pytest.mark.parametrize("n", SIZES)
 def test_dynamic_comparison(benchmark, n):
     matcher, events = loaded_matcher("dynamic", w0(seed=0), n, N_EVENTS)
-    benchmark(match_batch, matcher, events)
+    benchmark(match_events, matcher, events)
     benchmark.group = f"trigger-baseline-n{n}"
     benchmark.extra_info["n_subscriptions"] = n

@@ -27,8 +27,8 @@ def loaded_matcher(algorithm: str, spec, n_subs: int, n_events: int):
     return matcher, events
 
 
-def match_batch(matcher, events) -> int:
-    """The benchmarked unit: match a whole event batch."""
+def match_events(matcher, events) -> int:
+    """The benchmarked unit: a scalar match loop over the event list."""
     total = 0
     for event in events:
         total += len(matcher.match(event))

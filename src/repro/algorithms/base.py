@@ -8,8 +8,11 @@ the candidate-cluster walk.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.batch.evaluator import BatchPredicateEvaluator
 from repro.core.bitvector import BitVector
 from repro.core.errors import DuplicateSubscriptionError, UnknownSubscriptionError
 from repro.core.matcher import Matcher
@@ -40,6 +43,10 @@ class TwoPhaseMatcher(Matcher):
             "predicates_satisfied": 0,
             "subscription_checks": 0,
         }
+        # Compiled batch-kernel predicate evaluator, rebuilt lazily when
+        # the registry's structural epoch moves (see match_batch).
+        self._batch_eval: Optional[BatchPredicateEvaluator] = None
+        self._batch_eval_epoch = -1
 
     # ------------------------------------------------------------------
     # predicate interning
@@ -139,6 +146,63 @@ class TwoPhaseMatcher(Matcher):
             self.tracer.finish(span)
         return matched
 
+    # ------------------------------------------------------------------
+    # the vectorized batch path
+    # ------------------------------------------------------------------
+    def _batch_evaluator(self) -> BatchPredicateEvaluator:
+        """The compiled predicate-phase kernel, recompiled on epoch change."""
+        epoch = self.registry.epoch
+        if self._batch_eval is None or self._batch_eval_epoch != epoch:
+            self._batch_eval = BatchPredicateEvaluator(self.indexes.entries())
+            self._batch_eval_epoch = epoch
+        return self._batch_eval
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
+        events = list(events)
+        if not events:
+            return []
+        if self.tracer.enabled:
+            # Per-event spans need the scalar path; keep tracing exact.
+            if self.metrics.enabled:
+                self._mb_fallback.inc()
+            return [self.match(e) for e in events]
+        t0 = time.perf_counter_ns()
+        truth = self._batch_evaluator().evaluate(events, self.bits.size)
+        satisfied = int(truth.sum())
+        t1 = time.perf_counter_ns()
+        self.counters["events"] += len(events)
+        self.counters["predicates_satisfied"] += satisfied
+        before = self.counters["subscription_checks"]
+        out = self._match_phase2_batch(events, truth)
+        t2 = time.perf_counter_ns()
+        if self.metrics.enabled:
+            checks = self.counters["subscription_checks"] - before
+            self._m_events.inc(len(events))
+            self._m_satisfied.inc(satisfied)
+            self._m_checks.inc(checks)
+            self._mb_batches.inc()
+            self._mb_events.inc(len(events))
+            self._mb_predicate_seconds.observe((t1 - t0) / 1e9)
+            self._mb_subscription_seconds.observe((t2 - t1) / 1e9)
+        return out
+
+    def _match_phase2_batch(
+        self, events: Sequence[Event], truth: np.ndarray
+    ) -> List[List[Any]]:
+        """Batched subscription phase over the truth matrix.
+
+        The default bridges to the scalar phase 2 by loading each truth
+        row into the shared bit vector — engines with columnar cluster
+        storage override this with a row-grouped kernel.
+        """
+        out: List[List[Any]] = []
+        bits = self.bits
+        for row, event in enumerate(events):
+            bits.reset()
+            bits.set_many(np.nonzero(truth[row])[0].tolist())
+            out.append(self._match_phase2(event))
+        return out
+
     def _bind_metrics(self) -> None:
         m = self.metrics
         labels = {"engine": self.name, "shard": self.metrics_shard}
@@ -166,6 +230,28 @@ class TwoPhaseMatcher(Matcher):
         )
         self._m_predicate_seconds = phases.labels(phase="predicate", **labels)
         self._m_subscription_seconds = phases.labels(phase="subscription", **labels)
+        self._mb_batches = m.counter(
+            "repro_batch_batches_total",
+            "Batches matched through the vectorized kernel.",
+            names,
+        ).labels(**labels)
+        self._mb_events = m.counter(
+            "repro_batch_events_total",
+            "Events matched through the vectorized kernel.",
+            names,
+        ).labels(**labels)
+        self._mb_fallback = m.counter(
+            "repro_batch_fallback_total",
+            "Batches that fell back to the per-event scalar path, by reason.",
+            ("engine", "shard", "reason"),
+        ).labels(reason="tracer", **labels)
+        batch_phases = m.histogram(
+            "repro_batch_kernel_seconds",
+            "Per-batch kernel latency split by matching phase.",
+            ("engine", "shard", "phase"),
+        )
+        self._mb_predicate_seconds = batch_phases.labels(phase="predicate", **labels)
+        self._mb_subscription_seconds = batch_phases.labels(phase="subscription", **labels)
 
     def get(self, sub_id: Any) -> Subscription:
         """Look up a stored subscription by id."""

@@ -193,6 +193,35 @@ class Cluster:
             out.append(ids[j])
         return m
 
+    def match_rows(
+        self, truth: np.ndarray, rows: np.ndarray, out: List[List[Any]]
+    ) -> int:
+        """Batched columnar check: many events against every member.
+
+        *truth* is the batch truth matrix ``(events, slots)``; *rows*
+        the event rows whose access predicate reached this cluster.  A
+        single gather pulls the ``(rows × size × members)`` cells, and
+        an AND-reduce over the residual axis yields every (event,
+        subscription) hit at once — the batch analogue of
+        :meth:`match_vector`.  Returns subscriptions checked, counted
+        once per (event, subscription) pair like the scalar kernels.
+        """
+        m = self._count
+        n_rows = len(rows)
+        if m == 0 or n_rows == 0:
+            return 0
+        ids = self._ids
+        if self.size == 0:
+            for r in rows:
+                out[r].extend(ids)
+            return m * n_rows
+        active = self._refs[:, :m]
+        cells = truth[np.ix_(rows, active.ravel())]
+        hits = cells.reshape(n_rows, self.size, m).all(axis=1)
+        for r, j in zip(*np.nonzero(hits)):
+            out[rows[r]].append(ids[j])
+        return m * n_rows
+
     # ------------------------------------------------------------------
     # layout introspection (for the cache-simulator substrate)
     # ------------------------------------------------------------------
@@ -256,6 +285,15 @@ class ClusterList:
         else:
             for cluster in self._by_size.values():
                 reads += cluster.match_scalar(bits, out)
+        return reads
+
+    def match_rows(
+        self, truth: np.ndarray, rows: np.ndarray, out: List[List[Any]]
+    ) -> int:
+        """Batched check of every member cluster for the given event rows."""
+        reads = 0
+        for cluster in self._by_size.values():
+            reads += cluster.match_rows(truth, rows, out)
         return reads
 
     def clusters(self) -> Iterator[Cluster]:

@@ -13,11 +13,16 @@ predicate is satisfied.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Set
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.algorithms.base import TwoPhaseMatcher
 from repro.core.types import Event, Predicate, Subscription
 from repro.indexes.ordered import IndexKind
+
+#: Cell cap for one (events × subscriptions) hit-counter chunk.
+_GATHER_CELLS = 1 << 22
 
 
 class CountingMatcher(TwoPhaseMatcher):
@@ -31,6 +36,10 @@ class CountingMatcher(TwoPhaseMatcher):
         self._subs_of_bit: Dict[int, Set[Any]] = {}
         # sub id -> number of (distinct) predicates, the match threshold.
         self._threshold: Dict[Any, int] = {}
+        # Flattened association arrays for the batch kernel; invalidated
+        # on every placement change (refcount-only churn changes the
+        # association too, so the registry epoch alone is not enough).
+        self._assoc: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # placement
@@ -39,6 +48,7 @@ class CountingMatcher(TwoPhaseMatcher):
         for bit in slots.values():
             self._subs_of_bit.setdefault(bit, set()).add(sub.id)
         self._threshold[sub.id] = sub.size
+        self._assoc = None
 
     def _displace(self, sub: Subscription) -> None:
         for pred in sub.predicates:
@@ -49,6 +59,7 @@ class CountingMatcher(TwoPhaseMatcher):
                 if not members:
                     del self._subs_of_bit[bit]
         del self._threshold[sub.id]
+        self._assoc = None
 
     # ------------------------------------------------------------------
     # phase 2
@@ -67,6 +78,60 @@ class CountingMatcher(TwoPhaseMatcher):
         self.counters["subscription_checks"] += touched
         threshold = self._threshold
         return [sid for sid, n in hits.items() if n == threshold[sid]]
+
+    def _assoc_arrays(self) -> Optional[Tuple]:
+        """Columnar association table for the batch kernel.
+
+        Subscriptions get dense column indexes; each live bit carries
+        the column array of its members, so the kernel's work stays
+        proportional to *satisfied* association entries — the same cost
+        model as the scalar walk, vectorized across the batch rows.
+        """
+        assoc = self._assoc
+        if assoc is None:
+            sub_ids = list(self._threshold)
+            if not sub_ids:
+                return None
+            col_of = {sid: i for i, sid in enumerate(sub_ids)}
+            thresholds = np.array(
+                [self._threshold[s] for s in sub_ids], dtype=np.int16
+            )
+            bit_list = list(self._subs_of_bit)
+            members_list = [
+                np.array(
+                    sorted(col_of[sid] for sid in self._subs_of_bit[b]),
+                    dtype=np.intp,
+                )
+                for b in bit_list
+            ]
+            assoc = self._assoc = (sub_ids, thresholds, bit_list, members_list)
+        return assoc
+
+    def _match_phase2_batch(
+        self, events: Sequence[Event], truth: np.ndarray
+    ) -> List[List[Any]]:
+        n = len(events)
+        out: List[List[Any]] = [[] for _ in range(n)]
+        assoc = self._assoc_arrays()
+        if assoc is None:
+            return out
+        sub_ids, thresholds, bit_list, members_list = assoc
+        touched = 0
+        # Event-chunked so the hit-counter matrix stays cache-friendly.
+        step = max(1, _GATHER_CELLS // max(1, len(sub_ids)))
+        for s in range(0, n, step):
+            chunk = truth[s : s + step]
+            counts = np.zeros((chunk.shape[0], len(sub_ids)), dtype=np.int16)
+            for bit, members in zip(bit_list, members_list):
+                rows_b = np.nonzero(chunk[:, bit])[0]
+                if not len(rows_b):
+                    continue
+                touched += len(rows_b) * len(members)
+                counts[np.ix_(rows_b, members)] += 1
+            for r, c in zip(*np.nonzero(counts == thresholds)):
+                out[s + r].append(sub_ids[c])
+        self.counters["subscription_checks"] += touched
+        return out
 
     def stats(self) -> Dict[str, Any]:
         base = super().stats()

@@ -20,7 +20,9 @@ predicates, so this list stays empty there).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.algorithms.base import TwoPhaseMatcher
 from repro.algorithms.clusters import ClusterList
@@ -110,6 +112,33 @@ class PropagationMatcher(TwoPhaseMatcher):
             lst = lists.get(pair)
             if lst is not None:
                 reads += lst.match(bits, out, self.vectorized)
+        self.counters["subscription_checks"] += reads
+        return out
+
+    def _match_phase2_batch(
+        self, events: Sequence[Event], truth: np.ndarray
+    ) -> List[List[Any]]:
+        """Row-grouped cluster walk: each probed list is visited once.
+
+        Events are grouped by (attribute, value) pair, so a cluster list
+        probed by many events of the batch runs one gather over all
+        their truth rows instead of one walk per event.
+        """
+        out: List[List[Any]] = [[] for _ in events]
+        reads = 0
+        if len(self._universal):
+            all_rows = np.arange(len(events), dtype=np.intp)
+            reads += self._universal.match_rows(truth, all_rows, out)
+        lists = self._lists
+        rows_of: Dict[Tuple[str, Value], List[int]] = {}
+        for row, event in enumerate(events):
+            for pair in event.items():
+                if pair in lists:
+                    rows_of.setdefault(pair, []).append(row)
+        for pair, rows in rows_of.items():
+            reads += lists[pair].match_rows(
+                truth, np.asarray(rows, dtype=np.intp), out
+            )
         self.counters["subscription_checks"] += reads
         return out
 

@@ -1,0 +1,314 @@
+"""Compiled batched predicate phase (phase 1 of the kernel).
+
+The scalar path probes per-attribute operator indexes once per event;
+here the same index contents are *compiled* into flat numpy arrays so
+each deduplicated predicate is evaluated against every event of a batch
+in one vectorized operation per (attribute, operator) group:
+
+* ``=``  — ``searchsorted`` of the batch's column values into the sorted
+  constant array, then a scatter of the exact hits;
+* ``!=`` — set every not-equal bit for rows carrying the attribute, then
+  clear the (at most one) own-constant hit per row;
+* ``<, <=, >=, >`` — a broadcast compare of ``(values × constants)``,
+  row-chunked to bound the temporary.
+
+Exactness contract: results must be *identical* to the scalar indexes,
+which compare with full Python precision.  Vectorizing through float64
+is exact for floats and for ints with ``|v| <= 2**53``; anything else —
+strings, huge ints, NaN constants (dict identity semantics) — takes the
+"odd" per-pair path built from the same dict probes and ``bisect`` calls
+the scalar indexes use.  A group containing a constant that float64
+cannot represent exactly routes **all** of its values through the odd
+path, so an inexact constant can never produce a wrong boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import Event, Operator, Value
+
+#: Largest |int| guaranteed exactly representable as float64.
+_SAFE_INT = 2**53
+
+#: Cell cap for one broadcast (rows × constants) range compare.
+_BROADCAST_CELLS = 1 << 22
+
+#: Column sentinel for "attribute missing from this event".
+_NAN = float("nan")
+
+#: Second-probe sentinel distinguishing a missing attribute from a real
+#: NaN value (both read back as NaN from the float64 column).
+_ABSENT = object()
+
+
+def _float_exact(value) -> bool:
+    """Can *value* be pushed through float64 without changing equality
+    or ordering against any other exactly-represented number?"""
+    if isinstance(value, float):
+        return not math.isnan(value)
+    return -_SAFE_INT <= value <= _SAFE_INT
+
+
+class _EqGroup:
+    """All ``=`` constants of one attribute."""
+
+    __slots__ = ("by_value", "keys", "bits", "exact")
+
+    def __init__(self, pairs: List[Tuple[Value, int]]) -> None:
+        self.by_value: Dict[Value, int] = dict(pairs)
+        numeric = [(v, b) for v, b in pairs if not isinstance(v, str)]
+        safe = sorted(
+            (float(v), b) for v, b in numeric if _float_exact(v)
+        )
+        # NaN constants are unmatchable by value (dict identity only),
+        # so leaving them out of `safe` loses nothing; huge ints *can*
+        # equal a float event value, hence the exact flag.
+        self.exact = any(
+            not _float_exact(v) and not (isinstance(v, float) and math.isnan(v))
+            for v, _ in numeric
+        )
+        self.keys = np.array([k for k, _ in safe], dtype=np.float64)
+        self.bits = np.array([b for _, b in safe], dtype=np.int64)
+
+    def apply_odd(self, truth: np.ndarray, row: int, value: Value) -> None:
+        bit = self.by_value.get(value)
+        if bit is not None:
+            truth[row, bit] = True
+
+    def apply_vector(self, truth: np.ndarray, rows, vals) -> None:
+        if not len(self.keys):
+            return
+        rows = np.asarray(rows, dtype=np.intp)
+        vals = np.asarray(vals, dtype=np.float64)
+        idx = np.searchsorted(self.keys, vals)
+        np.clip(idx, 0, len(self.keys) - 1, out=idx)
+        hit = self.keys[idx] == vals
+        if hit.any():
+            truth[rows[hit], self.bits[idx[hit]]] = True
+
+
+class _NeGroup:
+    """All ``!=`` constants of one attribute."""
+
+    __slots__ = ("by_value", "all_bits", "keys", "bits", "exact")
+
+    def __init__(self, pairs: List[Tuple[Value, int]]) -> None:
+        self.by_value: Dict[Value, int] = dict(pairs)
+        self.all_bits = np.array(sorted(b for _, b in pairs), dtype=np.int64)
+        numeric = [(v, b) for v, b in pairs if not isinstance(v, str)]
+        safe = sorted(
+            (float(v), b) for v, b in numeric if _float_exact(v)
+        )
+        self.exact = any(
+            not _float_exact(v) and not (isinstance(v, float) and math.isnan(v))
+            for v, _ in numeric
+        )
+        self.keys = np.array([k for k, _ in safe], dtype=np.float64)
+        self.bits = np.array([b for _, b in safe], dtype=np.int64)
+
+    def apply_odd(self, truth: np.ndarray, row: int, value: Value) -> None:
+        truth[row, self.all_bits] = True
+        own = self.by_value.get(value)
+        if own is not None:
+            truth[row, own] = False
+
+    def apply_vector(self, truth: np.ndarray, rows, vals) -> None:
+        rows = np.asarray(rows, dtype=np.intp)
+        truth[np.ix_(rows, self.all_bits)] = True
+        if not len(self.keys):
+            return
+        vals = np.asarray(vals, dtype=np.float64)
+        idx = np.searchsorted(self.keys, vals)
+        np.clip(idx, 0, len(self.keys) - 1, out=idx)
+        hit = self.keys[idx] == vals
+        if hit.any():
+            truth[rows[hit], self.bits[idx[hit]]] = False
+
+
+_RANGE_UFUNC = {
+    Operator.LT: np.less,
+    Operator.LE: np.less_equal,
+    Operator.GE: np.greater_equal,
+    Operator.GT: np.greater,
+}
+
+
+class _RangeGroup:
+    """All constants of one ordered operator on one attribute."""
+
+    __slots__ = ("op", "keys", "bits", "py_keys", "py_bits", "exact")
+
+    def __init__(self, op: Operator, pairs: List[Tuple[Value, int]]) -> None:
+        self.op = op
+        # NaN constants are never satisfied by any ordered compare; drop
+        # them so they cannot poison the sort.
+        clean = [
+            (v, b)
+            for v, b in pairs
+            if not (isinstance(v, float) and math.isnan(v))
+        ]
+        clean.sort(key=lambda vb: vb[0])
+        self.py_keys = [v for v, _ in clean]
+        self.py_bits = np.array([b for _, b in clean], dtype=np.int64)
+        self.exact = any(not _float_exact(v) for v in self.py_keys)
+        self.keys = np.array(self.py_keys, dtype=np.float64)
+        self.bits = self.py_bits
+
+    def apply_odd(self, truth: np.ndarray, row: int, value: Value) -> None:
+        if isinstance(value, float) and math.isnan(value):
+            return
+        op = self.op
+        keys = self.py_keys
+        # satisfied constants form a prefix/suffix of the sorted keys:
+        # v < c  → c > v  (suffix);  v > c → c < v (prefix); etc.
+        if op is Operator.LT:
+            lo, hi = bisect_right(keys, value), len(keys)
+        elif op is Operator.LE:
+            lo, hi = bisect_left(keys, value), len(keys)
+        elif op is Operator.GE:
+            lo, hi = 0, bisect_right(keys, value)
+        else:  # GT
+            lo, hi = 0, bisect_left(keys, value)
+        if lo < hi:
+            truth[row, self.py_bits[lo:hi]] = True
+
+    def apply_vector(self, truth: np.ndarray, rows, vals) -> None:
+        k = len(self.keys)
+        if not k:
+            return
+        rows = np.asarray(rows, dtype=np.intp)
+        vals = np.asarray(vals, dtype=np.float64)
+        ufunc = _RANGE_UFUNC[self.op]
+        step = max(1, _BROADCAST_CELLS // k)
+        for s in range(0, len(rows), step):
+            cmp = ufunc(vals[s : s + step, None], self.keys[None, :])
+            truth[np.ix_(rows[s : s + step], self.bits)] = cmp
+
+
+class BatchPredicateEvaluator:
+    """Predicate phase over a whole batch, compiled from index entries.
+
+    Build from :meth:`PredicateIndexSet.entries`; recompile whenever the
+    registry's structural epoch moves (``TwoPhaseMatcher`` caches one
+    instance keyed by ``registry.epoch``).
+    """
+
+    __slots__ = ("_by_attr", "_groups")
+
+    def __init__(self, entries: Iterable[Tuple[str, Operator, Value, int]]) -> None:
+        grouped: Dict[Tuple[str, Operator], List[Tuple[Value, int]]] = {}
+        for attr, op, value, bit in entries:
+            grouped.setdefault((attr, op), []).append((value, bit))
+        self._by_attr: Dict[str, List[Tuple[Operator, object]]] = {}
+        self._groups: List[object] = []
+        for (attr, op), pairs in sorted(
+            grouped.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+        ):
+            if op is Operator.EQ:
+                group = _EqGroup(pairs)
+            elif op is Operator.NE:
+                group = _NeGroup(pairs)
+            else:
+                group = _RangeGroup(op, pairs)
+            self._by_attr.setdefault(attr, []).append((op, group))
+            self._groups.append(group)
+
+    @property
+    def group_count(self) -> int:
+        """Number of compiled (attribute, operator) groups."""
+        return len(self._groups)
+
+    def evaluate(self, events: Sequence[Event], n_slots: int) -> np.ndarray:
+        """Boolean ``(len(events), n_slots)`` truth matrix.
+
+        Cell ``[e, b]`` is True iff event *e* satisfies the predicate in
+        registry slot *b* — exactly the bit vector the scalar phase 1
+        would produce for each event in turn.
+
+        The scan is column-oriented: one gather of the attribute's value
+        across the whole batch, one float64 conversion, then the
+        vectorized group kernels over the rows carrying the attribute.
+        Rows whose value cannot ride the float64 path (strings, NaN,
+        ints past 2**53) are resolved individually through the exact odd
+        path; an attribute whose column will not convert at all (string
+        values present) falls back to the per-row odd scan.
+        """
+        n = len(events)
+        truth = np.zeros((n, n_slots), dtype=bool)
+        if not n or not self._by_attr:
+            return truth
+        pairs_list = [e.pairs for e in events]
+        for attr, groups in self._by_attr.items():
+            vals = [p.get(attr, _NAN) for p in pairs_list]
+            try:
+                col = np.asarray(vals, dtype=np.float64)
+            except (TypeError, ValueError, OverflowError):
+                self._evaluate_attr_odd(groups, truth, pairs_list, attr)
+                continue
+            nan_mask = np.isnan(col)
+            if nan_mask.any():
+                # Missing attribute — or a real NaN value, which must
+                # still probe the = / != dicts exactly like the scalar
+                # indexes (dict identity semantics and all).
+                for row in np.nonzero(nan_mask)[0]:
+                    value = pairs_list[row].get(attr, _ABSENT)
+                    if value is not _ABSENT:
+                        self._apply_odd_pair(groups, truth, int(row), value)
+            rows = np.nonzero(~nan_mask)[0]
+            if not len(rows):
+                continue
+            col = col[rows]
+            big = np.abs(col) > _SAFE_INT
+            if big.any():
+                # Magnitudes past 2**53: floats are still exact, ints
+                # may have rounded in the conversion — resolve per value.
+                keep = np.ones(len(rows), dtype=bool)
+                for i in np.nonzero(big)[0]:
+                    row = int(rows[i])
+                    value = pairs_list[row][attr]
+                    if type(value) is float:
+                        continue
+                    try:
+                        lossless = float(value) == value
+                    except OverflowError:
+                        lossless = False
+                    if not lossless:
+                        keep[i] = False
+                        self._apply_odd_pair(groups, truth, row, value)
+                rows, col = rows[keep], col[keep]
+                if not len(rows):
+                    continue
+            for _op, group in groups:
+                if group.exact:
+                    for row in rows:
+                        group.apply_odd(
+                            truth, int(row), pairs_list[int(row)][attr]
+                        )
+                else:
+                    group.apply_vector(truth, rows, col)
+        return truth
+
+    def _evaluate_attr_odd(
+        self, groups, truth: np.ndarray, pairs_list, attr: str
+    ) -> None:
+        """Per-row exact scan for one attribute (string columns etc.)."""
+        for row, pairs in enumerate(pairs_list):
+            value = pairs.get(attr, _ABSENT)
+            if value is not _ABSENT:
+                self._apply_odd_pair(groups, truth, row, value)
+
+    @staticmethod
+    def _apply_odd_pair(groups, truth: np.ndarray, row: int, value: Value) -> None:
+        """Exact odd-path probes of one (row, value) against all groups."""
+        if isinstance(value, str):
+            for op, group in groups:
+                if not op.is_range:
+                    group.apply_odd(truth, row, value)
+        else:
+            for _op, group in groups:
+                group.apply_odd(truth, row, value)

@@ -10,6 +10,7 @@ from repro.bench.harness import (
     configured_scale,
     load_subscriptions,
     matcher_for,
+    measure_batch_matching,
     measure_matching,
     measure_phases,
     run_series,
@@ -33,6 +34,7 @@ __all__ = [
     "load_subscriptions",
     "matcher_for",
     "matcher_memory_bytes",
+    "measure_batch_matching",
     "measure_matching",
     "measure_phases",
     "print_table",

@@ -144,6 +144,26 @@ def measure_matching(matcher: Matcher, events: Sequence[Event]) -> MatchResult:
     return MatchResult(len(events), time.perf_counter() - start, total)
 
 
+def measure_batch_matching(
+    matcher: Matcher, events: Sequence[Event], batch_size: int
+) -> MatchResult:
+    """Timed matching through ``match_batch`` in *batch_size* chunks.
+
+    ``batch_size=1`` still goes through the batch entry point (a
+    one-event kernel invocation per event), so comparing it against a
+    larger batch isolates the amortization win rather than the calling
+    convention.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch_size}")
+    total = 0
+    start = time.perf_counter()
+    for s in range(0, len(events), batch_size):
+        for ids in matcher.match_batch(events[s : s + batch_size]):
+            total += len(ids)
+    return MatchResult(len(events), time.perf_counter() - start, total)
+
+
 @dataclasses.dataclass
 class PhaseSplit:
     """Per-phase timing of the two-phase algorithm (§6.2.1's 1.3 ms vs

@@ -7,12 +7,13 @@ from repro.cache.kernels import (
     scan_cluster,
     synthesize_cluster,
 )
-from repro.cache.layout import Arena, ClusterLayout
+from repro.cache.layout import Arena, BitMatrixLayout, ClusterLayout
 from repro.cache.metrics import CacheMetrics
 from repro.cache.model import CacheConfig, CacheSimulator
 
 __all__ = [
     "Arena",
+    "BitMatrixLayout",
     "CacheConfig",
     "CacheMetrics",
     "CacheSimulator",

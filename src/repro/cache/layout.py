@@ -17,6 +17,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Tuple
 
+from repro.batch.bitmatrix import WORD_BITS, packed_words
+
 
 class Arena:
     """Bump allocator handing out disjoint, aligned address ranges."""
@@ -105,3 +107,48 @@ class ClusterLayout:
     def row_line_span(self, line_size: int) -> int:
         """Cache lines covered by one predicate row (columnar layout)."""
         return (self.count * self.element_size + line_size - 1) // line_size
+
+
+@dataclasses.dataclass(frozen=True)
+class BitMatrixLayout:
+    """Addresses of the batch kernel's packed ``(events × words)`` matrix.
+
+    The batch predicate phase produces one 64-bit word row per event,
+    ``packed_words(n_slots)`` words wide (see ``repro.batch.bitmatrix``);
+    this models its placement so the cache study can replay batch-kernel
+    address streams next to the per-event cluster layouts.  Rows are
+    contiguous (row-major): one event's predicate bits occupy
+    ``words × 8`` consecutive bytes, which is exactly why the batched
+    subscription phase streams — every residual-bit gather for one event
+    lands in the same handful of lines.
+    """
+
+    events: int
+    n_slots: int
+    base: int
+    #: 64-bit words per row.
+    words: int
+    word_size: int = WORD_BITS // 8
+
+    @staticmethod
+    def build(events: int, n_slots: int, arena: Arena) -> "BitMatrixLayout":
+        """Allocate the packed truth matrix in *arena*."""
+        words = packed_words(n_slots)
+        base = arena.allocate(events * words * (WORD_BITS // 8))
+        return BitMatrixLayout(events=events, n_slots=n_slots, base=base, words=words)
+
+    def word_address(self, row: int, word: int) -> int:
+        """Address of packed word [row][word]."""
+        if not 0 <= row < self.events or not 0 <= word < self.words:
+            raise IndexError(f"({row}, {word}) outside ({self.events}, {self.words})")
+        return self.base + (row * self.words + word) * self.word_size
+
+    def bit_address(self, row: int, bit: int) -> int:
+        """Address of the word holding predicate *bit* of event *row*."""
+        if not 0 <= bit < self.n_slots:
+            raise IndexError(f"bit {bit} outside {self.n_slots} slots")
+        return self.word_address(row, bit // WORD_BITS)
+
+    def row_line_span(self, line_size: int) -> int:
+        """Cache lines covered by one event's packed row."""
+        return (self.words * self.word_size + line_size - 1) // line_size

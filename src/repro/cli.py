@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard placement/pruning policy (with --shards > 1)",
     )
     match.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="feed events through match_batch in chunks of N "
+        "(default 1 = per-event matching)",
+    )
+    match.add_argument(
         "--metrics-out",
         metavar="FILE",
         default=None,
@@ -254,12 +262,22 @@ def _snapshot_context(args: argparse.Namespace, events: int) -> dict:
 
 
 def _cmd_match(args: argparse.Namespace, out) -> int:
+    if args.batch_size < 1:
+        raise SystemExit("--batch-size must be >= 1")
     subs, events = _load_workload(args)
     matcher = _build_matcher(args)
     registry = matcher.use_metrics() if args.metrics_out else None
     _populate(matcher, subs)
-    for event in events:
-        matched = sorted(matcher.match(event), key=str)
+    if args.batch_size == 1:
+        results = (matcher.match(event) for event in events)
+    else:
+        results = (
+            ids
+            for start in range(0, len(events), args.batch_size)
+            for ids in matcher.match_batch(events[start : start + args.batch_size])
+        )
+    for event, ids in zip(events, results):
+        matched = sorted(ids, key=str)
         out.write(json.dumps({"event": dict(event.items()), "matched": matched}))
         out.write("\n")
     if registry is not None:

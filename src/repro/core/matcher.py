@@ -9,7 +9,7 @@ benchmark harness, the broker and the tests can treat them uniformly.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.types import Event, Subscription
 from repro.obs.registry import MetricsRegistry, NOOP_REGISTRY
@@ -94,6 +94,21 @@ class Matcher(abc.ABC):
 
     def match_all(self, events: Iterable[Event]) -> List[List[Any]]:
         """Match a batch of events; returns one id-list per event."""
+        return self.match_batch(list(events))
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
+        """Match *events* as one batch; returns one id-list per event.
+
+        Contract (pinned by ``tests/matchers/test_batch_conformance.py``
+        and ``tests/properties/test_prop_batch.py``): the result is
+        per-event equivalent to calling :meth:`match` on each event in
+        order — same matched ids per event, though the *within-event*
+        ordering of ids may differ — and is invariant under batch
+        splitting.  The default implementation is the per-event loop;
+        two-phase engines override it with the vectorized kernel
+        (``repro.batch``), and wrappers forward it so batches reach the
+        kernel through locks, shards and fault injectors.
+        """
         return [self.match(e) for e in events]
 
     # ------------------------------------------------------------------

@@ -26,7 +26,7 @@ from repro.core.types import Predicate
 class PredicateRegistry:
     """Maps distinct predicates to bit-vector slots with refcounting."""
 
-    __slots__ = ("bits", "_slot_of", "_pred_of", "_refcount", "_free")
+    __slots__ = ("bits", "_slot_of", "_pred_of", "_refcount", "_free", "_epoch")
 
     def __init__(self, bitvector: Optional[BitVector] = None) -> None:
         self.bits = bitvector if bitvector is not None else BitVector()
@@ -34,6 +34,7 @@ class PredicateRegistry:
         self._pred_of: Dict[int, Predicate] = {}
         self._refcount: Dict[int, int] = {}
         self._free: List[int] = []
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # interning
@@ -55,6 +56,7 @@ class PredicateRegistry:
         self._slot_of[predicate] = slot
         self._pred_of[slot] = predicate
         self._refcount[slot] = 1
+        self._epoch += 1
         return slot, True
 
     def release(self, predicate: Predicate) -> Tuple[int, bool]:
@@ -73,11 +75,21 @@ class PredicateRegistry:
         del self._pred_of[slot]
         del self._refcount[slot]
         self._free.append(slot)
+        self._epoch += 1
         return slot, True
 
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Structural version: bumps whenever the predicate ↔ slot mapping
+        changes (a distinct predicate appears or vanishes).  Refcount-only
+        churn does not move it, so compiled artifacts keyed on the epoch —
+        the batch kernel's :class:`~repro.batch.evaluator.BatchPredicateEvaluator`
+        — stay valid across duplicate-predicate subscribe/unsubscribe."""
+        return self._epoch
+
     def slot(self, predicate: Predicate) -> Optional[int]:
         """Bit index of *predicate*, or None if not interned."""
         return self._slot_of.get(predicate)

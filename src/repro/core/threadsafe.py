@@ -13,7 +13,7 @@ build yourself.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Sequence
 
 from repro.core.matcher import Matcher
 from repro.core.types import Event, Subscription
@@ -44,6 +44,10 @@ class ThreadSafeMatcher(Matcher):
     def match(self, event: Event) -> List[Any]:
         with self._lock:
             return self.inner.match(event)
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
+        with self._lock:
+            return self.inner.match_batch(events)
 
     def iter_subscriptions(self) -> List[Subscription]:
         with self._lock:

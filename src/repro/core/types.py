@@ -104,6 +104,12 @@ def _check_value(value: Value, op: Operator, context: str) -> Value:
         # bool is an int subclass; normalize so True == 1 dedups cleanly.
         return int(value)
     if isinstance(value, (int, float)):
+        if op.is_range and value != value:
+            # An ordered compare against NaN is always false, and a NaN
+            # key would corrupt the sorted ordered-index structures.
+            raise InvalidPredicateError(
+                f"{context}: NaN cannot be a range-operator constant"
+            )
         return value
     if isinstance(value, str):
         if op.is_range:

@@ -80,7 +80,9 @@ class PredicateIndexSet:
         String event values are only routed to the = and != indexes; the
         ordered indexes hold numeric constants exclusively, matching
         :meth:`Predicate.matches` semantics (ordered comparisons across
-        types are false).
+        types are false).  NaN event values skip the ordered indexes the
+        same way — every ordered compare with NaN is false, and a bisect
+        probe with NaN would report garbage prefixes instead.
         """
         n = 0
         by_attr = self._by_attr
@@ -89,8 +91,9 @@ class PredicateIndexSet:
             if ops is None:
                 continue
             is_str = isinstance(value, str)
+            no_range = is_str or value != value
             for op, index in ops.items():
-                if is_str and op.is_range:
+                if no_range and op.is_range:
                     continue
                 for bit in index.satisfied(value):
                     bits.set(bit)

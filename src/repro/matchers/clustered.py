@@ -13,7 +13,9 @@ Both use the vectorized (prefetch-analogue) check kernel — in the paper
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.algorithms.base import TwoPhaseMatcher
 from repro.algorithms.clusters import ClusterList
@@ -179,6 +181,45 @@ class ClusteredMatcher(TwoPhaseMatcher):
         self.counters["subscription_checks"] += reads
         if span is not None:
             span.add(tables_probed=tables_probed, clusters_visited=clusters_visited)
+        return out
+
+    def _match_phase2_batch(
+        self, events: Sequence[Event], truth: np.ndarray
+    ) -> List[List[Any]]:
+        """Row-grouped table probing: one gather per probed entry.
+
+        For each table, batch events are bucketed by their probe key so
+        a cluster list reached by many events runs a single columnar
+        kernel over all their truth rows.
+        """
+        out: List[List[Any]] = [[] for _ in events]
+        reads = 0
+        if len(self._universal):
+            all_rows = np.arange(len(events), dtype=np.intp)
+            reads += self._universal.match_rows(truth, all_rows, out)
+        for table in self.config.tables():
+            if not len(table):
+                continue
+            schema = table.schema
+            rows_of: Dict[Tuple, List[int]] = {}
+            for row, event in enumerate(events):
+                pairs = event.pairs
+                key: List[Any] = []
+                for attribute in schema:
+                    value = pairs.get(attribute)
+                    if value is None and attribute not in pairs:
+                        key = None
+                        break
+                    key.append(value)
+                if key is not None:
+                    rows_of.setdefault(tuple(key), []).append(row)
+            for key, rows in rows_of.items():
+                lst = table.entry(key)
+                if lst is not None:
+                    reads += lst.match_rows(
+                        truth, np.asarray(rows, dtype=np.intp), out
+                    )
+        self.counters["subscription_checks"] += reads
         return out
 
     # ------------------------------------------------------------------

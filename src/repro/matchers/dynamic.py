@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.clustering.access import Key, Schema
 from repro.clustering.dynamic import DynamicParams, EntryId, PotentialTableTracker
@@ -147,6 +147,28 @@ class DynamicMatcher(ClusteredMatcher):
             self.statistics.observe(event)
         result = super().match(event)
         self._tick()
+        return result
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
+        events = list(events)
+        if self.tracer.enabled:
+            # The scalar path keeps per-event spans *and* does its own
+            # observation/maintenance bookkeeping per event.
+            return [self.match(e) for e in events]
+        # Observation and maintenance never change match results (they
+        # only re-cluster), so sampling every k-th event up front and
+        # ticking after the kernel is result-equivalent to the scalar
+        # interleaving while keeping the estimator cadence identical.
+        if self._observe:
+            for event in events:
+                self._event_seq += 1
+                if self._event_seq % self._observe_every == 0:
+                    self.statistics.observe(event)
+        else:
+            self._event_seq += len(events)
+        result = super().match_batch(events)
+        for _ in events:
+            self._tick()
         return result
 
     def _tick(self) -> None:

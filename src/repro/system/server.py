@@ -232,7 +232,10 @@ class BatchServer:
                     if wal is not None:
                         wal.append_unsubscribe(sid, at=wal.now())
             elif request.kind == "publish":
-                results = [self.matcher.match(e) for e in request.payload]
+                # One kernel invocation per batch: engines with a real
+                # batch kernel amortize the predicate phase across the
+                # whole payload instead of being fed event by event.
+                results = self.matcher.match_batch(request.payload)
             else:  # pragma: no cover - guarded by the submit methods
                 raise AssertionError(request.kind)
             if wal is not None and request.kind != "publish":

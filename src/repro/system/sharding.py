@@ -53,7 +53,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import DuplicateSubscriptionError, UnknownSubscriptionError
 from repro.core.matcher import Matcher
@@ -396,6 +396,73 @@ class ShardedMatcher(Matcher):
     def _match_shard(self, shard: int, event: Event) -> List[Any]:
         with self._shard_locks[shard]:
             return self._shards[shard].match(event)
+
+    def _match_shard_batch(
+        self, shard: int, events: List[Event]
+    ) -> List[List[Any]]:
+        with self._shard_locks[shard]:
+            return self._shards[shard].match_batch(events)
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
+        """Batched fan-out: each shard sees one sub-batch, merged per event.
+
+        Events are routed per shard exactly as :meth:`match` routes them
+        individually; each probed shard runs its inner batch kernel over
+        the events routed to it, and per-event results are concatenated
+        in ascending shard order — the same deterministic merge order as
+        the scalar path, independent of completion order.  Breaker mode
+        and tracing fall back to the per-event path (quarantine
+        accounting and fan-out spans are per event by design).
+        """
+        events = list(events)
+        if not events:
+            return []
+        if self._breakers is not None or self.tracer.enabled:
+            return [self.match(e) for e in events]
+        rows_of: Dict[int, List[int]] = {}
+        skipped = 0
+        with self._meta:
+            for row, event in enumerate(events):
+                candidates = sorted(
+                    s
+                    for s in set(self.router.candidate_shards(event))
+                    if self._population[s]
+                )
+                skipped += len(self._shards) - len(candidates)
+                for s in candidates:
+                    rows_of.setdefault(s, []).append(row)
+            self._m_events.inc(len(events))
+            self._m_skipped.inc(skipped)
+            for s, rows in rows_of.items():
+                self._m_visits[s].inc(len(rows))
+        out: List[List[Any]] = [[] for _ in events]
+        probe = sorted(rows_of)
+        if not probe:
+            return out
+        start = time.perf_counter()
+        if self._parallel and len(probe) > 1:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(
+                    self._match_shard_batch, s, [events[r] for r in rows_of[s]]
+                )
+                for s in probe
+            ]
+            results = [f.result() for f in futures]
+        else:
+            results = [
+                self._match_shard_batch(s, [events[r] for r in rows_of[s]])
+                for s in probe
+            ]
+        merged_at = time.perf_counter()
+        for s, per_event in zip(probe, results):
+            for r, ids in zip(rows_of[s], per_event):
+                out[r].extend(ids)
+        done = time.perf_counter()
+        with self._meta:
+            self._m_fanout_seconds.observe(merged_at - start)
+            self._m_merge_seconds.observe(done - merged_at)
+        return out
 
     def _match_shard_guarded(
         self, shard: int, event: Event

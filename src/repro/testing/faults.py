@@ -157,6 +157,9 @@ class _MatcherWrapper(Matcher):
     def match(self, event: Event) -> List[Any]:
         return self.inner.match(event)
 
+    def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
+        return self.inner.match_batch(events)
+
     def iter_subscriptions(self) -> List[Subscription]:
         return self.inner.iter_subscriptions()
 
@@ -233,6 +236,11 @@ class FlakyMatcher(_MatcherWrapper):
         self._maybe_fail("match")
         return self.inner.match(event)
 
+    def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
+        # One batch counts as one "match" operation against the budget.
+        self._maybe_fail("match")
+        return self.inner.match_batch(events)
+
 
 class SlowMatcher(_MatcherWrapper):
     """A matcher that sleeps before delegating the listed operations.
@@ -274,3 +282,7 @@ class SlowMatcher(_MatcherWrapper):
     def match(self, event: Event) -> List[Any]:
         self._maybe_stall("match")
         return self.inner.match(event)
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
+        self._maybe_stall("match")
+        return self.inner.match_batch(events)

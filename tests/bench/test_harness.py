@@ -9,6 +9,7 @@ from repro.bench import (
     format_value,
     load_subscriptions,
     matcher_for,
+    measure_batch_matching,
     measure_matching,
     measure_phases,
     run_series,
@@ -127,6 +128,69 @@ class TestMeasurement:
         assert bench_snapshot_path("phase-split").endswith("BENCH_PHASE_SPLIT.json")
         with pytest.raises(ValueError):
             bench_snapshot_path("***")
+
+
+class TestBatchLane:
+    def _population(self, n_subs=3000, n_events=512):
+        gen = WorkloadGenerator(w0(n_subscriptions=n_subs))
+        return list(gen.subscriptions()), list(gen.events(n_events))
+
+    def test_measure_batch_matching_same_totals(self):
+        subs, events = self._population(n_subs=300, n_events=60)
+        m = matcher_for("propagation", w0())
+        load_subscriptions(m, subs)
+        scalar = measure_matching(m, events)
+        for batch_size in (1, 7, 60, 256):
+            batched = measure_batch_matching(m, events, batch_size)
+            assert batched.events == scalar.events
+            assert batched.total_matches == scalar.total_matches
+
+    def test_measure_batch_matching_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            measure_batch_matching(CountingMatcher(), [], 0)
+
+    def test_batch256_at_least_batch1_throughput(self):
+        """The amortization claim, cheaply: one 256-event kernel call
+        must not be slower than 256 one-event kernel calls."""
+        subs, events = self._population()
+        m = matcher_for("propagation", w0())
+        load_subscriptions(m, subs)
+        measure_batch_matching(m, events, 256)  # warm the compiled kernel
+        single = max(
+            measure_batch_matching(m, events, 1).events_per_second for _ in range(3)
+        )
+        batched = max(
+            measure_batch_matching(m, events, 256).events_per_second
+            for _ in range(3)
+        )
+        assert batched >= single, (
+            f"batch-256 throughput {batched:.0f} ev/s fell below "
+            f"batch-1 throughput {single:.0f} ev/s"
+        )
+
+    def test_batch_lane_snapshot_validates(self, tmp_path):
+        import json
+
+        from repro.obs import write_json_snapshot
+        from repro.obs.check import validate_file
+
+        subs, events = self._population(n_subs=400, n_events=128)
+        m = matcher_for("propagation", w0())
+        registry = m.use_metrics()
+        load_subscriptions(m, subs)
+        res = measure_batch_matching(m, events, 64)
+        path = bench_snapshot_path("batch-lane-test", directory=str(tmp_path))
+        write_json_snapshot(
+            registry,
+            path,
+            context={"batch_size": 64, "results": {"total": res.total_matches}},
+        )
+        assert validate_file(path, "schemas/metrics_snapshot.schema.json") == []
+        snap = json.loads(open(path).read())
+        names = {metric["name"] for metric in snap["metrics"]}
+        assert "repro_batch_batches_total" in names
+        assert "repro_batch_events_total" in names
+        assert "repro_batch_kernel_seconds" in names
 
 
 class TestMemory:

@@ -1,0 +1,116 @@
+"""Properties of the batch matching kernel.
+
+Two families:
+
+* **Split invariance** — for every engine, ``match_batch(a + b)`` equals
+  ``match_batch(a) + match_batch(b)`` equals the per-event scalar path;
+  batching is a pure calling convention, never a semantic boundary.
+* **Bit-matrix round trip** — ``pack_bits``/``unpack_bits`` are exact
+  inverses for any boolean matrix, including widths that are not a
+  multiple of 64 (the padding bits must neither leak nor be lost).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.batch import pack_bits, packed_words, unpack_bits
+from repro.clustering import DynamicParams, UniformStatistics
+from repro.core import OracleMatcher
+from repro.matchers import (
+    CountingMatcher,
+    DynamicMatcher,
+    PrefetchPropagationMatcher,
+    PropagationMatcher,
+    StaticMatcher,
+    TreeMatcher,
+)
+from tests.properties.strategies import events, subscriptions
+
+COMMON_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def engines():
+    return {
+        "counting": CountingMatcher(),
+        "propagation": PropagationMatcher(),
+        "propagation-wp": PrefetchPropagationMatcher(),
+        "static": StaticMatcher(UniformStatistics(default_domain=9)),
+        "dynamic": DynamicMatcher(
+            params=DynamicParams(bm_max=1.0, b_create=4, maintenance_interval=16)
+        ),
+        "test-network": TreeMatcher(),
+    }
+
+
+def norm(ids):
+    return sorted(ids, key=repr)
+
+
+@COMMON_SETTINGS
+@given(
+    subs=st.lists(subscriptions(), min_size=0, max_size=25),
+    evs=st.lists(events(), min_size=0, max_size=12),
+    cut=st.integers(min_value=0, max_value=12),
+)
+def test_batch_splitting_invariance(subs, evs, cut):
+    """match_batch(a + b) == match_batch(a) + match_batch(b) == scalar."""
+    cut = min(cut, len(evs))
+    oracle = OracleMatcher()
+    seen = set()
+    unique = [s for s in subs if s.id not in seen and not seen.add(s.id)]
+    for sub in unique:
+        oracle.add(sub)
+    expected = [norm(oracle.match(e)) for e in evs]
+    for name, engine in engines().items():
+        for sub in unique:
+            engine.add(sub)
+        whole = [norm(r) for r in engine.match_batch(evs)]
+        split = [
+            norm(r)
+            for r in engine.match_batch(evs[:cut]) + engine.match_batch(evs[cut:])
+        ]
+        assert whole == expected, f"{name}: whole batch diverges from oracle"
+        assert split == expected, f"{name}: split batch diverges from oracle"
+
+
+@COMMON_SETTINGS
+@given(
+    truth=arrays(
+        dtype=bool,
+        shape=st.tuples(
+            st.integers(min_value=0, max_value=9),
+            # Deliberately straddles the 64-bit word boundary.
+            st.integers(min_value=0, max_value=130),
+        ),
+    )
+)
+def test_pack_unpack_roundtrip(truth):
+    packed = pack_bits(truth)
+    n_rows, n_slots = truth.shape
+    assert packed.dtype == np.uint64
+    assert packed.shape == (n_rows, packed_words(n_slots))
+    restored = unpack_bits(packed, n_slots)
+    assert restored.shape == truth.shape
+    assert np.array_equal(restored, truth)
+
+
+@COMMON_SETTINGS
+@given(
+    n_slots=st.integers(min_value=0, max_value=200),
+    rows=st.integers(min_value=0, max_value=5),
+)
+def test_padding_bits_stay_zero(n_slots, rows):
+    """Set every bit: the packed tail word's padding must stay zero."""
+    truth = np.ones((rows, n_slots), dtype=bool)
+    packed = pack_bits(truth)
+    if rows and n_slots:
+        spare = packed_words(n_slots) * 64 - n_slots
+        tail = int(packed[0, -1])
+        assert tail >> (64 - spare) == 0 if spare else True
+    assert np.array_equal(unpack_bits(packed, n_slots), truth)

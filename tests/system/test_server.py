@@ -12,6 +12,7 @@ from repro.core import (
     le,
 )
 from repro.core.threadsafe import ThreadSafeMatcher
+from repro.matchers import DynamicMatcher
 from repro.system.server import BatchReply, BatchServer, ServerClosedError
 from repro.system.sharding import ShardedMatcher
 
@@ -186,3 +187,33 @@ class TestMultiWorker:
         with pytest.raises(ServerClosedError):
             srv.submit_subscriptions([Subscription("late", [eq("x", 1)])])
         matcher.close()
+
+
+class _KernelSpy(ThreadSafeMatcher):
+    """Counts batch-kernel invocations vs scalar match calls."""
+
+    def __init__(self, inner):
+        super().__init__(inner)
+        self.batch_calls = 0
+        self.scalar_calls = 0
+
+    def match(self, event):
+        self.scalar_calls += 1
+        return super().match(event)
+
+    def match_batch(self, events):
+        self.batch_calls += 1
+        return super().match_batch(events)
+
+
+class TestBatchKernelRouting:
+    def test_publish_is_one_kernel_invocation_per_batch(self):
+        """Regression: the publish path must not fall back to a scalar
+        per-event loop — one submit_events call is one match_batch call."""
+        spy = _KernelSpy(DynamicMatcher())
+        with BatchServer(matcher=spy) as srv:
+            srv.submit_subscriptions([Subscription("a", [eq("x", 1)])])
+            srv.submit_events([Event({"x": 1})] * 17)
+            srv.submit_events([Event({"x": 2})] * 5)
+        assert spy.batch_calls == 2
+        assert spy.scalar_calls == 0
