@@ -5,9 +5,9 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke batch-smoke
+.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke
 
-test: metrics-smoke durability-smoke robustness-smoke batch-smoke
+test: metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke
 	$(PYTEST) -q -m "not slow"
 
 test-all:
@@ -59,3 +59,11 @@ robustness-smoke:
 # the other smokes).
 batch-smoke:
 	PYTHONPATH=src $(PYTHON) examples/batch_smoke.py
+
+# End-to-end process-executor check: 10k events over 4 worker processes
+# through all three submission modes, differentially checked against
+# the oracle, plus one induced worker SIGKILL driven through the
+# degrade -> quarantine -> respawn -> converge lifecycle. Part of
+# tier-1 (`make test` runs it alongside the other smokes).
+procpool-smoke:
+	PYTHONPATH=src $(PYTHON) examples/procpool_smoke.py

@@ -1,0 +1,178 @@
+"""End-to-end process-executor smoke test (the tier-1 ``make procpool-smoke``).
+
+Drives the process-per-shard backend once, at real volume:
+
+1. **Differential volume check** — 10,000 W0 events cross the worker
+   pipes of a 4-shard process :class:`ShardedMatcher` through all three
+   submission modes (batched bit-matrix, pipelined ``match_serial``,
+   scalar ``match``) and must agree event-for-event with a brute-force
+   oracle: the transport may reorder ids within one event's result,
+   never change the set.
+2. **Worker-death lifecycle** — a breaker-guarded 2-shard process
+   matcher takes one induced SIGKILL mid-request: the in-flight answer
+   degrades (healthy shard still correct), the breaker quarantines the
+   shard, and after cool-down the half-open probe respawns the worker,
+   replays its subscriptions, and the results re-converge exactly.
+3. **Metrics** — the pool must report 4 live workers during the volume
+   stage and exactly one respawn after the chaos stage.
+
+Exits non-zero (with a diagnostic) on any divergence.
+"""
+
+import dataclasses
+import sys
+import tempfile
+import time
+
+from repro.bench.experiments.common import materialize
+from repro.bench.harness import load_subscriptions
+from repro.core import OracleMatcher
+from repro.matchers import make_matcher
+from repro.system import ShardedMatcher
+from repro.testing.faults import killable_worker
+from repro.workload import w0
+
+N_SUBS = 2_000
+N_EVENTS = 10_000
+SHARDS = 4
+
+
+def dense_spec():
+    """W0, densified so the differential sees non-empty match sets."""
+    return dataclasses.replace(
+        w0(seed=0),
+        name="W0-dense",
+        predicates_per_subscription=3,
+        value_high=12,
+        event_value_high=12,
+    )
+
+
+def fail(message):
+    print(f"procpool smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def norm(ids):
+    return sorted(ids, key=repr)
+
+
+def volume_stage():
+    """10k events through the pipes, three submission modes, vs oracle."""
+    spec = dense_spec()
+    subs, events = materialize(spec, N_SUBS, N_EVENTS)
+    oracle = OracleMatcher()
+    for sub in subs:
+        oracle.add(sub)
+    expected = [norm(oracle.match(e)) for e in events]
+    total_matches = sum(len(ids) for ids in expected)
+    print(
+        f"procpool smoke: {N_EVENTS} events x {N_SUBS} subscriptions "
+        f"over {SHARDS} worker processes, {total_matches} oracle matches"
+    )
+    if total_matches == 0:
+        fail("workload produced zero oracle matches; differential is vacuous")
+
+    with ShardedMatcher(
+        shards=SHARDS,
+        router="hash",
+        inner=lambda: make_matcher("counting"),
+        executor="process",
+        worker_timeout=60.0,
+    ) as matcher:
+        registry = matcher.use_metrics()
+        load_subscriptions(matcher, subs)
+        workers_up = matcher.executor_health()
+        if workers_up["alive"] != SHARDS:
+            fail(f"expected {SHARDS} live workers, health says {workers_up}")
+
+        got = []
+        for start in range(0, N_EVENTS, 1024):
+            got.extend(matcher.match_batch(events[start : start + 1024]))
+        for row, (ids, want) in enumerate(zip(got, expected)):
+            if norm(ids) != want:
+                fail(f"batch: event {row} matched {norm(ids)!r}, oracle {want!r}")
+        print("  batched bit-matrix lane: OK")
+
+        serial = matcher.match_serial(events[:1_000])
+        for row, (ids, want) in enumerate(zip(serial, expected)):
+            if norm(ids) != want:
+                fail(f"serial: event {row} matched {norm(ids)!r}, oracle {want!r}")
+        print("  pipelined match_serial lane: OK")
+
+        for row in range(0, 200, 4):
+            ids = matcher.match(events[row])
+            if norm(ids) != expected[row]:
+                fail(
+                    f"scalar: event {row} matched {norm(ids)!r}, "
+                    f"oracle {expected[row]!r}"
+                )
+        print("  scalar match lane: OK")
+
+        workers_metric = max(
+            sample["value"]
+            for metric in registry.snapshot()["metrics"]
+            if metric["name"] == "repro_procpool_workers"
+            for sample in metric["samples"]
+        )
+        if workers_metric != SHARDS:
+            fail(f"repro_procpool_workers={workers_metric}, expected {SHARDS}")
+
+
+def chaos_stage():
+    """One induced worker SIGKILL: degrade, quarantine, respawn, converge."""
+    from repro.core import Event, Subscription, eq
+
+    subs = [Subscription(f"s{i}", [eq("x", i % 5)]) for i in range(40)]
+    events = [Event({"x": i % 5}) for i in range(10)]
+    oracle = OracleMatcher()
+    for sub in subs:
+        oracle.add(sub)
+    expected = [norm(oracle.match(e)) for e in events]
+
+    with tempfile.TemporaryDirectory() as scratch:
+        factory = killable_worker(
+            lambda: make_matcher("counting"),
+            die_at=1,
+            latch_path=f"{scratch}/kill-latch",
+        )
+        with ShardedMatcher(
+            shards=2,
+            router="hash",
+            inner=factory,
+            executor="process",
+            breaker={"failure_threshold": 1, "reset_timeout": 0.05},
+            worker_timeout=30.0,
+        ) as matcher:
+            for sub in subs:
+                matcher.add(sub)
+            hurt = matcher.match(events[0])
+            if not hurt.degraded:
+                fail("induced worker death did not degrade the in-flight match")
+            if not set(norm(hurt)) <= set(expected[0]):
+                fail("degraded result contains ids the oracle never matched")
+            dead = hurt.failed_shards[0]
+            if matcher.breaker_states()[dead] != "open":
+                fail(f"shard {dead} breaker did not open after the death")
+            print(f"  worker death: shard {dead} degraded and quarantined")
+
+            time.sleep(0.1)  # cool-down, then the half-open probe heals
+            healed = [matcher.match(e) for e in events]
+            if any(r.degraded for r in healed):
+                fail("results still degraded after the half-open respawn")
+            if [norm(r) for r in healed] != expected:
+                fail("post-heal results diverge from the oracle")
+            respawns = matcher._procpool.stats()["counters"]["respawns"]
+            if respawns != 1:
+                fail(f"expected exactly 1 respawn, pool counted {respawns}")
+            print("  respawn + replay: OK (1 respawn, oracle equality restored)")
+
+
+def main():
+    volume_stage()
+    chaos_stage()
+    print("procpool smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -52,7 +52,7 @@ from repro.io import (
 from repro.obs import MetricsRegistry, json_snapshot, prometheus_text, write_json_snapshot
 from repro.system.resilience import ADMISSION_POLICIES, DeadlineExceededError, ServerOverloadedError
 from repro.system.router import ROUTERS
-from repro.system.sharding import ShardedMatcher
+from repro.system.sharding import EXECUTORS, ShardedMatcher
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.scenarios import paper_workloads
 
@@ -90,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard placement/pruning policy (with --shards > 1)",
     )
     match.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="thread",
+        help="shard execution backend (with --shards > 1): 'process' runs "
+        "one worker process per shard for real multi-core matching",
+    )
+    match.add_argument(
         "--batch-size",
         type=int,
         default=1,
@@ -112,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--engine", choices=ENGINES, default="dynamic")
     stats.add_argument("--shards", type=int, default=1, metavar="N")
     stats.add_argument("--router", choices=sorted(ROUTERS), default="affinity")
+    stats.add_argument("--executor", choices=EXECUTORS, default="thread")
     stats.add_argument(
         "--format",
         choices=("prometheus", "json"),
@@ -154,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--engine", choices=ENGINES, default="dynamic")
     health.add_argument("--shards", type=int, default=1, metavar="N")
     health.add_argument("--router", choices=sorted(ROUTERS), default="affinity")
+    health.add_argument("--executor", choices=EXECUTORS, default="thread")
     health.add_argument("--workers", type=int, default=1, metavar="N")
     health.add_argument(
         "--queue-limit",
@@ -238,8 +247,16 @@ def _build_matcher(args: argparse.Namespace):
             shards=args.shards,
             router=args.router,
             inner=lambda: matcher_for(args.engine, spec),
+            executor=getattr(args, "executor", "thread"),
         )
     return matcher_for(args.engine, spec)
+
+
+def _close_matcher(matcher) -> None:
+    """Release engine resources (worker processes under --executor process)."""
+    close = getattr(matcher, "close", None)
+    if callable(close):
+        close()
 
 
 def _populate(matcher, subs) -> None:
@@ -257,6 +274,7 @@ def _snapshot_context(args: argparse.Namespace, events: int) -> dict:
         "command": args.command,
         "engine": args.engine,
         "shards": args.shards,
+        "executor": getattr(args, "executor", "thread"),
         "events": events,
     }
 
@@ -284,6 +302,7 @@ def _cmd_match(args: argparse.Namespace, out) -> int:
         write_json_snapshot(
             registry, args.metrics_out, context=_snapshot_context(args, len(events))
         )
+    _close_matcher(matcher)
     return 0
 
 
@@ -302,6 +321,7 @@ def _cmd_stats(args: argparse.Namespace, out) -> int:
         out.write(prometheus_text(registry))
     if args.metrics_out:
         write_json_snapshot(registry, args.metrics_out, context=context)
+    _close_matcher(matcher)
     return 0
 
 
@@ -352,6 +372,7 @@ def _cmd_health(args: argparse.Namespace, out) -> int:
             router=args.router,
             inner=lambda: matcher_for(args.engine, spec),
             breaker=True,
+            executor=args.executor,
         )
     else:
         matcher = matcher_for(args.engine, spec)

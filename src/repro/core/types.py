@@ -148,6 +148,12 @@ class Predicate:
     def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("Predicate is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks pickle's default slot restore, so
+        # rebuild through the constructor (revalidating on the way in —
+        # the process-pool workers deserialize untrusted-ish pipe data).
+        return (Predicate, (self.attribute, self.operator, self.value))
+
     def matches(self, event_value: Value) -> bool:
         """Does ``event_value relop self.value`` hold?
 
@@ -293,6 +299,12 @@ class Subscription:
     def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("Subscription is immutable")
 
+    def __reduce__(self):
+        # See Predicate.__reduce__: constructor-based pickling keeps the
+        # slots-plus-immutability combination transportable across
+        # process boundaries (the shard-per-process executor relies on it).
+        return (Subscription, (self.id, self.predicates))
+
     @property
     def size(self) -> int:
         """Number of (distinct) predicates — the paper's cluster size key."""
@@ -425,6 +437,10 @@ class Event:
 
     def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("Event is immutable")
+
+    def __reduce__(self):
+        # See Predicate.__reduce__.
+        return (Event, (self.pairs,))
 
     @property
     def schema(self) -> frozenset:

@@ -25,6 +25,7 @@ from repro.system.recovery import (
     recover,
     recover_files,
 )
+from repro.system.procpool import ProcessPool, ProcessShard
 from repro.system.resilience import (
     ADMISSION_POLICIES,
     BREAKER_CLOSED,
@@ -37,9 +38,11 @@ from repro.system.resilience import (
     RetryPolicy,
     RetryingClient,
     ServerOverloadedError,
+    WorkerDiedError,
+    WorkerStateError,
 )
 from repro.system.server import BatchReply, BatchServer, ServerClosedError
-from repro.system.sharding import ShardedMatcher
+from repro.system.sharding import EXECUTORS, ShardedMatcher
 from repro.system.snapshot import (
     SnapshotError,
     SnapshotRecord,
@@ -61,10 +64,13 @@ __all__ = [
     "CircuitBreaker",
     "Clock",
     "DeadlineExceededError",
+    "EXECUTORS",
     "EventStore",
     "FSYNC_POLICIES",
     "HashRouter",
     "PartialResults",
+    "ProcessPool",
+    "ProcessShard",
     "ROUTERS",
     "RecoveryError",
     "RecoveryReport",
@@ -88,6 +94,8 @@ __all__ = [
     "SystemClock",
     "VirtualClock",
     "WalError",
+    "WorkerDiedError",
+    "WorkerStateError",
     "WriteAheadLog",
     "load_snapshot",
     "make_router",

@@ -376,3 +376,24 @@ class PubSubBroker:
         if self.wal is not None:
             out["wal"] = self.wal.stats()
         return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine resources (idempotent).
+
+        Matters for engines with real resources behind them — the
+        sharded matcher's fan-out pool and, under ``executor="process"``,
+        its shard worker processes.  The WAL (if attached) stays open:
+        its lifetime belongs to whoever attached it.
+        """
+        close = getattr(self.matcher, "close", None)
+        if callable(close):
+            close()
+
+    def __enter__(self) -> "PubSubBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

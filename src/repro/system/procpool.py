@@ -1,0 +1,719 @@
+"""Process-per-shard execution backend for the sharded matcher.
+
+The paper's premise is matching "as fast as the hardware allows", but a
+thread-based :class:`~repro.system.sharding.ShardedMatcher` is
+GIL-capped at roughly one core of matching work.  This module makes the
+parallelism literal: one **worker process per shard**, each owning a
+private matcher instance, fed over an ordered duplex pipe and answering
+on the same pipe — so the existing fan-out thread pool blocks in
+``recv`` (releasing the GIL) while N workers match concurrently on N
+cores.
+
+Design contract (pinned by ``tests/system/test_procpool_conformance.py``
+and ``tests/properties/test_prop_procpool.py``):
+
+* **One ordered command pipe per worker.**  Subscription mutations and
+  event batches travel through the *same* pipe, strictly
+  request/response, so every worker observes exactly the operation
+  sequence its parent issued — the property the determinism tests pin.
+  The parent mirrors each worker's subscription table by applying the
+  same sequence locally; the mirror is the replay source after a
+  crash and the id table for decoding packed match results.
+* **Epoch checking.**  Every reply carries the worker's mutation epoch;
+  a mismatch against the parent's mirror epoch (a lost command, a
+  corrupted pipe) raises :class:`~repro.system.resilience.WorkerStateError`
+  instead of silently decoding match bits against the wrong id table.
+* **Worker death is a shard failure, not a crash.**  A dead or hung
+  worker surfaces as :class:`~repro.system.resilience.WorkerDiedError`
+  from that one call; the *next* call through the shard transparently
+  respawns the worker, replays its subscriptions from the mirror, and
+  proceeds.  Under ``breaker=`` the sharded layer therefore gets the
+  issue lifecycle for free: death trips the breaker, events skip the
+  shard (degraded ``PartialResults``), and the half-open probe is what
+  respawns and re-converges it.
+* **Numpy transport with a pickle fallback.**  Event batches whose
+  values are all float64-exact numbers cross the pipe as columnar
+  arrays plus packed presence/int-ness bit rows, and match results
+  return as a packed uint64 (events × shard-subscriptions) bit matrix —
+  both reusing :mod:`repro.batch.bitmatrix`'s layout.  Strings, NaN-free
+  oversized ints and other odd-path values fall back to pickling the
+  objects themselves (the core types pickle via their constructors).
+
+Worker lifecycle: spawn → warm-up handshake (the worker builds its
+matcher and reports its name/pid, so factory failures surface at
+construction) → serve → graceful ``stop`` on :meth:`ProcessPool.close`
+(abrupt ``terminate``/``kill`` for stragglers).  Metrics:
+``repro_procpool_workers`` (live workers), ``repro_procpool_respawns_total``
+(by shard) and ``repro_procpool_ipc_seconds`` (by op).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.batch.bitmatrix import pack_bits, unpack_bits
+from repro.core.errors import UnknownSubscriptionError
+from repro.core.matcher import Matcher
+from repro.core.types import Event, Subscription
+from repro.obs.registry import MetricsRegistry
+from repro.system.resilience import WorkerDiedError, WorkerStateError
+
+#: Result/event transport codecs: ``auto`` packs bit matrices and
+#: columnar event batches when possible, ``pickle`` forces the object
+#: fallback everywhere (differential tests run both).
+CODECS = ("auto", "pickle")
+
+#: Largest integer float64 represents exactly; beyond it the columnar
+#: event encoding would silently round, so such batches take the
+#: pickle fallback (mirrors the batch kernel's odd-path split).
+_EXACT_INT_LIMIT = 2**53
+
+#: Poll granularity while waiting on a worker reply.  ``Connection.poll``
+#: returns the instant data arrives; this only bounds how often worker
+#: liveness is re-checked, so death never turns into a hang.
+_POLL_SECONDS = 0.02
+
+#: IPC op label values (the ``repro_procpool_ipc_seconds`` label set).
+_IPC_OPS = ("mutate", "match", "batch", "control")
+
+
+# ----------------------------------------------------------------------
+# wire codecs (shared by parent and worker)
+# ----------------------------------------------------------------------
+def encode_events(events: Sequence[Event], codec: str = "auto") -> Tuple[str, Any]:
+    """Encode an event batch for the pipe.
+
+    Returns ``("cols", attrs, values, presence, ints)`` — float64 value
+    matrix plus packed presence and was-int bit rows — when every value
+    is a float64-exact number, else ``("objs", list(events))``.
+    """
+    if codec == "auto" and events:
+        attrs: List[str] = []
+        seen: Dict[str, int] = {}
+        numeric = True
+        for event in events:
+            for attr, value in event.items():
+                if isinstance(value, str) or (
+                    isinstance(value, int) and abs(value) >= _EXACT_INT_LIMIT
+                ):
+                    numeric = False
+                    break
+                if attr not in seen:
+                    seen[attr] = len(attrs)
+                    attrs.append(attr)
+            if not numeric:
+                break
+        if numeric:
+            values = np.zeros((len(events), len(attrs)), dtype=np.float64)
+            presence = np.zeros((len(events), len(attrs)), dtype=bool)
+            ints = np.zeros((len(events), len(attrs)), dtype=bool)
+            for row, event in enumerate(events):
+                for attr, value in event.items():
+                    col = seen[attr]
+                    presence[row, col] = True
+                    values[row, col] = value
+                    ints[row, col] = isinstance(value, int)
+            return ("cols", attrs, values, pack_bits(presence), pack_bits(ints))
+    return ("objs", list(events))
+
+
+def decode_events(payload: Tuple[str, Any]) -> List[Event]:
+    """Inverse of :func:`encode_events`."""
+    if payload[0] == "objs":
+        return payload[1]
+    _tag, attrs, values, presence_packed, ints_packed = payload
+    n_attrs = len(attrs)
+    presence = unpack_bits(presence_packed, n_attrs)
+    ints = unpack_bits(ints_packed, n_attrs)
+    events = []
+    for row in range(values.shape[0]):
+        pairs: Dict[str, Any] = {}
+        for col in np.nonzero(presence[row])[0]:
+            value = float(values[row, col])
+            pairs[attrs[col]] = int(value) if ints[row, col] else value
+        events.append(Event(pairs))
+    return events
+
+
+def encode_results(
+    lists: List[List[Any]], index_of: Dict[Any, int], codec: str = "auto"
+) -> Tuple[str, Any]:
+    """Encode per-event match lists as a packed bit matrix over the
+    worker's id table (``("bits", packed)``), or the lists themselves."""
+    if codec == "auto" and index_of:
+        truth = np.zeros((len(lists), len(index_of)), dtype=bool)
+        try:
+            for row, ids in enumerate(lists):
+                for sub_id in ids:
+                    truth[row, index_of[sub_id]] = True
+        except KeyError:
+            # An id outside the registry (an exotic wrapper): fall back.
+            return ("lists", [list(ids) for ids in lists])
+        return ("bits", pack_bits(truth))
+    return ("lists", [list(ids) for ids in lists])
+
+
+def decode_results(payload: Tuple[str, Any], table: List[Any]) -> List[List[Any]]:
+    """Inverse of :func:`encode_results`, against the parent's mirror table."""
+    if payload[0] == "lists":
+        return payload[1]
+    truth = unpack_bits(payload[1], len(table))
+    return [[table[col] for col in np.nonzero(row)[0]] for row in truth]
+
+
+# ----------------------------------------------------------------------
+# the worker process
+# ----------------------------------------------------------------------
+def _send(conn, status: str, value: Any) -> None:
+    try:
+        conn.send((status, value))
+    except (ValueError, TypeError, AttributeError, ImportError):
+        # Unpicklable payload (odd exception state): degrade to a
+        # message-preserving stand-in rather than wedging the pipe.
+        conn.send(("err", RuntimeError(f"unpicklable worker reply: {value!r}")))
+
+
+def worker_main(conn, factory: Callable[[], Matcher], codec: str) -> None:
+    """Serve one shard's matcher over *conn* until EOF or ``stop``.
+
+    Exposed (not underscore-private) because ``spawn``/``forkserver``
+    start methods must import it by qualified name.
+    """
+    try:
+        matcher = factory()
+    except BaseException as exc:
+        _send(conn, "err", exc)
+        conn.close()
+        return
+    _send(conn, "ok", {"name": getattr(matcher, "name", "?"), "pid": os.getpid()})
+    live: Dict[Any, None] = {}  # insertion-ordered live sub ids
+    epoch = 0
+    index_of: Optional[Dict[Any, int]] = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg[0]
+        try:
+            if op == "batch":
+                events = decode_events(msg[1])
+                lists = matcher.match_batch(events)
+                if index_of is None:
+                    index_of = {sub_id: i for i, sub_id in enumerate(live)}
+                reply: Any = (epoch, encode_results(lists, index_of, codec))
+            elif op == "match":
+                reply = (epoch, list(matcher.match(msg[1])))
+            elif op == "add":
+                matcher.add(msg[1])
+                live[msg[1].id] = None
+                epoch += 1
+                index_of = None
+                reply = epoch
+            elif op == "remove":
+                matcher.remove(msg[1])
+                live.pop(msg[1], None)
+                epoch += 1
+                index_of = None
+                reply = epoch
+            elif op == "rebuild":
+                rebuild = getattr(matcher, "rebuild", None)
+                if callable(rebuild):
+                    rebuild()
+                reply = True
+            elif op == "stats":
+                reply = matcher.stats()
+            elif op == "ping":
+                reply = epoch
+            elif op == "stop":
+                _send(conn, "ok", True)
+                break
+            else:
+                raise RuntimeError(f"unknown worker command {op!r}")
+        except Exception as exc:
+            _send(conn, "err", exc)
+        else:
+            _send(conn, "ok", reply)
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# the parent-side pool
+# ----------------------------------------------------------------------
+class _Worker:
+    """Parent-side record of one live worker process."""
+
+    __slots__ = ("process", "conn", "name", "pid", "dead")
+
+    def __init__(self, process, conn, name: str, pid: int) -> None:
+        self.process = process
+        self.conn = conn
+        self.name = name
+        self.pid = pid
+        self.dead = False
+
+
+class ProcessPool:
+    """N worker processes, one per shard, each serving one matcher.
+
+    ``request_timeout`` bounds any single IPC round trip: a worker that
+    stops answering (a deadlocked inner engine, a wedged pipe) is killed
+    and reported as :class:`WorkerDiedError` instead of hanging the
+    caller — the executor-level deadlock guard the chaos suite leans on.
+    ``start_method`` defaults to ``fork`` where available (factories may
+    be closures); pass ``spawn``/``forkserver`` with picklable factories
+    for platforms without fork.
+    """
+
+    def __init__(
+        self,
+        factories: Sequence[Callable[[], Matcher]],
+        start_method: Optional[str] = None,
+        request_timeout: Optional[float] = None,
+        codec: str = "auto",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not factories:
+            raise ValueError("a process pool needs at least one shard factory")
+        if codec not in CODECS:
+            raise ValueError(f"unknown codec {codec!r}; known: {CODECS}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request timeout must be positive seconds, got {request_timeout}"
+            )
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.request_timeout = request_timeout
+        self.codec = codec
+        self._factories = list(factories)
+        self._workers: List[Optional[_Worker]] = [None] * len(factories)
+        self._closed = False
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._bind_metrics()
+        for index in range(len(factories)):
+            self.spawn(index)
+
+    # -- observability --------------------------------------------------
+    def _bind_metrics(self) -> None:
+        m = self.metrics
+        self._m_workers = m.gauge(
+            "repro_procpool_workers", "Live shard worker processes."
+        ).labels()
+        respawns = m.counter(
+            "repro_procpool_respawns_total",
+            "Worker respawns after a death, by shard.",
+            ("shard",),
+        )
+        self._m_respawns = [
+            respawns.labels(shard=str(i)) for i in range(len(self._factories))
+        ]
+        ipc = m.histogram(
+            "repro_procpool_ipc_seconds",
+            "Round-trip latency of one worker pipe request, by op.",
+            ("op",),
+        )
+        self._m_ipc = {op: ipc.labels(op=op) for op in _IPC_OPS}
+        self._m_workers.set(self.alive_count())
+
+    def use_metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Attach a (shared) registry and rebind the pool families."""
+        self.metrics = MetricsRegistry() if registry is None else registry
+        self._bind_metrics()
+        return self.metrics
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Configured worker count (== shard count)."""
+        return len(self._factories)
+
+    def alive(self, index: int) -> bool:
+        """Is shard *index*'s worker up and trusted?"""
+        worker = self._workers[index]
+        return worker is not None and not worker.dead and worker.process.is_alive()
+
+    def alive_count(self) -> int:
+        """Workers currently up."""
+        return sum(self.alive(i) for i in range(len(self._factories)))
+
+    def worker_pid(self, index: int) -> Optional[int]:
+        """OS pid of shard *index*'s worker (None when down)."""
+        worker = self._workers[index]
+        return None if worker is None else worker.pid
+
+    def spawn(self, index: int) -> None:
+        """Start (or restart) shard *index*'s worker and run the warm-up
+        handshake; raises the factory's own error if construction fails."""
+        if self._closed:
+            raise WorkerDiedError("process pool is closed", shard=index)
+        self._reap(index)
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self._factories[index], self.codec),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        process.start()
+        child_conn.close()  # EOF detection needs the parent copy gone
+        worker = _Worker(process, parent_conn, "?", process.pid or -1)
+        try:
+            status, value = self._recv(worker, index)
+        except WorkerDiedError:
+            self._m_workers.set(self.alive_count())
+            raise
+        if status == "err":
+            process.join(timeout=1.0)
+            parent_conn.close()
+            raise value
+        worker.name = value.get("name", "?")
+        worker.pid = value.get("pid", worker.pid)
+        self._workers[index] = worker
+        self._m_workers.set(self.alive_count())
+
+    def respawn(self, index: int) -> None:
+        """Replace a dead worker (counted in ``repro_procpool_respawns_total``)."""
+        self.spawn(index)
+        self._m_respawns[index].inc()
+
+    def note_death(self, index: int) -> None:
+        """Mark shard *index*'s worker untrusted and reclaim its process."""
+        worker = self._workers[index]
+        if worker is not None:
+            worker.dead = True
+        self._reap(index)
+        self._m_workers.set(self.alive_count())
+
+    def _reap(self, index: int) -> None:
+        worker = self._workers[index]
+        if worker is None:
+            return
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stubborn child
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        self._workers[index] = None
+
+    def close(self) -> None:
+        """Stop every worker: graceful ``stop`` first, then terminate."""
+        if self._closed:
+            return
+        self._closed = True
+        for index, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            if not worker.dead and worker.process.is_alive():
+                try:
+                    worker.conn.send(("stop",))
+                    worker.process.join(timeout=2.0)
+                except (OSError, ValueError):
+                    pass
+            self._reap(index)
+        self._m_workers.set(0)
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the request/response hop --------------------------------------
+    def request(self, index: int, message: Tuple, op: str = "control") -> Any:
+        """One ordered round trip to shard *index*'s worker.
+
+        Returns the worker's ``("ok", value)`` / ``("err", exc)`` tuple;
+        raises :class:`WorkerDiedError` (after marking the worker dead)
+        if the worker exits, the pipe breaks, or the reply exceeds
+        ``request_timeout``.
+        """
+        worker = self._workers[index]
+        if worker is None or worker.dead:
+            raise WorkerDiedError(f"shard {index} has no live worker", shard=index)
+        start = time.perf_counter()
+        try:
+            worker.conn.send(message)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            self.note_death(index)
+            raise WorkerDiedError(
+                f"shard {index} worker pipe broke on send: {exc}", shard=index
+            ) from exc
+        reply = self._recv(worker, index)
+        self._m_ipc[op if op in self._m_ipc else "control"].observe(
+            time.perf_counter() - start
+        )
+        return reply
+
+    def request_many(
+        self,
+        index: int,
+        messages: Sequence[Tuple],
+        op: str = "control",
+        window: int = 32,
+    ) -> List[Tuple[str, Any]]:
+        """Pipelined round trips: up to *window* requests in flight.
+
+        The command pipe is ordered and the worker serves strictly in
+        sequence, so writing ahead of the replies changes nothing about
+        *what* the worker computes — it only hides the per-message pipe
+        latency (one scheduler hand-off per window instead of one per
+        request).  The *window* bound keeps the reply direction drained
+        so neither pipe buffer can fill and deadlock.
+
+        Always drains one reply per message before returning, even when
+        an early reply is ``("err", exc)`` — an undrained successor
+        would desynchronize the next request on this pipe.  Worker death
+        raises :class:`WorkerDiedError` exactly as :meth:`request` does.
+        """
+        worker = self._workers[index]
+        if worker is None or worker.dead:
+            raise WorkerDiedError(f"shard {index} has no live worker", shard=index)
+        messages = list(messages)
+        replies: List[Tuple[str, Any]] = []
+        start = time.perf_counter()
+        sent = 0
+        while len(replies) < len(messages):
+            try:
+                while sent < len(messages) and sent - len(replies) < window:
+                    worker.conn.send(messages[sent])
+                    sent += 1
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                self.note_death(index)
+                raise WorkerDiedError(
+                    f"shard {index} worker pipe broke mid-stream: {exc}",
+                    shard=index,
+                ) from exc
+            replies.append(self._recv(worker, index))
+        if messages:
+            hist = self._m_ipc[op if op in self._m_ipc else "control"]
+            share = (time.perf_counter() - start) / len(messages)
+            for _ in messages:
+                hist.observe(share)
+        return replies
+
+    def _recv(self, worker: _Worker, index: int) -> Any:
+        deadline = (
+            None
+            if self.request_timeout is None
+            else time.monotonic() + self.request_timeout
+        )
+        while True:
+            try:
+                if worker.conn.poll(_POLL_SECONDS):
+                    return worker.conn.recv()
+            except (EOFError, OSError) as exc:
+                self.note_death(index)
+                raise WorkerDiedError(
+                    f"shard {index} worker died mid-request: {exc}", shard=index
+                ) from exc
+            if not worker.process.is_alive():
+                # Drain a reply that raced the exit before declaring death.
+                try:
+                    if worker.conn.poll(0):
+                        return worker.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                self.note_death(index)
+                raise WorkerDiedError(
+                    f"shard {index} worker (pid {worker.pid}) died mid-request",
+                    shard=index,
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                self.note_death(index)
+                raise WorkerDiedError(
+                    f"shard {index} worker (pid {worker.pid}) exceeded the "
+                    f"{self.request_timeout}s request timeout",
+                    shard=index,
+                )
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serializable pool snapshot (same contract as matchers)."""
+        return {
+            "name": "procpool",
+            "workers": len(self._factories),
+            "alive": self.alive_count(),
+            "start_method": self.start_method,
+            "codec": self.codec,
+            "request_timeout": self.request_timeout,
+            "counters": {
+                "respawns": int(sum(c.value for c in self._m_respawns)),
+                "ipc_requests": int(
+                    sum(h.count for h in self._m_ipc.values())
+                ),
+                "ipc_seconds": float(
+                    sum(h.sum for h in self._m_ipc.values())
+                ),
+            },
+        }
+
+
+class ProcessShard(Matcher):
+    """Matcher-shaped proxy for one shard's worker process.
+
+    Drops into :class:`~repro.system.sharding.ShardedMatcher` exactly
+    where an inner engine would sit, so routing, per-shard locking,
+    breakers and the deterministic merge order all apply unchanged.
+    Keeps the authoritative subscription mirror (the replay source and
+    result-decoding id table) on the parent side; every call transits
+    the worker's ordered command pipe through :meth:`ProcessPool.request`.
+
+    Self-healing: if the worker is marked dead, the next call respawns
+    it and replays the mirror *before* sending — which is precisely the
+    half-open probe's job when a breaker quarantines the shard.
+    """
+
+    thread_safe = False  # the sharded layer serializes per-shard access
+
+    def __init__(self, pool: ProcessPool, index: int) -> None:
+        self.pool = pool
+        self.index = index
+        self._mirror: Dict[Any, Subscription] = {}
+        self._epoch = 0
+        self._table: Optional[List[Any]] = None
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        worker = self.pool._workers[self.index]
+        return worker.name if worker is not None else "process-shard"
+
+    @property
+    def epoch(self) -> int:
+        """The parent-side mutation epoch (mirrors the worker's)."""
+        return self._epoch
+
+    # -- plumbing -------------------------------------------------------
+    def _call(self, message: Tuple, op: str) -> Any:
+        if not self.pool.alive(self.index):
+            self._heal()
+        status, value = self.pool.request(self.index, message, op)
+        if status == "err":
+            raise value
+        return value
+
+    def _heal(self) -> None:
+        """Respawn the worker and replay the subscription mirror."""
+        self.pool.respawn(self.index)
+        for sub in self._mirror.values():
+            status, value = self.pool.request(self.index, ("add", sub), "mutate")
+            if status == "err":
+                raise value
+        # A fresh worker's epoch counts only the replayed adds.
+        self._epoch = len(self._mirror)
+        self._table = None
+
+    def _check_epoch(self, worker_epoch: int) -> None:
+        if worker_epoch != self._epoch:
+            self.pool.note_death(self.index)
+            raise WorkerStateError(
+                f"shard {self.index} worker answered with epoch {worker_epoch}, "
+                f"parent mirror is at {self._epoch}",
+                shard=self.index,
+            )
+
+    def _id_table(self) -> List[Any]:
+        if self._table is None:
+            self._table = list(self._mirror)
+        return self._table
+
+    # -- the Matcher surface --------------------------------------------
+    def add(self, subscription: Subscription) -> None:
+        worker_epoch = self._call(("add", subscription), "mutate")
+        self._mirror[subscription.id] = subscription
+        self._epoch += 1
+        self._table = None
+        self._check_epoch(worker_epoch)
+
+    def remove(self, sub_id: Any) -> Subscription:
+        worker_epoch = self._call(("remove", sub_id), "mutate")
+        subscription = self._mirror.pop(sub_id)
+        self._epoch += 1
+        self._table = None
+        self._check_epoch(worker_epoch)
+        return subscription
+
+    def match(self, event: Event) -> List[Any]:
+        worker_epoch, ids = self._call(("match", event), "match")
+        self._check_epoch(worker_epoch)
+        return ids
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
+        events = list(events)
+        if not events:
+            return []
+        payload = encode_events(events, self.pool.codec)
+        worker_epoch, results = self._call(("batch", payload), "batch")
+        self._check_epoch(worker_epoch)
+        return decode_results(results, self._id_table())
+
+    def match_serial(self, events: Sequence[Event]) -> List[List[Any]]:
+        """Scalar-semantics stream: ``[self.match(e) for e in events]``.
+
+        One ``match`` command per event, pipelined through
+        :meth:`ProcessPool.request_many` so the per-event pipe latency
+        collapses to one hand-off per window.  Unlike :meth:`match_batch`
+        the worker runs its *scalar* matching path per event — the lane
+        whose cost tracks the resident population — so this is the
+        submission mode that shows horizontal partitioning directly.
+        """
+        events = list(events)
+        if not events:
+            return []
+        if not self.pool.alive(self.index):
+            self._heal()
+        replies = self.pool.request_many(
+            self.index, [("match", e) for e in events], "match"
+        )
+        out: List[List[Any]] = []
+        error: Optional[BaseException] = None
+        for status, value in replies:
+            if status == "err":
+                error = error or value
+                continue
+            worker_epoch, ids = value
+            self._check_epoch(worker_epoch)
+            out.append(ids)
+        if error is not None:
+            raise error
+        return out
+
+    def rebuild(self) -> None:
+        """Forward the build step to the worker's engine (if it has one)."""
+        self._call(("rebuild",), "control")
+
+    def get(self, sub_id: Any) -> Subscription:
+        """Mirror lookup (authoritative; works even while the worker is down)."""
+        try:
+            return self._mirror[sub_id]
+        except KeyError:
+            raise UnknownSubscriptionError(sub_id) from None
+
+    def iter_subscriptions(self) -> List[Subscription]:
+        return list(self._mirror.values())
+
+    def __len__(self) -> int:
+        return len(self._mirror)
+
+    def stats(self) -> Dict[str, Any]:
+        """The worker engine's stats, or a mirror-only view when down."""
+        try:
+            return self._call(("stats",), "control")
+        except WorkerDiedError:
+            return {
+                "name": self.name,
+                "subscriptions": len(self._mirror),
+                "counters": {},
+                "worker": "down",
+            }

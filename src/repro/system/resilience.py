@@ -69,6 +69,37 @@ class RetryBudgetExceededError(ReproError, RuntimeError):
     """
 
 
+class WorkerDiedError(ReproError, RuntimeError):
+    """A shard's worker process died (or stopped answering) mid-request.
+
+    Raised by the process execution backend
+    (:mod:`repro.system.procpool`) when a worker's pipe goes dead — the
+    process was killed, crashed, or exceeded the pool's per-request
+    timeout.  The :class:`~repro.system.sharding.ShardedMatcher` maps it
+    onto the same per-shard breaker/quarantine machinery as any other
+    shard failure: the breaker trips, events skip the shard (degraded
+    :class:`PartialResults`), and the half-open probe respawns the
+    worker and replays its subscriptions.
+    """
+
+    def __init__(self, message: str, shard: Optional[int] = None) -> None:
+        super().__init__(message)
+        #: Index of the shard whose worker died, when known.
+        self.shard = shard
+
+
+class WorkerStateError(WorkerDiedError):
+    """A worker answered with a stale registry epoch.
+
+    The parent mirrors every worker's subscription table by forwarding
+    mutations through the same ordered command pipe as event batches;
+    each reply carries the worker's mutation epoch so a desynchronized
+    worker (a lost command, a corrupted pipe) is *detected* instead of
+    silently decoding match bits against the wrong id table.  Treated
+    exactly like a dead worker: the next use respawns and replays.
+    """
+
+
 class PartialResults(list):
     """A match-result list that knows whether it is complete.
 

@@ -401,8 +401,16 @@ class BatchServer:
             states = breaker_states()
             if states is not None:
                 breakers = {str(shard): state for shard, state in states.items()}
+        executor: Optional[Dict[str, Any]] = None
+        executor_health = getattr(self.matcher, "executor_health", None)
+        if callable(executor_health):
+            executor = executor_health()
         status = "ok"
         if breakers and any(s != BREAKER_CLOSED for s in breakers.values()):
+            status = "degraded"
+        if executor is not None and executor["alive"] < executor["workers"]:
+            # A dead shard worker not yet probed back to life degrades
+            # the stack even before its breaker notices.
             status = "degraded"
         if self._closed:
             status = "closed"
@@ -416,6 +424,7 @@ class BatchServer:
             "shed": shed,
             "subscriptions": len(self.matcher),
             "breakers": breakers,
+            "executor": executor,
         }
         if self.wal is not None:
             wal_stats = self.wal.stats()

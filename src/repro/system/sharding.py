@@ -46,6 +46,21 @@ overflow shards are always probed).  After the breaker's cool-down the
 next event runs a half-open probe through the shard; success heals it.
 Without ``breaker`` (the default) behaviour is exactly the pre-quarantine
 contract: inner-engine exceptions propagate to the caller.
+
+Execution backends (``executor=``; see ``docs/scaling.md``): the default
+``"thread"`` executor keeps every inner engine in-process and is
+GIL-capped at roughly one core of matching work.  ``"process"`` places
+each shard's engine in its own worker process
+(:class:`~repro.system.procpool.ProcessShard` over a
+:class:`~repro.system.procpool.ProcessPool`), making the fan-out
+parallelism literal: the thread pool blocks in pipe ``recv`` (releasing
+the GIL) while N workers match on N cores.  Everything above the shard
+boundary — routing, per-shard locks, breakers, the deterministic
+ascending-shard merge — is shared between both executors, and a dead
+worker surfaces as :class:`~repro.system.resilience.WorkerDiedError`,
+which the breaker machinery treats like any other shard failure:
+quarantine, degraded :class:`PartialResults`, respawn-and-replay on the
+half-open probe.
 """
 
 from __future__ import annotations
@@ -76,6 +91,9 @@ BreakerSpec = Union[None, bool, Dict[str, Any], Callable[[], CircuitBreaker]]
 #: algorithm name resolved through :func:`repro.matchers.make_matcher`.
 InnerSpec = Union[str, Callable[[], Matcher]]
 
+#: The execution backends ``executor=`` accepts.
+EXECUTORS = ("thread", "process")
+
 
 def _resolve_inner(inner: InnerSpec) -> Callable[[], Matcher]:
     if callable(inner):
@@ -103,6 +121,10 @@ class ShardedMatcher(Matcher):
         max_workers: Optional[int] = None,
         breaker: BreakerSpec = None,
         slow_match_seconds: Optional[float] = None,
+        executor: str = "thread",
+        start_method: Optional[str] = None,
+        worker_timeout: Optional[float] = None,
+        codec: str = "auto",
     ) -> None:
         if shards < 1:
             raise ValueError(f"shard count must be >= 1, got {shards}")
@@ -110,13 +132,32 @@ class ShardedMatcher(Matcher):
             raise ValueError(
                 f"slow-match threshold must be positive, got {slow_match_seconds}"
             )
+        if executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; known: {EXECUTORS}")
         self.router = router if isinstance(router, ShardRouter) else make_router(router, shards)
         if self.router.shards != shards:
             raise ValueError(
                 f"router built for {self.router.shards} shards, matcher has {shards}"
             )
         factory = _resolve_inner(inner)
-        self._shards: List[Matcher] = [factory() for _ in range(shards)]
+        self.executor = executor
+        self._procpool = None
+        if executor == "process":
+            # Imported lazily: the process backend pulls in numpy (for
+            # the bit-matrix transport), which the thread path never needs.
+            from repro.system.procpool import ProcessPool, ProcessShard
+
+            self._procpool = ProcessPool(
+                [factory] * shards,
+                start_method=start_method,
+                request_timeout=worker_timeout,
+                codec=codec,
+            )
+            self._shards: List[Matcher] = [
+                ProcessShard(self._procpool, index) for index in range(shards)
+            ]
+        else:
+            self._shards = [factory() for _ in range(shards)]
         self._shard_locks = [threading.Lock() for _ in range(shards)]
         self._meta = threading.RLock()
         self._shard_of: Dict[Any, int] = {}
@@ -234,6 +275,8 @@ class ShardedMatcher(Matcher):
         for index, inner in enumerate(self._shards):
             inner.metrics_shard = str(index)
             inner.use_metrics(registry)
+        if self._procpool is not None:
+            self._procpool.use_metrics(registry)
         return registry
 
     def use_tracer(self, tracer: Optional[Tracer] = None) -> Tracer:
@@ -295,11 +338,34 @@ class ShardedMatcher(Matcher):
             return out
 
     def close(self) -> None:
-        """Shut down the fan-out thread pool (idempotent)."""
+        """Shut down the fan-out thread pool and any worker processes
+        (idempotent)."""
         with self._meta:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if self._procpool is not None:
+            self._procpool.close()
+
+    def executor_health(self) -> Dict[str, Any]:
+        """Executor liveness for health endpoints.
+
+        The thread executor is always fully "alive"; the process
+        executor reports configured vs. live workers (a gap means a
+        worker died and has not yet been probed back to life).
+        """
+        if self._procpool is None:
+            return {
+                "executor": "thread",
+                "workers": len(self._shards),
+                "alive": len(self._shards),
+            }
+        return {
+            "executor": "process",
+            "workers": self._procpool.workers,
+            "alive": self._procpool.alive_count(),
+            "start_method": self._procpool.start_method,
+        }
 
     def __enter__(self) -> "ShardedMatcher":
         return self
@@ -452,6 +518,79 @@ class ShardedMatcher(Matcher):
         else:
             results = [
                 self._match_shard_batch(s, [events[r] for r in rows_of[s]])
+                for s in probe
+            ]
+        merged_at = time.perf_counter()
+        for s, per_event in zip(probe, results):
+            for r, ids in zip(rows_of[s], per_event):
+                out[r].extend(ids)
+        done = time.perf_counter()
+        with self._meta:
+            self._m_fanout_seconds.observe(merged_at - start)
+            self._m_merge_seconds.observe(done - merged_at)
+        return out
+
+    def _match_shard_serial(
+        self, shard: int, events: List[Event]
+    ) -> List[List[Any]]:
+        inner = self._shards[shard]
+        with self._shard_locks[shard]:
+            serial = getattr(inner, "match_serial", None)
+            if callable(serial):
+                return serial(events)
+            return [inner.match(e) for e in events]
+
+    def match_serial(self, events: Sequence[Event]) -> List[List[Any]]:
+        """Scalar-semantics sequence matching with the IPC latency hidden.
+
+        Result-identical to ``[self.match(e) for e in events]`` (each
+        event is matched by the inner engines' *scalar* path), but
+        events are first routed and grouped per shard exactly as
+        :meth:`match_batch` groups them, and each probed shard receives
+        its events as one pipelined burst of ``match`` commands on the
+        process executor (a plain loop on the thread executor).  Per-
+        event results merge in ascending shard order — the same
+        deterministic contract as the scalar and batch paths.  Breaker
+        mode and tracing fall back to the per-event path.
+        """
+        events = list(events)
+        if not events:
+            return []
+        if self._breakers is not None or self.tracer.enabled:
+            return [self.match(e) for e in events]
+        rows_of: Dict[int, List[int]] = {}
+        skipped = 0
+        with self._meta:
+            for row, event in enumerate(events):
+                candidates = sorted(
+                    s
+                    for s in set(self.router.candidate_shards(event))
+                    if self._population[s]
+                )
+                skipped += len(self._shards) - len(candidates)
+                for s in candidates:
+                    rows_of.setdefault(s, []).append(row)
+            self._m_events.inc(len(events))
+            self._m_skipped.inc(skipped)
+            for s, rows in rows_of.items():
+                self._m_visits[s].inc(len(rows))
+        out: List[List[Any]] = [[] for _ in events]
+        probe = sorted(rows_of)
+        if not probe:
+            return out
+        start = time.perf_counter()
+        if self._parallel and len(probe) > 1:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(
+                    self._match_shard_serial, s, [events[r] for r in rows_of[s]]
+                )
+                for s in probe
+            ]
+            results = [f.result() for f in futures]
+        else:
+            results = [
+                self._match_shard_serial(s, [events[r] for r in rows_of[s]])
                 for s in probe
             ]
         merged_at = time.perf_counter()
@@ -628,6 +767,9 @@ class ShardedMatcher(Matcher):
             base["shards"] = len(self._shards)
             base["inner"] = self._shards[0].name
             base["parallel"] = self._parallel
+            base["executor"] = self.executor
+            if self._procpool is not None:
+                base["procpool"] = self._procpool.stats()
             base["per_shard_subscriptions"] = list(self._population)
             base["per_shard_events_routed"] = [c.value for c in self._m_visits]
             base["counters"] = self.counters

@@ -20,6 +20,13 @@ models:
 * :class:`SlowMatcher` — a matcher wrapper that sleeps before
   delegating, modeling a degraded/overloaded shard or a matcher that
   keeps a server worker busy long enough for its queue to fill.
+* :class:`KillableWorker` + :func:`killable_worker` — a matcher wrapper
+  that SIGKILLs **its own process** at the Nth listed operation,
+  modeling a shard worker dying mid-request under the process executor
+  (``executor="process"``).  A filesystem latch makes the kill one-shot:
+  the first worker constructed against the latch path arms and dies;
+  the respawned worker finds the latch already present and stays
+  disarmed, so chaos tests re-converge deterministically.
 
 Fault-file damage leaves real bytes on disk for recovery to chew on,
 which is the point: the property suite asserts that *whatever* the
@@ -32,8 +39,10 @@ healthy part of the system keeps returning correct results.
 from __future__ import annotations
 
 import math
+import os
+import signal
 import time
-from typing import IO, Any, Callable, Dict, List, Sequence
+from typing import IO, Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.matcher import Matcher
 from repro.core.types import Event, Subscription
@@ -286,3 +295,116 @@ class SlowMatcher(_MatcherWrapper):
     def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
         self._maybe_stall("match")
         return self.inner.match_batch(events)
+
+
+class KillableWorker(_MatcherWrapper):
+    """A matcher that SIGKILLs its own process at the Nth listed op.
+
+    The real-death counterpart of :class:`FlakyMatcher`: instead of
+    raising a catchable exception it takes the whole worker process
+    down, the way an OOM kill or a segfault would — the failure mode the
+    process executor's chaos suite must survive (degraded
+    ``PartialResults``, breaker quarantine, respawn-and-replay).
+
+    ``die_at`` counts listed operations (1-based: ``die_at=3`` dies on
+    the third); a ``match_batch`` counts as one "match", and the kill
+    fires *after* the inner engine has matched — mid-request from the
+    parent's point of view, so the reply is genuinely lost in flight.
+
+    Two guards make the chaos deterministic:
+
+    * ``guard_pid`` — if the wrapper finds itself running in that
+      process (normally the test process, captured by
+      :func:`killable_worker`), it raises :class:`InjectedFault` instead
+      of killing, so a mis-wired test dies loudly rather than killing
+      the pytest run.
+    * ``latch_path`` — armed only by the construction that *creates*
+      the latch file (``O_CREAT | O_EXCL``).  The first worker spawned
+      from the factory arms and eventually dies; the respawned worker
+      finds the latch present, stays disarmed, and serves forever.
+    """
+
+    def __init__(
+        self,
+        inner: Matcher,
+        die_at: int = 1,
+        operations: Sequence[str] = ("match",),
+        guard_pid: Optional[int] = None,
+        latch_path: Optional[str] = None,
+    ) -> None:
+        super().__init__(inner)
+        if die_at < 1:
+            raise ValueError(f"die_at counts operations from 1, got {die_at}")
+        self.die_at = die_at
+        self.operations = _check_ops(operations)
+        self.guard_pid = guard_pid
+        self.armed = True
+        if latch_path is not None:
+            try:
+                os.close(os.open(latch_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                self.armed = False
+        #: Listed operations seen so far (survives disarming).
+        self.seen = 0
+
+    def _maybe_die(self, op: str) -> None:
+        if op not in self.operations:
+            return
+        self.seen += 1
+        if not self.armed or self.seen < self.die_at:
+            return
+        if self.guard_pid is not None and os.getpid() == self.guard_pid:
+            raise InjectedFault(
+                f"KillableWorker reached its {op} kill point inside the "
+                f"guarded process {self.guard_pid} (not a worker) — refusing "
+                "to SIGKILL it"
+            )
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def add(self, subscription: Subscription) -> None:
+        self.inner.add(subscription)
+        self._maybe_die("add")
+
+    def remove(self, sub_id: Any) -> Subscription:
+        out = self.inner.remove(sub_id)
+        self._maybe_die("remove")
+        return out
+
+    def match(self, event: Event) -> List[Any]:
+        out = self.inner.match(event)
+        self._maybe_die("match")
+        return out
+
+    def match_batch(self, events: Sequence[Event]) -> List[List[Any]]:
+        # One batch counts as one "match" operation toward die_at.
+        out = self.inner.match_batch(events)
+        self._maybe_die("match")
+        return out
+
+
+def killable_worker(
+    build: Callable[[], Matcher],
+    die_at: int = 1,
+    operations: Sequence[str] = ("match",),
+    latch_path: Optional[str] = None,
+):
+    """A shard factory whose first-spawned worker dies at the Nth op.
+
+    Wraps *build*'s matcher in a :class:`KillableWorker`, capturing the
+    **calling** process's pid as the guard — so the factory is safe to
+    hand to ``ShardedMatcher(executor="process", inner=...)``: only a
+    forked worker ever actually dies.  Pass a ``latch_path`` (a file
+    name in a test tmpdir) to make the kill one-shot across respawns.
+    """
+    parent_pid = os.getpid()
+
+    def factory() -> Matcher:
+        return KillableWorker(
+            build(),
+            die_at=die_at,
+            operations=operations,
+            guard_pid=parent_pid,
+            latch_path=latch_path,
+        )
+
+    return factory

@@ -21,12 +21,23 @@ WATCHDOG_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
 
 
 @pytest.fixture(autouse=True)
-def _watchdog():
-    """Fail a wedged test fast (stack dump + abort) instead of hanging."""
-    if WATCHDOG_SECONDS <= 0 or not hasattr(faulthandler, "dump_traceback_later"):
+def _watchdog(request):
+    """Fail a wedged test fast (stack dump + abort) instead of hanging.
+
+    A test may tighten (or loosen) its own budget with
+    ``@pytest.mark.watchdog(seconds)`` — the process-executor suites use
+    this so an IPC deadlock aborts in seconds, not minutes.  The
+    ``REPRO_TEST_TIMEOUT`` environment default still caps everything
+    else; 0 (from either source) disables the timer for that scope.
+    """
+    budget = WATCHDOG_SECONDS
+    marker = request.node.get_closest_marker("watchdog")
+    if marker is not None and marker.args:
+        budget = float(marker.args[0])
+    if budget <= 0 or not hasattr(faulthandler, "dump_traceback_later"):
         yield
         return
-    faulthandler.dump_traceback_later(WATCHDOG_SECONDS, exit=True)
+    faulthandler.dump_traceback_later(budget, exit=True)
     try:
         yield
     finally:

@@ -1,0 +1,117 @@
+"""Process-executor properties: determinism under interleaving and splits.
+
+For random interleavings of subscription churn and event batches, the
+process executor must produce exactly what a single-process scalar run
+of the same engine produces at every step (the ordered-command-pipe
+determinism contract), and its batch results must be invariant under
+batch splitting (the deterministic ascending-shard merge contract).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.matchers import make_matcher
+from repro.system.sharding import ShardedMatcher
+from tests.properties.strategies import events, subscriptions
+
+COMMON_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def norm(ids):
+    return sorted(ids, key=repr)
+
+
+def process_matcher(shards=2, codec="auto"):
+    return ShardedMatcher(
+        shards=shards,
+        router="hash",
+        inner=lambda: make_matcher("counting"),
+        executor="process",
+        worker_timeout=60.0,
+        codec=codec,
+    )
+
+
+#: One interleaving step: subscribe (a fresh sub), unsubscribe (an index
+#: into the already-added list), or a batch (a list of events).
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), subscriptions()),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=60)),
+        st.tuples(st.just("batch"), st.lists(events(), min_size=0, max_size=6)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestInterleavingDeterminism:
+    @COMMON_SETTINGS
+    @given(plan=steps, codec=st.sampled_from(["auto", "pickle"]))
+    def test_process_equals_scalar_at_every_step(self, plan, codec):
+        """Apply one random churn/batch interleaving to the process
+        executor and to a plain single-process engine; every batch's
+        results must agree, and so must the final subscription set."""
+        scalar = make_matcher("counting")
+        proc = process_matcher(codec=codec)
+        try:
+            live = []
+            seen = set()
+            for op, arg in plan:
+                if op == "add":
+                    if arg.id in seen:
+                        continue
+                    seen.add(arg.id)
+                    live.append(arg)
+                    scalar.add(arg)
+                    proc.add(arg)
+                elif op == "remove":
+                    if not live:
+                        continue
+                    victim = live.pop(arg % len(live))
+                    seen.discard(victim.id)
+                    assert proc.remove(victim.id) == scalar.remove(victim.id)
+                else:
+                    expected = [norm(scalar.match(e)) for e in arg]
+                    got = [norm(r) for r in proc.match_batch(arg)]
+                    assert got == expected
+            assert len(proc) == len(scalar)
+            assert sorted(s.id for s in proc.iter_subscriptions()) == sorted(
+                s.id for s in scalar.iter_subscriptions()
+            )
+        finally:
+            proc.close()
+
+
+@pytest.mark.slow
+class TestBatchSplitInvariance:
+    @COMMON_SETTINGS
+    @given(
+        subs=st.lists(subscriptions(), min_size=0, max_size=30),
+        evs=st.lists(events(), min_size=1, max_size=12),
+        cut=st.integers(min_value=0, max_value=12),
+        shards=st.sampled_from([1, 2, 3]),
+    )
+    def test_split_batches_merge_identically(self, subs, evs, cut, shards):
+        proc = process_matcher(shards=shards)
+        try:
+            seen = set()
+            for s in subs:
+                if s.id not in seen:
+                    seen.add(s.id)
+                    proc.add(s)
+            whole = [norm(r) for r in proc.match_batch(evs)]
+            cut = min(cut, len(evs))
+            halves = proc.match_batch(evs[:cut]) + proc.match_batch(evs[cut:])
+            assert [norm(r) for r in halves] == whole
+            singles = [norm(proc.match(e)) for e in evs]
+            assert singles == whole
+            serial = [norm(r) for r in proc.match_serial(evs)]
+            assert serial == whole
+        finally:
+            proc.close()

@@ -1,0 +1,249 @@
+"""Worker-death chaos for the process executor.
+
+The acceptance contract: SIGKILL-ing a shard worker mid-batch must yield
+a degraded ``PartialResults`` (never a hang, never wrong results), trip
+that shard's breaker into quarantine, and — after the cool-down — let
+the half-open probe respawn the worker, replay its subscriptions from
+the parent mirror, and re-converge exactly with the oracle.
+
+Deaths are injected with :class:`repro.testing.faults.KillableWorker`
+(the worker kills *itself* at the Nth matching operation, after the
+inner engine has matched but before the reply is sent — a genuine
+mid-request loss), armed one-shot through a filesystem latch so the
+respawned worker stays alive and the tests are deterministic.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import Event, Subscription, eq
+from repro.matchers import make_matcher
+from repro.system.resilience import PartialResults, WorkerDiedError
+from repro.system.sharding import ShardedMatcher
+from repro.testing.faults import killable_worker
+
+SHARDS = 2
+
+
+def norm(ids):
+    return sorted(ids, key=repr)
+
+
+def workload(n_subs=40, n_events=12):
+    subs = [Subscription(f"s{i}", [eq("x", i % 5)]) for i in range(n_subs)]
+    events = [Event({"x": i % 5, "y": i}) for i in range(n_events)]
+    return subs, events
+
+
+def oracle_for(subs):
+    oracle = make_matcher("oracle")
+    for s in subs:
+        oracle.add(s)
+    return oracle
+
+
+def chaos_matcher(tmp_path, die_at, breaker=True):
+    """2 process shards; the first-spawned worker dies at op *die_at*."""
+    factory = killable_worker(
+        lambda: make_matcher("counting"),
+        die_at=die_at,
+        latch_path=str(tmp_path / "kill-latch"),
+    )
+    spec = {"failure_threshold": 1, "reset_timeout": 0.05} if breaker else None
+    return ShardedMatcher(
+        shards=SHARDS,
+        router="hash",
+        inner=factory,
+        executor="process",
+        breaker=spec,
+        worker_timeout=30.0,
+    )
+
+
+@pytest.mark.watchdog(60)
+class TestWorkerDeathLifecycle:
+    def test_sigkill_mid_match_degrades_quarantines_and_heals(self, tmp_path):
+        subs, events = workload()
+        oracle = oracle_for(subs)
+        with chaos_matcher(tmp_path, die_at=3) as m:
+            for s in subs:
+                m.add(s)
+            ev = events[0]
+            expected = norm(oracle.match(ev))
+            # ops 1 and 2: healthy, both shards answer.
+            for _ in range(2):
+                r = m.match(ev)
+                assert not r.degraded and norm(r) == expected
+            # op 3: the armed worker SIGKILLs itself mid-request.
+            r = m.match(ev)
+            assert isinstance(r, PartialResults)
+            assert r.degraded and r.failed_shards
+            dead = r.failed_shards[0]
+            # healthy-shard results are still correct (a subset).
+            assert set(norm(r)) <= set(expected)
+            # while the breaker is open the shard is skipped, still degraded.
+            r = m.match(ev)
+            assert r.degraded and dead in r.failed_shards
+            assert m.breaker_states()[dead] == "open"
+            # cool-down, then the half-open probe respawns + replays.
+            time.sleep(0.1)
+            healed = m.match(ev)
+            assert not healed.degraded
+            assert norm(healed) == expected
+            assert m.breaker_states()[dead] == "closed"
+            assert m._procpool.stats()["counters"]["respawns"] == 1
+
+    def test_sigkill_mid_batch_never_hangs_or_lies(self, tmp_path):
+        """The batch path (breaker mode falls back per event) survives a
+        mid-batch death: every row is either complete or degraded —
+        never silently wrong, never a hang (the watchdog enforces it)."""
+        subs, events = workload(n_events=10)
+        oracle = oracle_for(subs)
+        expected = [norm(oracle.match(e)) for e in events]
+        with chaos_matcher(tmp_path, die_at=4) as m:
+            for s in subs:
+                m.add(s)
+            rows = m.match_batch(events)
+            assert len(rows) == len(events)
+            for row, exp in zip(rows, expected):
+                if getattr(row, "degraded", False):
+                    assert set(norm(row)) <= set(exp)
+                else:
+                    assert norm(row) == exp
+            # after cool-down the whole batch matches the oracle again.
+            time.sleep(0.1)
+            rows = m.match_batch(events)
+            assert all(not r.degraded for r in rows)
+            assert [norm(r) for r in rows] == expected
+
+    def test_respawned_worker_replays_subscriptions_exactly(self, tmp_path):
+        """Post-heal, the respawned worker's subscription set equals the
+        parent mirror — including churn applied before the death."""
+        subs, events = workload()
+        with chaos_matcher(tmp_path, die_at=1) as m:
+            for s in subs:
+                m.add(s)
+            removed = [s.id for s in subs[::4]]
+            for sub_id in removed:
+                m.remove(sub_id)
+            live = [s for s in subs if s.id not in set(removed)]
+            oracle = oracle_for(live)
+            expected = [norm(oracle.match(e)) for e in events]
+            r = m.match(events[0])  # op 1: death
+            assert r.degraded
+            time.sleep(0.1)
+            healed = m.match(events[0])
+            assert not healed.degraded and norm(healed) == expected[0]
+            got = [norm(row) for row in m.match_batch(events)]
+            assert got == expected
+            # the mirror-backed views never flinched.
+            assert len(m) == len(live)
+            assert sorted(s.id for s in m.iter_subscriptions()) == sorted(
+                s.id for s in live
+            )
+
+    def test_health_reports_dead_worker_before_probe(self, tmp_path):
+        subs, _ = workload()
+        with chaos_matcher(tmp_path, die_at=1) as m:
+            for s in subs:
+                m.add(s)
+            assert m.executor_health()["alive"] == SHARDS
+            r = m.match(Event({"x": 0}))
+            assert r.degraded
+            health = m.executor_health()
+            assert health["alive"] == SHARDS - 1
+            assert health["workers"] == SHARDS
+
+
+@pytest.mark.watchdog(60)
+class TestWorkerDeathWithoutBreaker:
+    def test_death_raises_then_next_call_self_heals(self, tmp_path):
+        """Pre-quarantine contract: the in-flight call raises
+        WorkerDiedError; the next call respawns, replays and answers."""
+        subs, events = workload()
+        oracle = oracle_for(subs)
+        with chaos_matcher(tmp_path, die_at=2, breaker=False) as m:
+            for s in subs:
+                m.add(s)
+            ev = events[0]
+            assert norm(m.match(ev)) == norm(oracle.match(ev))  # op 1
+            with pytest.raises(WorkerDiedError):
+                m.match(ev)  # op 2: mid-request death propagates
+            assert norm(m.match(ev)) == norm(oracle.match(ev))  # healed
+            assert m._procpool.stats()["counters"]["respawns"] == 1
+
+    def test_match_serial_death_mid_stream_raises_then_heals(self, tmp_path):
+        """A worker dying inside a pipelined burst surfaces as
+        WorkerDiedError (the drain never hangs); the next burst heals."""
+        subs, events = workload()
+        oracle = oracle_for(subs)
+        expected = [norm(oracle.match(e)) for e in events]
+        with chaos_matcher(tmp_path, die_at=1, breaker=False) as m:
+            for s in subs:
+                m.add(s)
+            with pytest.raises(WorkerDiedError):
+                m.match_serial(events)
+            got = [norm(r) for r in m.match_serial(events)]
+            assert got == expected
+            assert m._procpool.stats()["counters"]["respawns"] == 1
+
+    def test_external_sigkill_between_requests_heals_silently(self, tmp_path):
+        """A worker killed while idle never surfaces an error at all:
+        the next call finds it dead *before* sending and self-heals."""
+        subs, events = workload()
+        oracle = oracle_for(subs)
+        # die_at high enough that the injector never fires; we kill by pid.
+        with chaos_matcher(tmp_path, die_at=10_000, breaker=False) as m:
+            for s in subs:
+                m.add(s)
+            os.kill(m._procpool.worker_pid(0), signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while m._procpool.alive(0) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            got = [norm(r) for r in m.match_batch(events)]
+            assert got == [norm(oracle.match(e)) for e in events]
+
+
+@pytest.mark.slow
+@pytest.mark.watchdog(120)
+class TestRepeatedChaos:
+    def test_many_kill_heal_cycles_converge(self, tmp_path):
+        """Kill → quarantine → heal, five times over, with churn between
+        cycles; every healed state matches a fresh oracle."""
+        subs, events = workload(n_subs=60, n_events=8)
+        with ShardedMatcher(
+            shards=SHARDS,
+            router="hash",
+            inner=lambda: make_matcher("counting"),
+            executor="process",
+            breaker={"failure_threshold": 1, "reset_timeout": 0.05},
+            worker_timeout=30.0,
+        ) as m:
+            live = {}
+            for s in subs:
+                m.add(s)
+                live[s.id] = s
+            for cycle in range(5):
+                victim = cycle % SHARDS
+                os.kill(m._procpool.worker_pid(victim), signal.SIGKILL)
+                deadline = time.monotonic() + 5.0
+                while m._procpool.alive(victim) and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                # churn while the worker is down (mirror absorbs it).
+                extra = Subscription(f"c{cycle}", [eq("x", cycle % 5)])
+                m.add(extra)
+                live[extra.id] = extra
+                drop = subs[cycle].id
+                if drop in live:
+                    m.remove(drop)
+                    del live[drop]
+                time.sleep(0.1)
+                oracle = oracle_for(list(live.values()))
+                rows = [m.match(e) for e in events]
+                assert all(not r.degraded for r in rows)
+                assert [norm(r) for r in rows] == [
+                    norm(oracle.match(e)) for e in events
+                ]
