@@ -5,9 +5,9 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke
+.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke aggregation-smoke
 
-test: metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke
+test: metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke aggregation-smoke
 	$(PYTEST) -q -m "not slow"
 
 test-all:
@@ -67,3 +67,11 @@ batch-smoke:
 # tier-1 (`make test` runs it alongside the other smokes).
 procpool-smoke:
 	PYTHONPATH=src $(PYTHON) examples/procpool_smoke.py
+
+# End-to-end aggregation check: a Zipf duplicate-heavy population
+# through the AggregatingMatcher — frontier-reduction assertion,
+# aggregated-vs-raw differential (with churn), oracle spot check and
+# the repro_agg_* metric counters. Part of tier-1 (`make test` runs it
+# alongside the other smokes).
+aggregation-smoke:
+	PYTHONPATH=src $(PYTHON) examples/aggregation_smoke.py

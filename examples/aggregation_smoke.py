@@ -1,0 +1,137 @@
+"""End-to-end aggregation smoke test (the tier-1 ``make aggregation-smoke``).
+
+Drives the subscription-aggregation layer once, on the workload shape
+it exists for — a Zipf duplicate-heavy subscriber population:
+
+1. **Frontier reduction** — loading the population through an
+   :class:`AggregatingMatcher` must leave the matcher-visible frontier
+   |S| at least 4x smaller than the raw subscriber count (the full
+   benchmark lane asserts 5x at 50k subscribers; the smoke population
+   is smaller, so the floor is slightly relaxed).
+2. **Aggregated vs. raw differential** — every event's expanded result
+   set must equal a raw (un-aggregated) engine over the same
+   subscriptions, including after churn that unsubscribes frontier
+   members (covered groups must promote), with a brute-force oracle
+   spot check on a sample.
+3. **Metrics** — the ``repro_agg_*`` families must report the dedup
+   the layer claims to have performed.
+
+Exits non-zero (with a diagnostic) on any divergence.
+"""
+
+import dataclasses
+import sys
+
+from repro.aggregation import AggregatingMatcher
+from repro.bench.experiments.common import materialize
+from repro.core import OracleMatcher
+from repro.matchers import make_matcher
+from repro.workload import w0
+from repro.workload.spec import attribute_name
+
+N_SUBS = 12_000
+N_EVENTS = 120
+MIN_RATIO = 4.0
+
+
+def zipf_dup_spec():
+    """W0 reshaped into a duplicate-heavy population (see
+    ``benchmarks/bench_aggregation.py`` for the full-scale twin)."""
+    return dataclasses.replace(
+        w0(seed=0),
+        name="W0-zipf-dup",
+        value_distribution="zipf:1.3",
+        predicates_per_subscription=3,
+        subscription_attribute_pool=tuple(attribute_name(i) for i in range(8)),
+        value_low=1,
+        value_high=20,
+        free_operator_weights={"=": 0.5, "<=": 0.5},
+        event_value_high=20,
+    )
+
+
+def fail(message):
+    print(f"aggregation smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def norm(ids):
+    return sorted(ids, key=repr)
+
+
+def main():
+    spec = zipf_dup_spec()
+    subs, events = materialize(spec, N_SUBS, N_EVENTS)
+
+    agg = AggregatingMatcher(inner="dynamic")
+    registry = agg.use_metrics()
+    raw = make_matcher("dynamic")
+    for s in subs:
+        agg.add(s)
+        raw.add(s)
+
+    # 1. Frontier reduction.
+    ratio = len(agg) / agg.frontier_size
+    if ratio < MIN_RATIO:
+        fail(
+            f"frontier |S|={agg.frontier_size} is only {ratio:.1f}x smaller "
+            f"than {len(agg)} subscribers (need >= {MIN_RATIO}x)"
+        )
+    print(
+        f"  frontier: {agg.frontier_size} groups for {len(agg)} subscribers "
+        f"({ratio:.1f}x reduction)"
+    )
+
+    # 2a. Aggregated vs. raw differential over the full event stream.
+    for row, event in enumerate(events):
+        got, want = norm(agg.match(event)), norm(raw.match(event))
+        if got != want:
+            fail(f"event {row}: aggregated {got!r} != raw {want!r}")
+    print(f"  differential: OK ({len(events)} events vs. the raw engine)")
+
+    # 2b. Oracle spot check on a sample (brute force is the ground
+    # truth both engines are supposed to implement).
+    oracle = OracleMatcher()
+    for s in subs:
+        oracle.add(s)
+    for event in events[:10]:
+        got, want = norm(agg.match(event)), norm(oracle.match(event))
+        if got != want:
+            fail(f"oracle spot check: aggregated {got!r} != oracle {want!r}")
+
+    # 2c. Churn: unsubscribe every 5th subscriber — frontier members
+    # among them, so covered groups must promote — and re-check.
+    for s in subs[::5]:
+        agg.remove(s.id)
+        raw.remove(s.id)
+    for row, event in enumerate(events[: N_EVENTS // 2]):
+        got, want = norm(agg.match(event)), norm(raw.match(event))
+        if got != want:
+            fail(f"post-churn event {row}: aggregated {got!r} != raw {want!r}")
+    print(f"  churn: OK ({len(subs[::5])} unsubscribes, differential holds)")
+
+    # 3. The metrics must account for the dedup performed.
+    values = {
+        metric["name"]: metric["samples"][0]["value"]
+        for metric in registry.snapshot()["metrics"]
+        if metric["name"].startswith("repro_agg_") and metric["samples"]
+    }
+    expected_frontier = agg.frontier_size
+    if values.get("repro_agg_frontier_size") != expected_frontier:
+        fail(
+            f"repro_agg_frontier_size={values.get('repro_agg_frontier_size')}, "
+            f"matcher says {expected_frontier}"
+        )
+    if values.get("repro_agg_duplicates_total", 0) <= 0:
+        fail("repro_agg_duplicates_total is zero on a duplicate-heavy workload")
+    if values.get("repro_agg_expansions_total", 0) <= 0:
+        fail("repro_agg_expansions_total is zero after matching")
+    print(
+        f"  metrics: OK (duplicates={values['repro_agg_duplicates_total']:.0f}, "
+        f"covered={values.get('repro_agg_covered_total', 0):.0f})"
+    )
+    print("aggregation smoke passed")
+
+
+if __name__ == "__main__":
+    main()

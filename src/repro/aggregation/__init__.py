@@ -1,0 +1,30 @@
+"""Subscription aggregation: dedup + covering forest in front of any engine.
+
+The paper's engines scale with the matcher-visible subscription count
+|S|, so at production subscriber counts the cheapest large win is to
+never show the matcher a redundant subscription.  This package supplies
+that layer (ROADMAP item 3):
+
+* :mod:`repro.aggregation.canonical` — canonical keys: subscriptions
+  whose simplified predicate sets are equal collapse to one group;
+* :mod:`repro.aggregation.forest` — an incremental covering forest over
+  the groups, so only *frontier* (non-covered) groups reach the inner
+  matcher;
+* :mod:`repro.aggregation.matcher` — :class:`AggregatingMatcher`, the
+  :class:`~repro.core.matcher.Matcher` wrapper that composes the two
+  and expands frontier hits back to subscriber ids at fan-out time.
+
+See ``docs/aggregation.md`` for the invariants and the expansion
+contract.
+"""
+
+from repro.aggregation.canonical import UNSATISFIABLE, canonicalize
+from repro.aggregation.forest import CoveringForest
+from repro.aggregation.matcher import AggregatingMatcher
+
+__all__ = [
+    "AggregatingMatcher",
+    "CoveringForest",
+    "UNSATISFIABLE",
+    "canonicalize",
+]

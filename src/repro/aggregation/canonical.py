@@ -1,0 +1,57 @@
+"""Canonical keys for subscription aggregation.
+
+Two subscriptions are *exact duplicates* (for matching purposes) when
+their predicate conjunctions are semantically equal.  The front door
+for that test is :func:`repro.core.simplify.simplify_predicates`: after
+simplification — bounds merged, equalities absorbing implied
+predicates, implied ``!=`` dropped — syntactically different but
+equivalent inputs land on the same minimal predicate set, and the
+*frozenset* of those predicates is an order-free, hashable canonical
+key (:class:`~repro.core.types.Predicate` has value semantics, so
+``x = 1`` and ``x = 1.0`` intern to the same entry).
+
+Contradictory conjunctions can never match any event; they all map to
+the single :data:`UNSATISFIABLE` sentinel key, so an aggregating layer
+stores them without ever showing them to a matcher.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.core.errors import InvalidSubscriptionError
+from repro.core.simplify import simplify_predicates
+from repro.core.types import Predicate
+
+
+class _Unsatisfiable:
+    """Sentinel key for contradictory (never-matching) subscriptions."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNSATISFIABLE"
+
+
+#: The one canonical key shared by every unsatisfiable subscription.
+UNSATISFIABLE = _Unsatisfiable()
+
+CanonicalKey = Union[FrozenSet[Predicate], _Unsatisfiable]
+
+
+def canonicalize(
+    predicates: Iterable[Predicate],
+) -> Tuple[CanonicalKey, Optional[List[Predicate]]]:
+    """Return ``(canonical_key, simplified_predicates)``.
+
+    For satisfiable conjunctions the key is the frozenset of simplified
+    predicates and the second element is the simplified list (a minimal
+    equivalent form, suitable for building the group's canonical
+    subscription).  For contradictions the key is
+    :data:`UNSATISFIABLE` and the second element is ``None``.
+    """
+    try:
+        simplified = simplify_predicates(list(predicates))
+    except InvalidSubscriptionError:
+        return UNSATISFIABLE, None
+    return frozenset(simplified), simplified

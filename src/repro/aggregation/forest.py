@@ -1,0 +1,188 @@
+"""The incremental covering forest over canonical subscription groups.
+
+A two-level forest: *frontier* groups (roots, covered by no other live
+group) and *covered* groups, each attached to exactly one frontier
+parent that provably covers it (:func:`repro.core.covering.covers` over
+the groups' canonical predicate forms).  Only frontier groups need to
+reach the inner matcher; a frontier hit is expanded by testing its
+covered children against the event.
+
+Invariants (pinned by ``tests/aggregation/``):
+
+* every covered group's parent is a frontier group (depth ≤ 2 — the
+  forest is flat by construction, which keeps expansion a single loop
+  over the hit group's children);
+* every parent *semantically* covers each of its children.  Attachment
+  always follows a provable ``covers`` edge; re-parenting on demotion
+  or root removal follows chains of provable edges, and semantic
+  covering is transitive, so the invariant survives restructuring even
+  though the direct parent→child edge may no longer be *provable*.
+  This is the no-miss guarantee: any event matching a covered group
+  also matches its frontier parent, so the inner matcher's frontier
+  hits reach every group that could match;
+* frontier groups are mutually non-covering *for provable coverings
+  discovered on insert*: a newcomer that provably covers frontier
+  members demotes them under itself.
+
+Candidate discovery goes through
+:class:`~repro.core.covering.AttributeIndex` over the frontier only
+(a coverer's attribute set must be a subset of the coveree's), so
+insertion and removal cost scales with the candidate postings, not the
+group population — the reason this can run on every subscribe in front
+of a million-subscriber matcher.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.covering import AttributeIndex, covers_simplified
+from repro.core.types import Predicate
+
+AttrMap = Dict[str, List[Predicate]]
+
+
+class CoveringForest:
+    """Flat covering forest over group ids with attribute-pruned upkeep."""
+
+    def __init__(self) -> None:
+        self._by_attr: Dict[Any, AttrMap] = {}
+        #: gid -> parent gid (frontier groups map to None).
+        self._parent: Dict[Any, Optional[Any]] = {}
+        #: frontier gid -> covered child gids.
+        self._children: Dict[Any, Set[Any]] = {}
+        self._frontier = AttributeIndex()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_frontier(self, gid: Any) -> bool:
+        return self._parent[gid] is None
+
+    def parent(self, gid: Any) -> Optional[Any]:
+        return self._parent[gid]
+
+    def children(self, gid: Any) -> Tuple[Any, ...]:
+        return tuple(self._children.get(gid, ()))
+
+    def frontier(self) -> List[Any]:
+        return [gid for gid, parent in self._parent.items() if parent is None]
+
+    @property
+    def frontier_size(self) -> int:
+        return len(self._frontier)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, gid: Any) -> bool:
+        return gid in self._parent
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def insert(self, gid: Any, by_attr: AttrMap) -> Tuple[Optional[Any], List[Any]]:
+        """Place a new group; returns ``(parent, demoted)``.
+
+        ``parent`` is the covering frontier gid the group was attached
+        under, or ``None`` if the group joined the frontier itself —
+        in which case ``demoted`` lists the frontier gids the newcomer
+        covers, now re-attached (with their children) under it.
+        """
+        if gid in self._parent:
+            raise KeyError(f"duplicate group {gid!r}")
+        self._by_attr[gid] = by_attr
+        coverer = self._find_frontier_coverer(by_attr)
+        if coverer is not None:
+            self._parent[gid] = coverer
+            self._children[coverer].add(gid)
+            return coverer, []
+        demoted = sorted(
+            (
+                cand
+                for cand in self._frontier.superset_candidates(by_attr)
+                if covers_simplified(by_attr, self._by_attr[cand])
+            ),
+            key=str,
+        )
+        self._make_frontier(gid)
+        for d in demoted:
+            self._demote(d, gid)
+        return None, demoted
+
+    def remove(self, gid: Any) -> Tuple[List[Any], List[Any]]:
+        """Delete a group; returns ``(promoted, demoted)``.
+
+        Removing a covered group touches nothing else.  Removing a
+        frontier group orphans its children: each is re-attached under
+        another covering frontier group when one exists, otherwise
+        *promoted* to the frontier — and a promotion may in turn
+        *demote* frontier groups the promoted one covers.  Both lists
+        are net of each other (a gid promoted and then demoted within
+        the same removal appears in neither), so callers can mirror
+        them 1:1 onto the inner matcher as adds/removes of canonical
+        subscriptions.
+        """
+        parent = self._parent.pop(gid)
+        self._by_attr.pop(gid)
+        if parent is not None:
+            self._children[parent].discard(gid)
+            return [], []
+        self._frontier.remove(gid)
+        orphans = sorted(self._children.pop(gid), key=str)
+        promoted: List[Any] = []
+        demoted: List[Any] = []
+        for orphan in orphans:
+            by_attr = self._by_attr[orphan]
+            coverer = self._find_frontier_coverer(by_attr)
+            if coverer is not None:
+                self._parent[orphan] = coverer
+                self._children[coverer].add(orphan)
+                continue
+            now_covered = sorted(
+                (
+                    cand
+                    for cand in self._frontier.superset_candidates(by_attr)
+                    if covers_simplified(by_attr, self._by_attr[cand])
+                ),
+                key=str,
+            )
+            self._make_frontier(orphan)
+            promoted.append(orphan)
+            for d in now_covered:
+                self._demote(d, orphan)
+                demoted.append(d)
+        promoted_set, demoted_set = set(promoted), set(demoted)
+        return (
+            [p for p in promoted if p not in demoted_set],
+            [d for d in demoted if d not in promoted_set],
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _find_frontier_coverer(self, by_attr: AttrMap) -> Optional[Any]:
+        """A frontier gid provably covering *by_attr*, or None.
+
+        Deterministic: candidates are examined in sorted order so churn
+        histories rebuild identically (WAL replay, process respawn).
+        """
+        candidates = sorted(self._frontier.subset_candidates(by_attr), key=str)
+        for cand in candidates:
+            if covers_simplified(self._by_attr[cand], by_attr):
+                return cand
+        return None
+
+    def _make_frontier(self, gid: Any) -> None:
+        self._parent[gid] = None
+        self._children[gid] = set()
+        self._frontier.add(gid, self._by_attr[gid])
+
+    def _demote(self, gid: Any, new_parent: Any) -> None:
+        """Move frontier *gid* (and its children) under *new_parent*."""
+        self._frontier.remove(gid)
+        for child in self._children.pop(gid):
+            self._parent[child] = new_parent
+            self._children[new_parent].add(child)
+        self._parent[gid] = new_parent
+        self._children[new_parent].add(gid)

@@ -84,6 +84,14 @@ def matcher_for(algorithm: str, spec: WorkloadSpec, **kwargs: Any) -> Matcher:
         from repro.algorithms.testnetwork import TreeMatcher
 
         return TreeMatcher(**kwargs)
+    if algorithm == "aggregating":
+        from repro.aggregation import AggregatingMatcher
+
+        inner = kwargs.pop("inner", "dynamic")
+        if isinstance(inner, str):
+            inner_name = inner
+            inner = lambda: matcher_for(inner_name, spec)
+        return AggregatingMatcher(inner=inner, **kwargs)
     raise ValueError(f"unknown algorithm {algorithm!r}")
 
 

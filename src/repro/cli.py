@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         "one worker process per shard for real multi-core matching",
     )
     match.add_argument(
+        "--aggregate",
+        action="store_true",
+        help="front the engine with the subscription-aggregation layer "
+        "(dedup + covering forest; see docs/aggregation.md)",
+    )
+    match.add_argument(
         "--batch-size",
         type=int,
         default=1,
@@ -120,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--shards", type=int, default=1, metavar="N")
     stats.add_argument("--router", choices=sorted(ROUTERS), default="affinity")
     stats.add_argument("--executor", choices=EXECUTORS, default="thread")
+    stats.add_argument(
+        "--aggregate",
+        action="store_true",
+        help="front the engine with the subscription-aggregation layer "
+        "(dedup + covering forest; see docs/aggregation.md)",
+    )
     stats.add_argument(
         "--format",
         choices=("prometheus", "json"),
@@ -240,16 +252,23 @@ def _load_workload(args: argparse.Namespace):
 
 
 def _build_matcher(args: argparse.Namespace):
-    """Construct the engine the flags describe (sharded when --shards > 1)."""
+    """Construct the engine the flags describe (sharded when --shards > 1,
+    fronted by the aggregation layer under --aggregate)."""
     spec = paper_workloads(0.001)["W0"]
     if args.shards > 1:
-        return ShardedMatcher(
+        matcher = ShardedMatcher(
             shards=args.shards,
             router=args.router,
             inner=lambda: matcher_for(args.engine, spec),
             executor=getattr(args, "executor", "thread"),
         )
-    return matcher_for(args.engine, spec)
+    else:
+        matcher = matcher_for(args.engine, spec)
+    if getattr(args, "aggregate", False):
+        from repro.aggregation import AggregatingMatcher
+
+        matcher = AggregatingMatcher(inner=matcher)
+    return matcher
 
 
 def _close_matcher(matcher) -> None:
@@ -275,6 +294,7 @@ def _snapshot_context(args: argparse.Namespace, events: int) -> dict:
         "engine": args.engine,
         "shards": args.shards,
         "executor": getattr(args, "executor", "thread"),
+        "aggregate": getattr(args, "aggregate", False),
         "events": events,
     }
 

@@ -22,6 +22,14 @@ def _sharded(**kwargs) -> Matcher:
     return ShardedMatcher(**kwargs)
 
 
+def _aggregating(**kwargs) -> Matcher:
+    """Factory for the aggregation wrapper (imported lazily: the
+    aggregation module resolves its inner backend through this registry)."""
+    from repro.aggregation import AggregatingMatcher
+
+    return AggregatingMatcher(**kwargs)
+
+
 #: Algorithm name → factory, as used by benchmarks and examples.
 MATCHER_FACTORIES = {
     "oracle": OracleMatcher,
@@ -32,6 +40,7 @@ MATCHER_FACTORIES = {
     "dynamic": DynamicMatcher,
     "test-network": TreeMatcher,
     "sharded": _sharded,
+    "aggregating": _aggregating,
 }
 
 
@@ -41,7 +50,8 @@ def make_matcher(name: str, **kwargs) -> Matcher:
     ``static`` requires a ``statistics`` argument; ``dynamic`` creates an
     online :class:`~repro.clustering.statistics.EventStatistics` when none
     is given; ``sharded`` partitions over inner backends (``shards=``,
-    ``router=``, ``inner=`` keyword arguments).
+    ``router=``, ``inner=`` keyword arguments); ``aggregating`` wraps an
+    inner backend with dedup + covering aggregation (``inner=``).
     """
     try:
         factory = MATCHER_FACTORIES[name]

@@ -302,8 +302,18 @@ class PubSubBroker:
     def subscribe_batch(
         self, subscriptions: Iterable[SubscriptionLike], ttl: Optional[float] = None
     ) -> List[Any]:
-        """Batch submission (the paper submits in ``n_S_b`` batches)."""
-        return [self.subscribe(s, ttl=ttl) for s in subscriptions]
+        """Batch submission (the paper submits in ``n_S_b`` batches).
+
+        The whole batch shares one WAL durability boundary
+        (:meth:`WriteAheadLog.batched`): under the ``always`` fsync
+        policy this issues a single fsync for the batch instead of one
+        per subscription, matching the per-batch promise the
+        :class:`~repro.system.server.BatchServer` documents.
+        """
+        if self.wal is None or self._wal_suppress:
+            return [self.subscribe(s, ttl=ttl) for s in subscriptions]
+        with self.wal.batched():
+            return [self.subscribe(s, ttl=ttl) for s in subscriptions]
 
     # ------------------------------------------------------------------
     # publish

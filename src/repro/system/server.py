@@ -34,6 +34,7 @@ health`` CLI prints it).
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import queue
 import threading
@@ -217,27 +218,38 @@ class BatchServer:
         start = time.perf_counter()
         try:
             wal = self.wal
-            if request.kind == "subscribe":
-                n = 0
-                for sub in request.payload:
-                    self.matcher.add(sub)
-                    if wal is not None:
-                        wal.append_subscribe(sub, at=wal.now())
-                    n += 1
-                results: Any = n
-            elif request.kind == "unsubscribe":
-                results = []
-                for sid in request.payload:
-                    results.append(self.matcher.remove(sid).id)
-                    if wal is not None:
-                        wal.append_unsubscribe(sid, at=wal.now())
-            elif request.kind == "publish":
-                # One kernel invocation per batch: engines with a real
-                # batch kernel amortize the predicate phase across the
-                # whole payload instead of being fed event by event.
-                results = self.matcher.match_batch(request.payload)
-            else:  # pragma: no cover - guarded by the submit methods
-                raise AssertionError(request.kind)
+            # One durability boundary per mutation batch: appends inside
+            # the block skip the per-record policy fsync, so even under
+            # fsync="always" the batch costs one fsync (the explicit
+            # sync below), not one per item.
+            journal_scope = (
+                wal.batched()
+                if wal is not None and request.kind != "publish"
+                else contextlib.nullcontext()
+            )
+            with journal_scope:
+                if request.kind == "subscribe":
+                    n = 0
+                    for sub in request.payload:
+                        self.matcher.add(sub)
+                        if wal is not None:
+                            wal.append_subscribe(sub, at=wal.now())
+                        n += 1
+                    results: Any = n
+                elif request.kind == "unsubscribe":
+                    results = []
+                    for sid in request.payload:
+                        results.append(self.matcher.remove(sid).id)
+                        if wal is not None:
+                            wal.append_unsubscribe(sid, at=wal.now())
+                elif request.kind == "publish":
+                    # One kernel invocation per batch: engines with a
+                    # real batch kernel amortize the predicate phase
+                    # across the whole payload instead of being fed
+                    # event by event.
+                    results = self.matcher.match_batch(request.payload)
+                else:  # pragma: no cover - guarded by the submit methods
+                    raise AssertionError(request.kind)
             if wal is not None and request.kind != "publish":
                 wal.sync()  # flush-on-batch boundary
             elapsed = time.perf_counter() - start

@@ -52,6 +52,7 @@ construction of the recovery merge.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
@@ -234,6 +235,7 @@ class WriteAheadLog:
         self.clock = clock if clock is not None else SystemClock()
         self._opener = opener
         self._lock = threading.Lock()
+        self._batch_depth = 0
         self._bytes = 0
         self._unsynced = 0
         self._last_sync = time.monotonic()
@@ -350,6 +352,8 @@ class WriteAheadLog:
             self._m_bytes.inc(encoded)
             self._m_appends[record["type"]].inc()
             self._m_unsynced.set(self._unsynced)
+            if self._batch_depth:
+                return  # durability decision deferred to the batch end
             if self.fsync_policy == "always":
                 self._sync_locked()
             elif (
@@ -402,6 +406,36 @@ class WriteAheadLog:
         with self._lock:
             if not self._closed:
                 self._sync_locked()
+
+    @contextlib.contextmanager
+    def batched(self):
+        """Amortize the durability boundary over a batch of appends.
+
+        Inside the block, appends skip the per-record policy fsync (the
+        bytes still reach the OS on every append — a process crash
+        loses nothing).  When the outermost block exits, the policy's
+        promise is restored in one step: ``always`` fsyncs once for the
+        whole batch, ``interval`` fsyncs only if the interval has
+        elapsed, ``never`` does nothing.  This is how
+        ``PubSubBroker.subscribe_batch`` and the ``BatchServer`` keep
+        one fsync per *batch* instead of one per subscription.
+        Re-entrant: nested blocks sync once at the outermost exit.
+        """
+        with self._lock:
+            self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._batch_depth -= 1
+                if self._batch_depth == 0 and not self._closed and self._unsynced:
+                    if self.fsync_policy == "always":
+                        self._sync_locked()
+                    elif (
+                        self.fsync_policy == "interval"
+                        and time.monotonic() - self._last_sync >= self.fsync_interval
+                    ):
+                        self._sync_locked()
 
     def tell(self) -> int:
         """Bytes in the trusted log (header included)."""

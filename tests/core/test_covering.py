@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Subscription, eq, ge, gt, le, lt, ne
-from repro.core.covering import CoverageIndex, covers
+from repro.core.covering import AttributeIndex, CoverageIndex, covers
 
 
 def sub(sid, *preds):
@@ -117,3 +117,107 @@ class TestCoverageIndex:
         idx.add(sub("a", le("p", 1)))
         with pytest.raises(InvalidSubscriptionError):
             idx.add(sub("a", le("p", 2)))
+
+
+class TestRemoveLifecycle:
+    """Regression: ``remove`` must report newly-uncovered subscriptions.
+
+    The seed silently dropped covering relations on removal, so a
+    routing/aggregation layer built on the index could never learn that
+    a departure exposed previously-covered subscriptions — stale
+    frontier state.  ``remove`` now mirrors ``add``.
+    """
+
+    def test_removing_coverer_reports_uncovered(self):
+        idx = CoverageIndex()
+        idx.add(sub("broad", le("p", 100)))
+        idx.add(sub("narrow", le("p", 50)))
+        removed, uncovered = idx.remove("broad")
+        assert removed.id == "broad"
+        assert uncovered == ["narrow"]
+
+    def test_backup_coverer_keeps_sub_covered(self):
+        idx = CoverageIndex()
+        idx.add(sub("broad1", le("p", 100)))
+        idx.add(sub("broad2", le("p", 90)))
+        idx.add(sub("narrow", le("p", 50)))
+        _, uncovered = idx.remove("broad1")
+        # narrow stays covered by broad2; broad2 itself (covered only
+        # by the departing broad1) is what surfaces.
+        assert uncovered == ["broad2"]
+        _, uncovered = idx.remove("broad2")
+        assert uncovered == ["narrow"]
+
+    def test_removing_covered_sub_uncovers_nothing(self):
+        idx = CoverageIndex()
+        idx.add(sub("broad", le("p", 100)))
+        idx.add(sub("narrow", le("p", 50)))
+        _, uncovered = idx.remove("narrow")
+        assert uncovered == []
+
+    def test_removing_unrelated_sub_uncovers_nothing(self):
+        idx = CoverageIndex()
+        idx.add(sub("a", eq("x", 1)))
+        idx.add(sub("b", eq("y", 1)))
+        _, uncovered = idx.remove("a")
+        assert uncovered == []
+
+    def test_multiple_newly_uncovered(self):
+        idx = CoverageIndex()
+        idx.add(sub("broad", le("p", 100)))
+        idx.add(sub("n1", le("p", 50)))
+        idx.add(sub("n2", eq("q", 1)))
+        _, uncovered = idx.remove("broad")
+        assert sorted(uncovered) == ["n1"]  # n2 was never covered
+        idx.add(sub("wide", le("p", 80), ge("p", 0)))
+        _, uncovered = idx.remove("n1")
+        assert uncovered == []  # wide is incomparable, nothing exposed
+
+    def test_unsatisfiable_subs_never_reported_uncovered(self):
+        idx = CoverageIndex()
+        idx.add(sub("broad", le("p", 100)))
+        idx.add(sub("never", eq("p", 1), eq("p", 2)))
+        _, uncovered = idx.remove("broad")
+        assert uncovered == []  # vacuously covered forever
+
+    def test_add_remove_symmetry(self):
+        """What add reports covered, removing the coverer reports back."""
+        idx = CoverageIndex()
+        idx.add(sub("n1", le("p", 50)))
+        idx.add(sub("n2", le("p", 40)))
+        _, covered = idx.add(sub("broad", le("p", 100)))
+        assert sorted(covered) == ["n1", "n2"]
+        _, uncovered = idx.remove("broad")
+        # n2 stays covered by n1 (p<=50 covers p<=40); only n1 surfaces.
+        assert sorted(uncovered) == ["n1"]
+
+
+class TestAttributeIndex:
+    def test_subset_and_superset_candidates(self):
+        ai = AttributeIndex()
+        ai.add("xy", ["x", "y"])
+        ai.add("x", ["x"])
+        ai.add("xyz", ["x", "y", "z"])
+        assert sorted(ai.subset_candidates(["x", "y"])) == ["x", "xy"]
+        assert sorted(ai.superset_candidates(["x", "y"])) == ["xy", "xyz"]
+        assert sorted(ai.subset_candidates(["x"])) == ["x"]
+        assert sorted(ai.superset_candidates(["z"])) == ["xyz"]
+
+    def test_remove_purges_postings(self):
+        ai = AttributeIndex()
+        ai.add("a", ["x", "y"])
+        ai.remove("a")
+        assert len(ai) == 0 and "a" not in ai
+        assert ai.subset_candidates(["x", "y"]) == []
+        assert ai.superset_candidates(["x"]) == []
+
+    def test_duplicate_key_rejected(self):
+        ai = AttributeIndex()
+        ai.add("a", ["x"])
+        with pytest.raises(KeyError):
+            ai.add("a", ["y"])
+
+    def test_empty_signature_rejected(self):
+        ai = AttributeIndex()
+        with pytest.raises(ValueError):
+            ai.add("a", [])
