@@ -5,9 +5,9 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke aggregation-smoke
+.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke aggregation-smoke shm-smoke
 
-test: metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke aggregation-smoke
+test: metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke aggregation-smoke shm-smoke
 	$(PYTEST) -q -m "not slow"
 
 test-all:
@@ -16,7 +16,7 @@ test-all:
 # A quick end-to-end sanity run of the sharding sweep (small scale, the
 # plain speedup assertion plus the timed benchmark in one file).
 bench-smoke:
-	REPRO_SCALE=0.004 PYTHONPATH=src:. $(PYTHON) -m pytest -q --benchmark-disable benchmarks/bench_sharding.py
+	REPRO_SCALE=0.004 PYTHONPATH=src:. $(PYTHON) -m pytest -q --benchmark-disable benchmarks/bench_sharding.py benchmarks/bench_shm.py
 
 # End-to-end observability check: generate a tiny workload, run the CLI
 # with --metrics-out, and validate the snapshot against the checked-in
@@ -75,3 +75,12 @@ procpool-smoke:
 # alongside the other smokes).
 aggregation-smoke:
 	PYTHONPATH=src $(PYTHON) examples/aggregation_smoke.py
+
+# End-to-end shared-memory data-plane check: 10k events through the
+# shm slot ring of a 4-shard process matcher, differentially checked
+# against the oracle with the arena byte counters asserted hot (zero
+# pipe fallbacks), one induced SIGKILL driven through the respawn +
+# arena re-attach lifecycle, and a /dev/shm leak sweep. Part of tier-1
+# (`make test` runs it alongside the other smokes).
+shm-smoke:
+	PYTHONPATH=src $(PYTHON) examples/shm_smoke.py

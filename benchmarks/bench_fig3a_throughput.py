@@ -115,3 +115,37 @@ def test_batch_kernel_speedup():
         f"propagation batch-256 kernel is only {headline:.1f}x the "
         f"single-event loop on W0 (needs >= 5x): {lanes['propagation']}"
     )
+
+
+def test_counting_bincount_kernel_beats_scatter():
+    """The batched counting phase's ``np.bincount`` kernel must not lose
+    to the per-bit scatter path it gates over (W0, batch 256).
+
+    Both kernels are exact (the batch-conformance suite pins identical
+    results); this guards the *throughput* claim that motivates the
+    auto-gate — one flat ``bincount`` over the association arrays beats
+    a Python loop of per-bit scatters once batches clear the gate's
+    minimum.  Asserted at a modest 1.1x so scheduler noise cannot flake
+    a genuinely faster kernel.
+    """
+    spec = w0(seed=0)
+    n = max(4_000, scaled(400_000))
+    matcher, events = loaded_matcher("counting", spec, n, 512)
+
+    def rate(forced: bool) -> float:
+        matcher.batch_bincount = forced
+        return measure_batch_matching(matcher, events, 256).events_per_second
+
+    for forced in (False, True):  # warm both kernels' arrays up front
+        matcher.batch_bincount = forced
+        matcher.match_batch(events[:256])
+    # Interleave the reps so a noisy stretch (GC, scheduler) hits both
+    # lanes alike instead of sinking whichever ran second.
+    scatter = bincount = 0.0
+    for _ in range(5):
+        scatter = max(scatter, rate(False))
+        bincount = max(bincount, rate(True))
+    assert bincount >= 1.1 * scatter, (
+        f"bincount counting kernel at {bincount:.0f} ev/s does not beat "
+        f"the scatter path at {scatter:.0f} ev/s on W0"
+    )

@@ -1,0 +1,213 @@
+"""End-to-end shared-memory data-plane smoke test (tier-1 ``make shm-smoke``).
+
+Drives the ``codec="shm"`` transport of the process-per-shard backend
+once, at real volume:
+
+1. **Differential volume check** — 10,000 W0 events ride the
+   shared-memory slot ring of a 4-shard process
+   :class:`ShardedMatcher` (batched lane) and must agree
+   event-for-event with a brute-force oracle.  The pool's own counters
+   must show the arena actually carried the traffic: nonzero publish
+   and result bytes, zero fallbacks to the pickling pipe.
+2. **Metrics** — ``repro_shm_bytes_total`` (publish and result) and the
+   codec-labelled ``repro_procpool_bytes_total`` series must appear in
+   the registry snapshot with the values the pool reported.
+3. **Worker-death lifecycle** — a breaker-guarded 2-shard shm matcher
+   takes one induced SIGKILL mid-request: the in-flight answer
+   degrades, the breaker quarantines the shard, the half-open probe
+   respawns the worker (which re-attaches to the arena), and results
+   re-converge exactly.
+4. **Segment hygiene** — after both stages close their matchers,
+   ``/dev/shm`` holds no new ``repro_shm_*`` segments (the same
+   invariant the session-scoped leak guard in ``tests/conftest.py``
+   enforces for the pytest suites).
+
+Exits non-zero (with a diagnostic) on any divergence.
+"""
+
+import dataclasses
+import os
+import sys
+import tempfile
+import time
+
+from repro.bench.experiments.common import materialize
+from repro.bench.harness import load_subscriptions
+from repro.core import OracleMatcher
+from repro.matchers import make_matcher
+from repro.system import ShardedMatcher
+from repro.system.shm import SHM_PREFIX
+from repro.testing.faults import killable_worker
+from repro.workload import w0
+
+N_SUBS = 2_000
+N_EVENTS = 10_000
+SHARDS = 4
+
+
+def dense_spec():
+    """W0, densified so the differential sees non-empty match sets."""
+    return dataclasses.replace(
+        w0(seed=0),
+        name="W0-dense",
+        predicates_per_subscription=3,
+        value_high=12,
+        event_value_high=12,
+    )
+
+
+def fail(message):
+    print(f"shm smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def norm(ids):
+    return sorted(ids, key=repr)
+
+
+def shm_segments():
+    """Names of this module's live segments under ``/dev/shm``."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith(SHM_PREFIX)}
+    except FileNotFoundError:  # non-tmpfs platform: hygiene check is moot
+        return set()
+
+
+def metric_value(registry, name, **labels):
+    """Sum of a metric's samples matching the given label subset."""
+    total = None
+    for metric in registry.snapshot()["metrics"]:
+        if metric["name"] != name:
+            continue
+        for sample in metric["samples"]:
+            if all(sample["labels"].get(k) == v for k, v in labels.items()):
+                total = (total or 0) + sample["value"]
+    return total
+
+
+def volume_stage():
+    """10k events through the slot ring, vs oracle, counters checked."""
+    spec = dense_spec()
+    subs, events = materialize(spec, N_SUBS, N_EVENTS)
+    oracle = OracleMatcher()
+    for sub in subs:
+        oracle.add(sub)
+    expected = [norm(oracle.match(e)) for e in events]
+    total_matches = sum(len(ids) for ids in expected)
+    print(
+        f"shm smoke: {N_EVENTS} events x {N_SUBS} subscriptions over "
+        f"{SHARDS} worker processes (codec=shm), {total_matches} oracle matches"
+    )
+    if total_matches == 0:
+        fail("workload produced zero oracle matches; differential is vacuous")
+
+    with ShardedMatcher(
+        shards=SHARDS,
+        router="hash",
+        inner=lambda: make_matcher("counting"),
+        executor="process",
+        codec="shm",
+        worker_timeout=60.0,
+    ) as matcher:
+        registry = matcher.use_metrics()
+        load_subscriptions(matcher, subs)
+
+        got = []
+        for start in range(0, N_EVENTS, 1024):
+            got.extend(matcher.match_batch(events[start : start + 1024]))
+        for row, (ids, want) in enumerate(zip(got, expected)):
+            if norm(ids) != want:
+                fail(f"event {row} matched {norm(ids)!r}, oracle {want!r}")
+        print("  batched slot-ring lane: OK (oracle equality)")
+
+        stats = matcher._procpool.stats()
+        shm = stats.get("shm")
+        if shm is None:
+            fail("pool stats carry no shm section despite codec='shm'")
+        if shm["bytes"]["publish"] <= 0 or shm["bytes"]["result"] <= 0:
+            fail(f"arena moved no bytes: {shm['bytes']}")
+        hot = {k: v for k, v in shm["fallbacks"].items() if v}
+        if hot:
+            fail(f"shm lane fell back to the pipe codec: {hot}")
+        print(
+            f"  arena carried the traffic: {shm['bytes']['publish']} B "
+            f"published, {shm['bytes']['result']} B of results, 0 fallbacks"
+        )
+
+        published = metric_value(
+            registry, "repro_shm_bytes_total", direction="publish"
+        )
+        if published != shm["bytes"]["publish"]:
+            fail(
+                f"repro_shm_bytes_total{{direction=publish}}={published} "
+                f"disagrees with pool counter {shm['bytes']['publish']}"
+            )
+        piped = metric_value(
+            registry, "repro_procpool_bytes_total", codec="shm", direction="send"
+        )
+        if piped is None:
+            fail("no repro_procpool_bytes_total sample labelled codec='shm'")
+        print("  metrics: shm byte counters exported and consistent")
+
+
+def chaos_stage():
+    """One induced SIGKILL under shm: degrade, quarantine, respawn, converge."""
+    from repro.core import Event, Subscription, eq
+
+    subs = [Subscription(f"s{i}", [eq("x", i % 5)]) for i in range(40)]
+    events = [Event({"x": i % 5}) for i in range(10)]
+    oracle = OracleMatcher()
+    for sub in subs:
+        oracle.add(sub)
+    expected = [norm(oracle.match(e)) for e in events]
+
+    with tempfile.TemporaryDirectory() as scratch:
+        factory = killable_worker(
+            lambda: make_matcher("counting"),
+            die_at=1,
+            latch_path=f"{scratch}/kill-latch",
+        )
+        with ShardedMatcher(
+            shards=2,
+            router="hash",
+            inner=factory,
+            executor="process",
+            codec="shm",
+            breaker={"failure_threshold": 1, "reset_timeout": 0.05},
+            worker_timeout=30.0,
+        ) as matcher:
+            for sub in subs:
+                matcher.add(sub)
+            hurt = matcher.match(events[0])
+            if not hurt.degraded:
+                fail("induced worker death did not degrade the in-flight match")
+            dead = hurt.failed_shards[0]
+            if matcher.breaker_states()[dead] != "open":
+                fail(f"shard {dead} breaker did not open after the death")
+            print(f"  worker death: shard {dead} degraded and quarantined")
+
+            time.sleep(0.1)  # cool-down, then the half-open probe heals
+            healed = [matcher.match(e) for e in events]
+            if any(r.degraded for r in healed):
+                fail("results still degraded after the half-open respawn")
+            if [norm(r) for r in healed] != expected:
+                fail("post-heal results diverge from the oracle")
+            batched = matcher.match_batch(events)
+            if [norm(ids) for ids in batched] != expected:
+                fail("post-heal batched (slot ring) results diverge from oracle")
+            print("  respawn + arena re-attach: OK (oracle equality restored)")
+
+
+def main():
+    before = shm_segments()
+    volume_stage()
+    chaos_stage()
+    leaked = shm_segments() - before
+    if leaked:
+        fail(f"leaked /dev/shm segments: {sorted(leaked)}")
+    print("  /dev/shm hygiene: no leaked segments")
+    print("shm smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,12 @@ class TwoPhaseMatcher(Matcher):
     #: attach per-structure children to it when not None.
     _active_span: Optional[Span] = None
 
+    #: Whether ``_match_phase2_batch`` reads event *contents* (cluster
+    #: probes over attribute pairs) or only the batch length.  Engines
+    #: whose phase 2 is purely truth-matrix-driven set this False so the
+    #: columnar path never materializes Event objects at all.
+    phase2_needs_events = True
+
     def __init__(self, index_kind: IndexKind = IndexKind.SORTED_ARRAY) -> None:
         self.registry = PredicateRegistry()
         self.bits: BitVector = self.registry.bits
@@ -47,6 +53,11 @@ class TwoPhaseMatcher(Matcher):
         # the registry's structural epoch moves (see match_batch).
         self._batch_eval: Optional[BatchPredicateEvaluator] = None
         self._batch_eval_epoch = -1
+        # Reusable phase-1 truth buffer: one allocation serves every
+        # batch of the same slot width instead of a fresh matrix each
+        # call (the process workers run one batch per request, so this
+        # is the allocation the shm result path would otherwise add).
+        self._truth_scratch: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # predicate interning
@@ -167,21 +178,66 @@ class TwoPhaseMatcher(Matcher):
                 self._mb_fallback.inc()
             return [self.match(e) for e in events]
         t0 = time.perf_counter_ns()
-        truth = self._batch_evaluator().evaluate(events, self.bits.size)
+        truth = self._batch_evaluator().evaluate(
+            events, self.bits.size, out=self._scratch(len(events))
+        )
+        return self._finish_batch(events, truth, t0)
+
+    def match_batch_columnar(self, batch: Any) -> List[List[Any]]:
+        """:meth:`match_batch` straight off a ``ColumnarBatch``.
+
+        Phase 1 runs on the column matrices without ever building Event
+        objects; phase 2 materializes them only when the engine's
+        cluster walk reads event contents (:attr:`phase2_needs_events`)
+        — otherwise the batch itself stands in (it has ``len``).
+        """
+        if not len(batch):
+            return []
+        if self.tracer.enabled:
+            if self.metrics.enabled:
+                self._mb_fallback.inc()
+            return [self.match(e) for e in batch.to_events()]
+        t0 = time.perf_counter_ns()
+        truth = self._batch_evaluator().evaluate_columnar(
+            batch, self.bits.size, out=self._scratch(len(batch))
+        )
+        events = batch.to_events() if self.phase2_needs_events else batch
+        return self._finish_batch(events, truth, t0)
+
+    def _scratch(self, n: int) -> np.ndarray:
+        """The reusable phase-1 truth buffer, grown to ≥ *n* rows."""
+        scratch = self._truth_scratch
+        if (
+            scratch is None
+            or scratch.shape[0] < n
+            or scratch.shape[1] != self.bits.size
+        ):
+            scratch = self._truth_scratch = np.zeros(
+                (max(n, scratch.shape[0] if scratch is not None else 0),
+                 self.bits.size),
+                dtype=bool,
+            )
+        return scratch
+
+    def _finish_batch(
+        self, events: Sequence[Event], truth: np.ndarray, t0: int
+    ) -> List[List[Any]]:
+        """Counters, phase 2 and batch metrics shared by both entries."""
+        n = len(events)
         satisfied = int(truth.sum())
         t1 = time.perf_counter_ns()
-        self.counters["events"] += len(events)
+        self.counters["events"] += n
         self.counters["predicates_satisfied"] += satisfied
         before = self.counters["subscription_checks"]
         out = self._match_phase2_batch(events, truth)
         t2 = time.perf_counter_ns()
         if self.metrics.enabled:
             checks = self.counters["subscription_checks"] - before
-            self._m_events.inc(len(events))
+            self._m_events.inc(n)
             self._m_satisfied.inc(satisfied)
             self._m_checks.inc(checks)
             self._mb_batches.inc()
-            self._mb_events.inc(len(events))
+            self._mb_events.inc(n)
             self._mb_predicate_seconds.observe((t1 - t0) / 1e9)
             self._mb_subscription_seconds.observe((t2 - t1) / 1e9)
         return out

@@ -24,11 +24,34 @@ from repro.indexes.ordered import IndexKind
 #: Cell cap for one (events × subscriptions) hit-counter chunk.
 _GATHER_CELLS = 1 << 22
 
+#: Cell cap per bincount chunk.  Tighter than ``_GATHER_CELLS`` because
+#: ``np.bincount`` materializes an int64 counts matrix (4× the scatter
+#: path's int16): past ~8 MB the reduction turns memory-bound and the
+#: win over the scatter loop evaporates.
+_BINCOUNT_CELLS = 1 << 20
+
+#: Auto-gate for the bincount counting kernel: batches with at least
+#: this many rows amortize its setup (flattened index arithmetic) over
+#: enough association entries to beat the per-bit scatter loop, whose
+#: Python-level iteration count grows with *live bits*, not rows.
+_BINCOUNT_MIN_EVENTS = 32
+
 
 class CountingMatcher(TwoPhaseMatcher):
     """Association table + hit counters."""
 
     name = "counting"
+
+    #: The counting phase 2 is pure counter arithmetic over the truth
+    #: matrix — it reads only the batch length, so the columnar path
+    #: never needs to materialize Event objects.
+    phase2_needs_events = False
+
+    #: Batched counting-phase kernel choice: ``None`` auto-gates by
+    #: batch size (``_BINCOUNT_MIN_EVENTS``), ``True`` forces the
+    #: bincount kernel, ``False`` forces the per-bit scatter path.
+    #: Both produce identical results (the conformance suite runs both).
+    batch_bincount: Optional[bool] = None
 
     def __init__(self, index_kind: IndexKind = IndexKind.SORTED_ARRAY) -> None:
         super().__init__(index_kind)
@@ -104,8 +127,78 @@ class CountingMatcher(TwoPhaseMatcher):
                 )
                 for b in bit_list
             ]
-            assoc = self._assoc = (sub_ids, thresholds, bit_list, members_list)
+            # Flattened form for the bincount kernel: one contiguous
+            # member-column array, with each bit's segment addressed by
+            # (offset, count) — so the whole chunk's satisfied entries
+            # become index arithmetic instead of a per-bit Python loop.
+            bit_arr = np.array(bit_list, dtype=np.intp)
+            entry_counts = np.array(
+                [len(m) for m in members_list], dtype=np.intp
+            )
+            entry_offsets = np.cumsum(entry_counts) - entry_counts
+            entry_cols = (
+                np.concatenate(members_list)
+                if members_list
+                else np.zeros(0, dtype=np.intp)
+            )
+            assoc = self._assoc = (
+                sub_ids,
+                thresholds,
+                bit_list,
+                members_list,
+                bit_arr,
+                entry_cols,
+                entry_counts,
+                entry_offsets,
+            )
         return assoc
+
+    @staticmethod
+    def _counts_scatter(chunk: np.ndarray, assoc: Tuple) -> Tuple[np.ndarray, int]:
+        """Hit counters via one fancy-indexed scatter per live bit."""
+        sub_ids, _thresholds, bit_list, members_list = assoc[:4]
+        counts = np.zeros((chunk.shape[0], len(sub_ids)), dtype=np.int16)
+        touched = 0
+        for bit, members in zip(bit_list, members_list):
+            rows_b = np.nonzero(chunk[:, bit])[0]
+            if not len(rows_b):
+                continue
+            touched += len(rows_b) * len(members)
+            counts[np.ix_(rows_b, members)] += 1
+        return counts, touched
+
+    @staticmethod
+    def _counts_bincount(chunk: np.ndarray, assoc: Tuple) -> Tuple[np.ndarray, int]:
+        """Hit counters via one ``np.bincount`` over flattened cells.
+
+        Every satisfied (row, bit) pair expands — by pure index
+        arithmetic over the flattened association segments — to the
+        linearized ``row * n_subs + member_column`` cells it increments;
+        one bincount then reduces them all at once.  Work remains
+        proportional to satisfied association entries, like the scatter
+        path, but without a Python-level loop over live bits.
+        """
+        sub_ids = assoc[0]
+        bit_arr, entry_cols, entry_counts, entry_offsets = assoc[4:]
+        n_subs = len(sub_ids)
+        rows = chunk.shape[0]
+        r_idx, b_idx = np.nonzero(chunk[:, bit_arr])
+        if not len(r_idx):
+            return np.zeros((rows, n_subs), dtype=np.int64), 0
+        lens = entry_counts[b_idx]
+        total = int(lens.sum())
+        if not total:  # pragma: no cover - empty member lists are pruned
+            return np.zeros((rows, n_subs), dtype=np.int64), 0
+        # For each satisfied pair k, its member columns live at
+        # entry_cols[offset_k : offset_k + lens_k]; `seq` enumerates all
+        # those segments back to back.
+        starts = np.cumsum(lens) - lens
+        seq = np.arange(total, dtype=np.intp) + np.repeat(
+            entry_offsets[b_idx] - starts, lens
+        )
+        flat = np.repeat(r_idx, lens) * n_subs + entry_cols[seq]
+        counts = np.bincount(flat, minlength=rows * n_subs).reshape(rows, n_subs)
+        return counts, total
 
     def _match_phase2_batch(
         self, events: Sequence[Event], truth: np.ndarray
@@ -115,19 +208,18 @@ class CountingMatcher(TwoPhaseMatcher):
         assoc = self._assoc_arrays()
         if assoc is None:
             return out
-        sub_ids, thresholds, bit_list, members_list = assoc
+        sub_ids, thresholds = assoc[0], assoc[1]
+        use_bincount = self.batch_bincount
+        if use_bincount is None:
+            use_bincount = n >= _BINCOUNT_MIN_EVENTS
+        kernel = self._counts_bincount if use_bincount else self._counts_scatter
         touched = 0
         # Event-chunked so the hit-counter matrix stays cache-friendly.
-        step = max(1, _GATHER_CELLS // max(1, len(sub_ids)))
+        cells = _BINCOUNT_CELLS if use_bincount else _GATHER_CELLS
+        step = max(1, cells // max(1, len(sub_ids)))
         for s in range(0, n, step):
-            chunk = truth[s : s + step]
-            counts = np.zeros((chunk.shape[0], len(sub_ids)), dtype=np.int16)
-            for bit, members in zip(bit_list, members_list):
-                rows_b = np.nonzero(chunk[:, bit])[0]
-                if not len(rows_b):
-                    continue
-                touched += len(rows_b) * len(members)
-                counts[np.ix_(rows_b, members)] += 1
+            counts, t = kernel(truth[s : s + step], assoc)
+            touched += t
             for r, c in zip(*np.nonzero(counts == thresholds)):
                 out[s + r].append(sub_ids[c])
         self.counters["subscription_checks"] += touched

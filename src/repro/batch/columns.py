@@ -1,0 +1,129 @@
+"""Columnar event batches: encode once, consume anywhere without objects.
+
+The batch kernel, the pipe transport and the shared-memory data plane
+all speak the same columnar form of an event batch — a float64 value
+matrix plus packed presence/was-int bit rows over a shared attribute
+table.  :class:`ColumnarBatch` is that form as a first-class value, so
+one encode can feed any number of consumers:
+
+* the process-executor transports ship its arrays (pickled on the pipe,
+  placed in a shared-memory slot by :mod:`repro.system.shm`);
+* :meth:`repro.batch.evaluator.BatchPredicateEvaluator.evaluate_columnar`
+  runs phase 1 straight off the matrices — no :class:`Event` objects,
+  no per-attribute dict gathers;
+* :meth:`to_events` materializes real events only where object
+  semantics are required (cluster phase 2 probes, scalar fallbacks).
+
+Exactness contract (shared with the evaluator): a batch is columnar
+only when **every** value rides float64 without rounding — floats
+(NaN included; the presence bit distinguishes it from "attribute
+missing") and ints of magnitude below 2**53.  Strings and huge ints
+make :meth:`from_events` return None and the batch rides the object
+path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.batch.bitmatrix import pack_bits, unpack_bits
+from repro.core.types import Event
+
+#: Largest |int| float64 represents exactly; at or past it the columnar
+#: value matrix would silently round.
+_EXACT_INT_LIMIT = 2**53
+
+
+class ColumnarBatch:
+    """One event batch as (attrs, values, presence, ints) columns.
+
+    ``values`` is ``(n_events, n_attrs)`` float64; ``presence`` and
+    ``ints`` are uint64-packed boolean rows of the same logical shape
+    (bit *j* of row *r*: does event *r* carry ``attrs[j]``, and was the
+    value an int).  The arrays may alias shared memory — consumers must
+    not retain views past the batch's lifetime.
+    """
+
+    __slots__ = ("attrs", "values", "presence", "ints")
+
+    def __init__(
+        self,
+        attrs: Sequence[str],
+        values: np.ndarray,
+        presence: np.ndarray,
+        ints: np.ndarray,
+    ) -> None:
+        self.attrs = list(attrs)
+        self.values = values
+        self.presence = presence
+        self.ints = ints
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def n_attrs(self) -> int:
+        return len(self.attrs)
+
+    @classmethod
+    def from_events(cls, events: Sequence[Event]) -> Optional["ColumnarBatch"]:
+        """Encode *events*, or None when any value cannot ride float64
+        exactly (strings, ints at or past 2**53)."""
+        if not events:
+            return None
+        attrs: List[str] = []
+        seen: Dict[str, int] = {}
+        for event in events:
+            for attr, value in event.items():
+                if isinstance(value, str) or (
+                    isinstance(value, int) and abs(value) >= _EXACT_INT_LIMIT
+                ):
+                    return None
+                if attr not in seen:
+                    seen[attr] = len(attrs)
+                    attrs.append(attr)
+        values = np.zeros((len(events), len(attrs)), dtype=np.float64)
+        presence = np.zeros((len(events), len(attrs)), dtype=bool)
+        ints = np.zeros((len(events), len(attrs)), dtype=bool)
+        for row, event in enumerate(events):
+            for attr, value in event.items():
+                col = seen[attr]
+                presence[row, col] = True
+                values[row, col] = value
+                ints[row, col] = isinstance(value, int)
+        return cls(attrs, values, pack_bits(presence), pack_bits(ints))
+
+    def select(self, rows: Sequence[int]) -> "ColumnarBatch":
+        """The sub-batch of *rows*, in the given order (contiguous copies)."""
+        sel = np.asarray(rows, dtype=np.intp)
+        return ColumnarBatch(
+            self.attrs,
+            np.ascontiguousarray(self.values[sel]),
+            np.ascontiguousarray(self.presence[sel]),
+            np.ascontiguousarray(self.ints[sel]),
+        )
+
+    def present(self) -> np.ndarray:
+        """Boolean ``(n_events, n_attrs)`` attribute-presence matrix."""
+        return unpack_bits(np.ascontiguousarray(self.presence), self.n_attrs)
+
+    def int_mask(self) -> np.ndarray:
+        """Boolean ``(n_events, n_attrs)`` was-the-value-an-int matrix."""
+        return unpack_bits(np.ascontiguousarray(self.ints), self.n_attrs)
+
+    def to_events(self) -> List[Event]:
+        """Materialize real :class:`Event` objects (the object path)."""
+        attrs = self.attrs
+        values = self.values
+        present = self.present()
+        ints = self.int_mask()
+        events = []
+        for row in range(values.shape[0]):
+            pairs: Dict[str, Any] = {}
+            for col in np.nonzero(present[row])[0]:
+                value = float(values[row, col])
+                pairs[attrs[col]] = int(value) if ints[row, col] else value
+            events.append(Event(pairs))
+        return events

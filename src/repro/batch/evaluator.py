@@ -26,11 +26,14 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.types import Event, Operator, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.batch.columns import ColumnarBatch
 
 #: Largest |int| guaranteed exactly representable as float64.
 _SAFE_INT = 2**53
@@ -223,12 +226,22 @@ class BatchPredicateEvaluator:
         """Number of compiled (attribute, operator) groups."""
         return len(self._groups)
 
-    def evaluate(self, events: Sequence[Event], n_slots: int) -> np.ndarray:
+    def evaluate(
+        self,
+        events: Sequence[Event],
+        n_slots: int,
+        out: "np.ndarray" = None,
+    ) -> np.ndarray:
         """Boolean ``(len(events), n_slots)`` truth matrix.
 
         Cell ``[e, b]`` is True iff event *e* satisfies the predicate in
         registry slot *b* — exactly the bit vector the scalar phase 1
         would produce for each event in turn.
+
+        *out*, when given, must be a boolean array with at least
+        ``(len(events), n_slots)`` cells; the leading view is zeroed and
+        written in place instead of allocating a fresh matrix per batch
+        (the two-phase matchers reuse one scratch buffer across batches).
 
         The scan is column-oriented: one gather of the attribute's value
         across the whole batch, one float64 conversion, then the
@@ -239,7 +252,7 @@ class BatchPredicateEvaluator:
         values present) falls back to the per-row odd scan.
         """
         n = len(events)
-        truth = np.zeros((n, n_slots), dtype=bool)
+        truth = self._prepare_truth(n, n_slots, out)
         if not n or not self._by_attr:
             return truth
         pairs_list = [e.pairs for e in events]
@@ -291,6 +304,87 @@ class BatchPredicateEvaluator:
                         )
                 else:
                     group.apply_vector(truth, rows, col)
+        return truth
+
+    def evaluate_columnar(
+        self,
+        batch: "ColumnarBatch",
+        n_slots: int,
+        out: "np.ndarray" = None,
+    ) -> np.ndarray:
+        """:meth:`evaluate` straight off a :class:`ColumnarBatch`.
+
+        Identical truth matrix, but phase 1 never materializes
+        :class:`Event` objects or per-attribute dict gathers: each
+        attribute's column is sliced from the batch's float64 value
+        matrix under its presence bits.  Columnar values are exact by
+        construction (strings and ints past 2**53 never encode), so the
+        only odd-path work left is real NaN values — which must probe
+        the ``=`` / ``!=`` dicts like the scalar indexes — and groups
+        whose *constants* are inexact, resolved per row with the value
+        rebuilt as int or float from the was-int bit.
+        """
+        n = len(batch)
+        truth = self._prepare_truth(n, n_slots, out)
+        if not n or not self._by_attr:
+            return truth
+        col_of = {attr: j for j, attr in enumerate(batch.attrs)}
+        present = ints = None
+        for attr, groups in self._by_attr.items():
+            j = col_of.get(attr)
+            if j is None:
+                continue
+            if present is None:
+                present = batch.present()
+                ints = batch.int_mask()
+            rows = np.nonzero(present[:, j])[0]
+            if not len(rows):
+                continue
+            col = batch.values[rows, j]
+            nan_mask = np.isnan(col)
+            if nan_mask.any():
+                for i in np.nonzero(nan_mask)[0]:
+                    self._apply_odd_pair(
+                        groups, truth, int(rows[i]), float(col[i])
+                    )
+                keep = ~nan_mask
+                rows, col = rows[keep], col[keep]
+                if not len(rows):
+                    continue
+            int_col = None
+            for _op, group in groups:
+                if group.exact:
+                    if int_col is None:
+                        int_col = ints[rows, j]
+                    for i, row in enumerate(rows):
+                        value = float(col[i])
+                        group.apply_odd(
+                            truth,
+                            int(row),
+                            int(value) if int_col[i] else value,
+                        )
+                else:
+                    group.apply_vector(truth, rows, col)
+        return truth
+
+    @staticmethod
+    def _prepare_truth(n: int, n_slots: int, out: "np.ndarray") -> np.ndarray:
+        """A zeroed ``(n, n_slots)`` bool truth matrix — a leading view
+        of *out* written in place when given, else a fresh allocation."""
+        if out is None:
+            return np.zeros((n, n_slots), dtype=bool)
+        if out.dtype != np.bool_ or out.ndim != 2:
+            raise ValueError(
+                f"scratch buffer must be a 2-D bool array, got "
+                f"{out.dtype} with shape {out.shape}"
+            )
+        if out.shape[0] < n or out.shape[1] < n_slots:
+            raise ValueError(
+                f"scratch buffer {out.shape} too small for "
+                f"({n}, {n_slots}) truth matrix"
+            )
+        truth = out[:n, :n_slots]
+        truth[:] = False
         return truth
 
     def _evaluate_attr_odd(

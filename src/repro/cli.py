@@ -51,6 +51,7 @@ from repro.io import (
 )
 from repro.obs import MetricsRegistry, json_snapshot, prometheus_text, write_json_snapshot
 from repro.system.resilience import ADMISSION_POLICIES, DeadlineExceededError, ServerOverloadedError
+from repro.system.procpool import CODECS
 from repro.system.router import ROUTERS
 from repro.system.sharding import EXECUTORS, ShardedMatcher
 from repro.workload.generator import WorkloadGenerator
@@ -61,6 +62,27 @@ ENGINES = ("oracle", "counting", "propagation", "propagation-wp", "static", "dyn
 
 #: Engines ``explain`` understands (two-phase internals required).
 TWO_PHASE_ENGINES = tuple(e for e in ENGINES if e != "oracle")
+
+
+def _add_executor_knobs(sub: argparse.ArgumentParser) -> None:
+    """The process-executor tuning flags shared by match/stats/health."""
+    sub.add_argument(
+        "--codec",
+        choices=CODECS,
+        default="auto",
+        help="worker transport (with --executor process): 'auto' packs "
+        "columnar batches over the pipe, 'pickle' forces objects, 'shm' "
+        "moves batches and results through a shared-memory arena "
+        "(see docs/scaling.md)",
+    )
+    sub.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill a worker whose reply exceeds this many seconds "
+        "(with --executor process; default: wait forever)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard execution backend (with --shards > 1): 'process' runs "
         "one worker process per shard for real multi-core matching",
     )
+    _add_executor_knobs(match)
     match.add_argument(
         "--aggregate",
         action="store_true",
@@ -126,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--shards", type=int, default=1, metavar="N")
     stats.add_argument("--router", choices=sorted(ROUTERS), default="affinity")
     stats.add_argument("--executor", choices=EXECUTORS, default="thread")
+    _add_executor_knobs(stats)
     stats.add_argument(
         "--aggregate",
         action="store_true",
@@ -175,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--shards", type=int, default=1, metavar="N")
     health.add_argument("--router", choices=sorted(ROUTERS), default="affinity")
     health.add_argument("--executor", choices=EXECUTORS, default="thread")
+    _add_executor_knobs(health)
     health.add_argument("--workers", type=int, default=1, metavar="N")
     health.add_argument(
         "--queue-limit",
@@ -261,6 +286,8 @@ def _build_matcher(args: argparse.Namespace):
             router=args.router,
             inner=lambda: matcher_for(args.engine, spec),
             executor=getattr(args, "executor", "thread"),
+            codec=getattr(args, "codec", "auto"),
+            worker_timeout=getattr(args, "worker_timeout", None),
         )
     else:
         matcher = matcher_for(args.engine, spec)
@@ -294,6 +321,8 @@ def _snapshot_context(args: argparse.Namespace, events: int) -> dict:
         "engine": args.engine,
         "shards": args.shards,
         "executor": getattr(args, "executor", "thread"),
+        "codec": getattr(args, "codec", "auto"),
+        "worker_timeout": getattr(args, "worker_timeout", None),
         "aggregate": getattr(args, "aggregate", False),
         "events": events,
     }
@@ -393,6 +422,8 @@ def _cmd_health(args: argparse.Namespace, out) -> int:
             inner=lambda: matcher_for(args.engine, spec),
             breaker=True,
             executor=args.executor,
+            codec=args.codec,
+            worker_timeout=args.worker_timeout,
         )
     else:
         matcher = matcher_for(args.engine, spec)

@@ -111,6 +111,19 @@ class Matcher(abc.ABC):
         """
         return [self.match(e) for e in events]
 
+    def match_batch_columnar(self, batch: Any) -> List[List[Any]]:
+        """Match a columnar batch (``repro.batch.columns.ColumnarBatch``).
+
+        Same per-event contract as :meth:`match_batch`.  The default
+        materializes event objects and delegates — so every wrapper and
+        fault injector that forwards :meth:`match_batch` stays on the
+        observed path — while two-phase engines override it to feed the
+        columns straight into the vectorized predicate phase.  Callers
+        (the process-executor workers) hold batches that already exist
+        in columnar form; anything else should call :meth:`match_batch`.
+        """
+        return self.match_batch(batch.to_events())
+
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------

@@ -57,21 +57,22 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.batch.bitmatrix import pack_bits, unpack_bits
+from repro.batch.columns import ColumnarBatch
 from repro.core.errors import UnknownSubscriptionError
 from repro.core.matcher import Matcher
 from repro.core.types import Event, Subscription
 from repro.obs.registry import MetricsRegistry
 from repro.system.resilience import WorkerDiedError, WorkerStateError
+from repro.system.shm import ShmArena, ShmLayoutError, SlotTicket
 
 #: Result/event transport codecs: ``auto`` packs bit matrices and
 #: columnar event batches when possible, ``pickle`` forces the object
-#: fallback everywhere (differential tests run both).
-CODECS = ("auto", "pickle")
-
-#: Largest integer float64 represents exactly; beyond it the columnar
-#: event encoding would silently round, so such batches take the
-#: pickle fallback (mirrors the batch kernel's odd-path split).
-_EXACT_INT_LIMIT = 2**53
+#: fallback everywhere (differential tests run both), and ``shm`` moves
+#: both directions through a shared-memory arena (write-once event
+#: slots, in-place result regions; see :mod:`repro.system.shm`) with the
+#: pipe demoted to a control channel — pipe ``auto`` remains the
+#: fallback for batches the columnar layout cannot carry.
+CODECS = ("auto", "pickle", "shm")
 
 #: Poll granularity while waiting on a worker reply.  ``Connection.poll``
 #: returns the instant data arrives; this only bounds how often worker
@@ -80,6 +81,41 @@ _POLL_SECONDS = 0.02
 
 #: IPC op label values (the ``repro_procpool_ipc_seconds`` label set).
 _IPC_OPS = ("mutate", "match", "batch", "control")
+
+#: ``repro_shm_fallback_total`` reason label values: the batch could not
+#: ride the columnar layout at all (``oddpath``), no free slot appeared
+#: within the publish timeout (``slot_wait``), the batch was larger than
+#: one slot (``slot_full``), or a worker's result matrix outgrew its
+#: region and came back over the pipe (``result_full``).
+SHM_FALLBACK_REASONS = ("oddpath", "slot_wait", "slot_full", "result_full")
+
+#: How long a publish waits for a free event slot before falling back to
+#: the pipe transport (slow readers should degrade, not deadlock).
+_SLOT_WAIT_SECONDS = 2.0
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Cheap structural size estimate of one pipe payload, in bytes.
+
+    Feeds ``repro_procpool_bytes_total`` without re-serializing: arrays
+    report their buffers, containers recurse, scalars count one machine
+    word.  Close enough to pickle framing to compare transports by
+    bytes-moved; not an exact wire size.
+    """
+    if obj is None or isinstance(obj, (bool, int, float)):
+        return 8
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (str, bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(payload_nbytes(item) for item in obj)
+    pairs = getattr(obj, "pairs", None)  # Event
+    if isinstance(pairs, dict):
+        return payload_nbytes(pairs)
+    return 64
 
 
 # ----------------------------------------------------------------------
@@ -93,51 +129,68 @@ def encode_events(events: Sequence[Event], codec: str = "auto") -> Tuple[str, An
     is a float64-exact number, else ``("objs", list(events))``.
     """
     if codec == "auto" and events:
-        attrs: List[str] = []
-        seen: Dict[str, int] = {}
-        numeric = True
-        for event in events:
-            for attr, value in event.items():
-                if isinstance(value, str) or (
-                    isinstance(value, int) and abs(value) >= _EXACT_INT_LIMIT
-                ):
-                    numeric = False
-                    break
-                if attr not in seen:
-                    seen[attr] = len(attrs)
-                    attrs.append(attr)
-            if not numeric:
-                break
-        if numeric:
-            values = np.zeros((len(events), len(attrs)), dtype=np.float64)
-            presence = np.zeros((len(events), len(attrs)), dtype=bool)
-            ints = np.zeros((len(events), len(attrs)), dtype=bool)
-            for row, event in enumerate(events):
-                for attr, value in event.items():
-                    col = seen[attr]
-                    presence[row, col] = True
-                    values[row, col] = value
-                    ints[row, col] = isinstance(value, int)
-            return ("cols", attrs, values, pack_bits(presence), pack_bits(ints))
+        batch = ColumnarBatch.from_events(events)
+        if batch is not None:
+            return ("cols", batch.attrs, batch.values, batch.presence, batch.ints)
     return ("objs", list(events))
 
 
-def decode_events(payload: Tuple[str, Any]) -> List[Event]:
-    """Inverse of :func:`encode_events`."""
+def decode_events(
+    payload: Tuple[str, Any], rows: Optional[Sequence[int]] = None
+) -> List[Event]:
+    """Inverse of :func:`encode_events`.
+
+    *rows* selects a subset of the batch to materialize (in the given
+    order) — the shm path publishes the whole batch once and each shard
+    decodes only the rows routed to it.
+    """
     if payload[0] == "objs":
-        return payload[1]
-    _tag, attrs, values, presence_packed, ints_packed = payload
-    n_attrs = len(attrs)
-    presence = unpack_bits(presence_packed, n_attrs)
-    ints = unpack_bits(ints_packed, n_attrs)
-    events = []
-    for row in range(values.shape[0]):
-        pairs: Dict[str, Any] = {}
-        for col in np.nonzero(presence[row])[0]:
-            value = float(values[row, col])
-            pairs[attrs[col]] = int(value) if ints[row, col] else value
-        events.append(Event(pairs))
-    return events
+        events = payload[1]
+        return list(events) if rows is None else [events[r] for r in rows]
+    batch = ColumnarBatch(*payload[1:])
+    if rows is not None:
+        batch = batch.select(rows)
+    return batch.to_events()
+
+
+def match_payload(
+    matcher: Matcher, payload: Tuple[str, Any], rows: Optional[Sequence[int]] = None
+) -> List[List[Any]]:
+    """Match one wire payload against *matcher* (the worker's hot path).
+
+    Columnar payloads feed :meth:`Matcher.match_batch_columnar` so the
+    vectorized predicate phase runs straight off the matrices — when
+    *rows* is the identity routing the arrays (possibly shm slot views)
+    are used in place, otherwise the routed sub-batch is copied out.
+    Object payloads take the ordinary :meth:`Matcher.match_batch`.
+    """
+    if payload[0] == "objs":
+        events = payload[1]
+        if rows is not None:
+            events = [events[r] for r in rows]
+        return matcher.match_batch(list(events))
+    batch = ColumnarBatch(*payload[1:])
+    if rows is not None and list(rows) != list(range(len(batch))):
+        batch = batch.select(rows)
+    return matcher.match_batch_columnar(batch)
+
+
+def results_truth(
+    lists: List[List[Any]], index_of: Dict[Any, int]
+) -> Optional[np.ndarray]:
+    """Per-event match lists as a boolean matrix over the id table.
+
+    None when an id falls outside the table (an exotic wrapper) — the
+    caller then ships the lists themselves.
+    """
+    truth = np.zeros((len(lists), len(index_of)), dtype=bool)
+    try:
+        for row, ids in enumerate(lists):
+            for sub_id in ids:
+                truth[row, index_of[sub_id]] = True
+    except KeyError:
+        return None
+    return truth
 
 
 def encode_results(
@@ -145,13 +198,9 @@ def encode_results(
 ) -> Tuple[str, Any]:
     """Encode per-event match lists as a packed bit matrix over the
     worker's id table (``("bits", packed)``), or the lists themselves."""
-    if codec == "auto" and index_of:
-        truth = np.zeros((len(lists), len(index_of)), dtype=bool)
-        try:
-            for row, ids in enumerate(lists):
-                for sub_id in ids:
-                    truth[row, index_of[sub_id]] = True
-        except KeyError:
+    if codec != "pickle" and index_of:
+        truth = results_truth(lists, index_of)
+        if truth is None:
             # An id outside the registry (an exotic wrapper): fall back.
             return ("lists", [list(ids) for ids in lists])
         return ("bits", pack_bits(truth))
@@ -163,7 +212,14 @@ def decode_results(payload: Tuple[str, Any], table: List[Any]) -> List[List[Any]
     if payload[0] == "lists":
         return payload[1]
     truth = unpack_bits(payload[1], len(table))
-    return [[table[col] for col in np.nonzero(row)[0]] for row in truth]
+    # One nonzero over the whole matrix, not one per row: hit pairs come
+    # back row-major, so each row's ids append in column order exactly
+    # as the per-row scan produced them.
+    out: List[List[Any]] = [[] for _ in range(truth.shape[0])]
+    rows, cols = np.nonzero(truth)
+    for row, col in zip(rows.tolist(), cols.tolist()):
+        out[row].append(table[col])
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -178,14 +234,57 @@ def _send(conn, status: str, value: Any) -> None:
         conn.send(("err", RuntimeError(f"unpicklable worker reply: {value!r}")))
 
 
-def worker_main(conn, factory: Callable[[], Matcher], codec: str) -> None:
+def _serve_batch_shm(
+    arena: ShmArena,
+    worker_index: int,
+    matcher: Matcher,
+    index_of: Dict[Any, int],
+    codec: str,
+    msg: Tuple,
+) -> Tuple[str, Any]:
+    """One ``batch_shm`` request inside the worker.
+
+    Reads the published slot in place, matches the rows routed to this
+    shard, and writes the packed result matrix into the worker's own
+    region — replying ``("shmres", rows, words)`` — or falls back to
+    pipe bits when the matrix outgrows the region.
+    """
+    slot_index, generation, rows = msg[1], msg[2], msg[3]
+    attrs, values, presence, ints = arena.read_slot(slot_index, generation)
+    lists = match_payload(matcher, ("cols", attrs, values, presence, ints), rows)
+    truth = results_truth(lists, index_of)
+    if truth is not None:
+        descriptor = arena.write_result(worker_index, generation, truth)
+        if descriptor is not None:
+            return ("shmres",) + descriptor
+    # Result region too small (or exotic ids): the bits ride the pipe
+    # instead — correctness over zero-copy.
+    return encode_results(lists, index_of, codec)
+
+
+def worker_main(
+    conn,
+    factory: Callable[[], Matcher],
+    codec: str,
+    shm_spec: Optional[Dict[str, Any]] = None,
+) -> None:
     """Serve one shard's matcher over *conn* until EOF or ``stop``.
 
     Exposed (not underscore-private) because ``spawn``/``forkserver``
     start methods must import it by qualified name.
+
+    Under the ``shm`` codec *shm_spec* names the parent's arena: the
+    worker attaches both segments (never unlinks — the parent owns
+    them), reads event slots in place, and writes packed results into
+    its own ``shm_spec["worker_index"]`` region.
     """
+    arena: Optional[ShmArena] = None
+    worker_index = -1
     try:
         matcher = factory()
+        if shm_spec is not None:
+            worker_index = shm_spec["worker_index"]
+            arena = ShmArena.attach(shm_spec)
     except BaseException as exc:
         _send(conn, "err", exc)
         conn.close()
@@ -202,11 +301,24 @@ def worker_main(conn, factory: Callable[[], Matcher], codec: str) -> None:
         op = msg[0]
         try:
             if op == "batch":
-                events = decode_events(msg[1])
-                lists = matcher.match_batch(events)
+                lists = match_payload(matcher, msg[1])
                 if index_of is None:
                     index_of = {sub_id: i for i, sub_id in enumerate(live)}
                 reply: Any = (epoch, encode_results(lists, index_of, codec))
+            elif op == "batch_shm":
+                if arena is None:
+                    raise RuntimeError("batch_shm without an attached arena")
+                if index_of is None:
+                    index_of = {sub_id: i for i, sub_id in enumerate(live)}
+                # Handled in a helper so the slot views it takes are
+                # dropped at return — a lingering view would block the
+                # arena unmap at shutdown (exported-pointer semantics).
+                reply = (
+                    epoch,
+                    _serve_batch_shm(
+                        arena, worker_index, matcher, index_of, codec, msg
+                    ),
+                )
             elif op == "match":
                 reply = (epoch, list(matcher.match(msg[1])))
             elif op == "add":
@@ -239,6 +351,8 @@ def worker_main(conn, factory: Callable[[], Matcher], codec: str) -> None:
             _send(conn, "err", exc)
         else:
             _send(conn, "ok", reply)
+    if arena is not None:
+        arena.close()
     conn.close()
 
 
@@ -277,6 +391,9 @@ class ProcessPool:
         request_timeout: Optional[float] = None,
         codec: str = "auto",
         metrics: Optional[MetricsRegistry] = None,
+        shm_slots: int = 4,
+        shm_slot_bytes: int = 1 << 20,
+        shm_result_bytes: int = 1 << 20,
     ) -> None:
         if not factories:
             raise ValueError("a process pool needs at least one shard factory")
@@ -296,10 +413,24 @@ class ProcessPool:
         self._factories = list(factories)
         self._workers: List[Optional[_Worker]] = [None] * len(factories)
         self._closed = False
+        self.arena: Optional[ShmArena] = None
+        if codec == "shm":
+            self.arena = ShmArena.create(
+                workers=len(self._factories),
+                slots=shm_slots,
+                slot_bytes=shm_slot_bytes,
+                result_bytes=shm_result_bytes,
+            )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._bind_metrics()
-        for index in range(len(factories)):
-            self.spawn(index)
+        try:
+            for index in range(len(factories)):
+                self.spawn(index)
+        except BaseException:
+            # A mid-loop factory failure must not leak the workers (or
+            # /dev/shm segments) already brought up.
+            self.close()
+            raise
 
     # -- observability --------------------------------------------------
     def _bind_metrics(self) -> None:
@@ -321,6 +452,40 @@ class ProcessPool:
             ("op",),
         )
         self._m_ipc = {op: ipc.labels(op=op) for op in _IPC_OPS}
+        pipe_bytes = m.counter(
+            "repro_procpool_bytes_total",
+            "Estimated bytes moved over the worker command pipes, by "
+            "direction and configured codec.",
+            ("direction", "codec"),
+        )
+        self._m_pipe_bytes = {
+            direction: pipe_bytes.labels(direction=direction, codec=self.codec)
+            for direction in ("send", "recv")
+        }
+        shm_bytes = m.counter(
+            "repro_shm_bytes_total",
+            "Bytes placed in (publish) and read back from (result) the "
+            "shared-memory arena.",
+            ("direction",),
+        )
+        self._m_shm_bytes = {
+            direction: shm_bytes.labels(direction=direction)
+            for direction in ("publish", "result")
+        }
+        self._m_shm_wait = m.histogram(
+            "repro_shm_slot_wait_seconds",
+            "Time a publish waited for a free event slot.",
+        ).labels()
+        shm_fallback = m.counter(
+            "repro_shm_fallback_total",
+            "Shared-memory batches that degraded to the pipe transport, "
+            "by reason.",
+            ("reason",),
+        )
+        self._m_shm_fallback = {
+            reason: shm_fallback.labels(reason=reason)
+            for reason in SHM_FALLBACK_REASONS
+        }
         self._m_workers.set(self.alive_count())
 
     def use_metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
@@ -355,10 +520,15 @@ class ProcessPool:
         if self._closed:
             raise WorkerDiedError("process pool is closed", shard=index)
         self._reap(index)
+        shm_spec = None
+        if self.arena is not None:
+            # Respawns reattach the same segments: the spec names them
+            # and pins this worker's result region.
+            shm_spec = dict(self.arena.spec(), worker_index=index)
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=worker_main,
-            args=(child_conn, self._factories[index], self.codec),
+            args=(child_conn, self._factories[index], self.codec, shm_spec),
             daemon=True,
             name=f"repro-shard-{index}",
         )
@@ -423,7 +593,59 @@ class ProcessPool:
                 except (OSError, ValueError):
                     pass
             self._reap(index)
+        if self.arena is not None:
+            # Workers are gone; unmapping + unlinking here is the only
+            # place the segments leave /dev/shm.
+            self.arena.close()
         self._m_workers.set(0)
+
+    # -- shared-memory publish path ------------------------------------
+    def publish_events(
+        self,
+        events: Sequence[Event],
+        readers: int,
+        timeout: float = _SLOT_WAIT_SECONDS,
+    ) -> Optional[SlotTicket]:
+        """Pack *events* once into a free arena slot for *readers* shards.
+
+        Returns the slot ticket (every reader must be driven through
+        :meth:`ProcessShard.match_batch_shm`, which acks it), or None
+        when the batch must take the pipe instead — odd-path values,
+        a batch bigger than one slot, or no slot freeing up in time.
+        Every None is counted in ``repro_shm_fallback_total``.
+        """
+        if self.arena is None or self.arena.ring is None:
+            raise RuntimeError("publish_events requires the shm codec")
+        payload = encode_events(events, "auto")
+        if payload[0] != "cols":
+            self._m_shm_fallback["oddpath"].inc()
+            return None
+        _tag, attrs, values, presence, ints = payload
+        waited = time.perf_counter()
+        ticket = self.arena.ring.acquire(readers, timeout=timeout)
+        self._m_shm_wait.observe(time.perf_counter() - waited)
+        if ticket is None:
+            self._m_shm_fallback["slot_wait"].inc()
+            return None
+        try:
+            nbytes = self.arena.write_slot(ticket, attrs, values, presence, ints)
+        except BaseException:
+            self._release_ticket(ticket)
+            raise
+        if nbytes is None:
+            self._release_ticket(ticket)
+            self._m_shm_fallback["slot_full"].inc()
+            return None
+        ticket.nbytes = nbytes
+        self._m_shm_bytes["publish"].inc(nbytes)
+        return ticket
+
+    def _release_ticket(self, ticket: SlotTicket) -> None:
+        """Return an unread slot to the ring (all its readers at once)."""
+        if self.arena is None or self.arena.ring is None:
+            return
+        for _ in range(ticket.readers):
+            self.arena.ring.ack(ticket)
 
     def __enter__(self) -> "ProcessPool":
         return self
@@ -451,7 +673,9 @@ class ProcessPool:
             raise WorkerDiedError(
                 f"shard {index} worker pipe broke on send: {exc}", shard=index
             ) from exc
+        self._m_pipe_bytes["send"].inc(payload_nbytes(message))
         reply = self._recv(worker, index)
+        self._m_pipe_bytes["recv"].inc(payload_nbytes(reply))
         self._m_ipc[op if op in self._m_ipc else "control"].observe(
             time.perf_counter() - start
         )
@@ -489,6 +713,7 @@ class ProcessPool:
             try:
                 while sent < len(messages) and sent - len(replies) < window:
                     worker.conn.send(messages[sent])
+                    self._m_pipe_bytes["send"].inc(payload_nbytes(messages[sent]))
                     sent += 1
             except (OSError, ValueError, BrokenPipeError) as exc:
                 self.note_death(index)
@@ -496,7 +721,9 @@ class ProcessPool:
                     f"shard {index} worker pipe broke mid-stream: {exc}",
                     shard=index,
                 ) from exc
-            replies.append(self._recv(worker, index))
+            reply = self._recv(worker, index)
+            self._m_pipe_bytes["recv"].inc(payload_nbytes(reply))
+            replies.append(reply)
         if messages:
             hist = self._m_ipc[op if op in self._m_ipc else "control"]
             share = (time.perf_counter() - start) / len(messages)
@@ -541,7 +768,7 @@ class ProcessPool:
 
     def stats(self) -> Dict[str, Any]:
         """JSON-serializable pool snapshot (same contract as matchers)."""
-        return {
+        out = {
             "name": "procpool",
             "workers": len(self._factories),
             "alive": self.alive_count(),
@@ -556,8 +783,25 @@ class ProcessPool:
                 "ipc_seconds": float(
                     sum(h.sum for h in self._m_ipc.values())
                 ),
+                "pipe_bytes": {
+                    direction: int(c.value)
+                    for direction, c in self._m_pipe_bytes.items()
+                },
             },
         }
+        if self.arena is not None:
+            out["shm"] = dict(
+                self.arena.health(),
+                bytes={
+                    direction: int(c.value)
+                    for direction, c in self._m_shm_bytes.items()
+                },
+                fallbacks={
+                    reason: int(c.value)
+                    for reason, c in self._m_shm_fallback.items()
+                },
+            )
+        return out
 
 
 class ProcessShard(Matcher):
@@ -653,10 +897,51 @@ class ProcessShard(Matcher):
         events = list(events)
         if not events:
             return []
-        payload = encode_events(events, self.pool.codec)
+        if self.pool.arena is not None:
+            # Single-reader shm path (the sharded layer publishes once
+            # for all shards itself; this covers direct shard calls).
+            if not self.pool.alive(self.index):
+                self._heal()
+            ticket = self.pool.publish_events(events, readers=1)
+            if ticket is not None:
+                return self.match_batch_shm(ticket, None)
+        codec = "pickle" if self.pool.codec == "pickle" else "auto"
+        payload = encode_events(events, codec)
         worker_epoch, results = self._call(("batch", payload), "batch")
         self._check_epoch(worker_epoch)
         return decode_results(results, self._id_table())
+
+    def match_batch_shm(
+        self, ticket: SlotTicket, rows: Optional[List[int]]
+    ) -> List[List[Any]]:
+        """Match the published slot's batch (or its *rows* subset).
+
+        Consumes exactly one reader ack of *ticket* — in a ``finally``,
+        so a worker that dies (or desyncs) mid-request still frees the
+        slot for the next batch.  Results arrive through this shard's
+        arena region when they fit, over the pipe otherwise.
+        """
+        pool = self.pool
+        try:
+            if not pool.alive(self.index):
+                self._heal()
+            worker_epoch, results = self._call(
+                ("batch_shm", ticket.index, ticket.generation, rows), "batch"
+            )
+            self._check_epoch(worker_epoch)
+            table = self._id_table()
+            if results[0] == "shmres":
+                _tag, n_rows, n_words = results
+                packed = pool.arena.read_result(
+                    self.index, ticket.generation, n_rows, n_words
+                )
+                pool._m_shm_bytes["result"].inc(packed.nbytes)
+                return decode_results(("bits", packed), table)
+            pool._m_shm_fallback["result_full"].inc()
+            return decode_results(results, table)
+        finally:
+            if pool.arena is not None and pool.arena.ring is not None:
+                pool.arena.ring.ack(ticket)
 
     def match_serial(self, events: Sequence[Event]) -> List[List[Any]]:
         """Scalar-semantics stream: ``[self.match(e) for e in events]``.

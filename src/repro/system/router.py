@@ -87,6 +87,15 @@ class ShardRouter(abc.ABC):
         """Ascending shard indexes that may hold matches for *event*."""
         return list(range(self.shards))
 
+    def prunes(self) -> bool:
+        """Whether this policy can ever return fewer than all shards.
+
+        Policies inheriting the default :meth:`candidate_shards` always
+        broadcast, so the batch fan-out may skip the per-event candidate
+        scan entirely and route every populated shard the whole batch.
+        """
+        return type(self).candidate_shards is not ShardRouter.candidate_shards
+
     def stats(self) -> Dict[str, Any]:
         """Router-specific statistics for the metrics surface."""
         return {"router": self.name, "shards": self.shards}

@@ -360,12 +360,16 @@ class ShardedMatcher(Matcher):
                 "workers": len(self._shards),
                 "alive": len(self._shards),
             }
-        return {
+        health = {
             "executor": "process",
             "workers": self._procpool.workers,
             "alive": self._procpool.alive_count(),
             "start_method": self._procpool.start_method,
+            "codec": self._procpool.codec,
         }
+        if self._procpool.arena is not None:
+            health["shm"] = self._procpool.arena.health()
+        return health
 
     def __enter__(self) -> "ShardedMatcher":
         return self
@@ -481,54 +485,119 @@ class ShardedMatcher(Matcher):
         accounting and fan-out spans are per event by design).
         """
         events = list(events)
+        n = len(events)
         if not events:
             return []
         if self._breakers is not None or self.tracer.enabled:
             return [self.match(e) for e in events]
-        rows_of: Dict[int, List[int]] = {}
+        # A shard's row list; None is the identity routing — the whole
+        # batch in order — so broadcast fan-outs never build, pickle or
+        # re-gather per-event row lists at all.
+        rows_of: Dict[int, Optional[List[int]]] = {}
         skipped = 0
         with self._meta:
-            for row, event in enumerate(events):
-                candidates = sorted(
-                    s
-                    for s in set(self.router.candidate_shards(event))
-                    if self._population[s]
-                )
-                skipped += len(self._shards) - len(candidates)
-                for s in candidates:
-                    rows_of.setdefault(s, []).append(row)
-            self._m_events.inc(len(events))
+            if self.router.prunes():
+                for row, event in enumerate(events):
+                    candidates = sorted(
+                        s
+                        for s in set(self.router.candidate_shards(event))
+                        if self._population[s]
+                    )
+                    skipped += len(self._shards) - len(candidates)
+                    for s in candidates:
+                        rows_of.setdefault(s, []).append(row)
+            else:
+                populated = [
+                    s for s in range(len(self._shards)) if self._population[s]
+                ]
+                rows_of = {s: None for s in populated}
+                skipped = (len(self._shards) - len(populated)) * n
+            self._m_events.inc(n)
             self._m_skipped.inc(skipped)
             for s, rows in rows_of.items():
-                self._m_visits[s].inc(len(rows))
+                self._m_visits[s].inc(n if rows is None else len(rows))
         out: List[List[Any]] = [[] for _ in events]
         probe = sorted(rows_of)
         if not probe:
             return out
         start = time.perf_counter()
-        if self._parallel and len(probe) > 1:
-            pool = self._ensure_pool()
-            futures = [
-                pool.submit(
-                    self._match_shard_batch, s, [events[r] for r in rows_of[s]]
-                )
-                for s in probe
-            ]
-            results = [f.result() for f in futures]
-        else:
-            results = [
-                self._match_shard_batch(s, [events[r] for r in rows_of[s]])
-                for s in probe
-            ]
+        results = None
+        if self._procpool is not None and self._procpool.arena is not None:
+            results = self._match_batch_shm(events, rows_of, probe)
+        if results is None:
+
+            def sub_batch(s: int) -> List[Event]:
+                rows = rows_of[s]
+                return events if rows is None else [events[r] for r in rows]
+
+            if self._parallel and len(probe) > 1:
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(self._match_shard_batch, s, sub_batch(s))
+                    for s in probe
+                ]
+                results = [f.result() for f in futures]
+            else:
+                results = [
+                    self._match_shard_batch(s, sub_batch(s)) for s in probe
+                ]
         merged_at = time.perf_counter()
         for s, per_event in zip(probe, results):
-            for r, ids in zip(rows_of[s], per_event):
+            rows = rows_of[s]
+            for r, ids in zip(range(n) if rows is None else rows, per_event):
                 out[r].extend(ids)
         done = time.perf_counter()
         with self._meta:
             self._m_fanout_seconds.observe(merged_at - start)
             self._m_merge_seconds.observe(done - merged_at)
         return out
+
+    def _match_batch_shm(
+        self,
+        events: List[Event],
+        rows_of: Dict[int, Optional[List[int]]],
+        probe: List[int],
+    ) -> Optional[List[List[List[Any]]]]:
+        """Write-once fan-out over the process pool's shm arena.
+
+        The batch is packed into one event slot with ``len(probe)``
+        readers; every probed shard then receives only the tiny slot
+        descriptor plus its row list (None = the whole batch, read in
+        place) and acks the slot when done (in a
+        ``finally`` inside :meth:`ProcessShard.match_batch_shm`, so
+        worker death cannot strand it).  Returns None — pipe fallback —
+        when the batch cannot ride the arena (odd-path values, slot too
+        small, no slot free in time); the pool counts each reason in
+        ``repro_shm_fallback_total``.
+        """
+        pool = self._procpool
+        ticket = pool.publish_events(events, readers=len(probe))
+        if ticket is None:
+            return None
+
+        def run(s: int) -> List[List[Any]]:
+            with self._shard_locks[s]:
+                return self._shards[s].match_batch_shm(ticket, rows_of[s])
+
+        if self._parallel and len(probe) > 1:
+            # Every submitted future runs (even after an earlier one
+            # fails), so every reader ack is issued exactly once.
+            tpool = self._ensure_pool()
+            futures = [tpool.submit(run, s) for s in probe]
+            return [f.result() for f in futures]
+        done = 0
+        try:
+            results = []
+            for s in probe:
+                results.append(run(s))
+                done += 1
+            return results
+        except BaseException:
+            # Shards never reached still hold reader claims; release
+            # them so the slot returns to the ring.
+            for _ in range(len(probe) - done - 1):
+                pool.arena.ring.ack(ticket)
+            raise
 
     def _match_shard_serial(
         self, shard: int, events: List[Event]

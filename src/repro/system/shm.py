@@ -1,0 +1,581 @@
+"""Zero-copy shared-memory data plane for the process executor.
+
+The pipe transport of :mod:`repro.system.procpool` re-serializes the
+same columnar event batch once **per shard** and copies every worker's
+packed result bit matrix back through pickle framing — four copies per
+direction on a 4-shard fan-out.  This module replaces both data hops
+with write-once/read-many placement in ``multiprocessing.shared_memory``:
+
+* **Event slots** — one segment holding a small ring of fixed-size
+  slots.  The parent packs a columnar batch (attrs table, float64 value
+  matrix, packed presence/int-ness bit rows) into a free slot exactly
+  once; every shard worker maps the same segment and reads the slot
+  in place (numpy views over the buffer, no deserialization), so N
+  shards cost one write instead of N pickled sends.
+* **Result slots** — a second segment partitioned into one fixed region
+  per worker.  Each worker packs its uint64 result bit matrix directly
+  into its own region (:func:`repro.batch.bitmatrix.pack_bits_into`),
+  and the parent decodes it from the mapped buffer — the reply pipe
+  carries only a tiny ``("shmres", rows, words)`` descriptor.
+
+The command pipe shrinks to a control channel: slot hand-off, acks, and
+the pickle odd-path fallback for batches the columnar form cannot carry
+(strings, integers at or past 2**53 — the same split the batch kernel
+makes; NaN floats ride the matrix, the presence bit distinguishes them
+from missing attributes).
+
+Slot lifecycle (pinned by ``tests/system/test_shm_ring.py`` and the
+hypothesis suite ``tests/properties/test_prop_shm.py``):
+
+* :class:`SlotRing` hands out slots round-robin.  ``acquire(readers=k)``
+  blocks until a slot's previous readers have all acked, bumps the
+  slot's **generation**, and returns a :class:`SlotTicket`; every
+  reader acks exactly once (in arbitrary order), and the slot becomes
+  reusable only when the pending count hits zero.
+* The generation is written into the slot header and echoed in every
+  worker request/result, so a stale reuse (a lost ack, a desynced
+  worker) surfaces as :class:`ShmLayoutError` instead of decoding
+  someone else's batch.
+* Worker death while holding a slot must not leak it: the parent-side
+  request path acks in a ``finally``, so a SIGKILLed reader frees the
+  slot exactly like a healthy one, and the segments themselves are
+  owned (and unlinked) by the parent pool alone.
+
+Segments are named ``repro_shm_<pid>_<token>_{ev,res}`` so the test
+suite's session leak-guard can assert nothing survives in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.batch.bitmatrix import pack_bits_into, packed_words
+
+#: ``/dev/shm`` name prefix of every segment this module creates (the
+#: session leak-guard in ``tests/conftest.py`` scans for it).
+SHM_PREFIX = "repro_shm_"
+
+#: Slot-header magic ("REPROSHM" little-endian) — a wrong-segment or
+#: torn-layout read fails loudly instead of decoding garbage.
+_MAGIC = int.from_bytes(b"REPROSHM", "little")
+
+#: Words (uint64) in an event-slot header.
+HEADER_WORDS = 8
+
+#: Words (uint64) in a result-region header.
+RESULT_HEADER_WORDS = 4
+
+#: Section dtype codes recorded in (and validated against) the slot
+#: header's dtype table.  The columnar batch always ships float64
+#: values plus uint64-packed presence/int bit rows today; the table
+#: exists so a future layout bump is a readable error, not corruption.
+DTYPE_CODES: Dict[str, int] = {"<f8": 1, "<u8": 2, "<i8": 3, "<u1": 4}
+_CODE_DTYPES = {code: dtype for dtype, code in DTYPE_CODES.items()}
+
+#: The dtype table of the current columnar layout:
+#: (values, presence, ints) section dtypes.
+EVENT_DTYPES = ("<f8", "<u8", "<u8")
+
+
+class ShmLayoutError(RuntimeError):
+    """A shared-memory slot or result region failed validation."""
+
+
+def _pad8(n: int) -> int:
+    """Round *n* up to a multiple of 8 bytes (u64 alignment)."""
+    return (n + 7) & ~7
+
+
+def pack_dtype_table(dtypes: Sequence[str]) -> int:
+    """Encode up to 8 section dtypes into one header word (8 bits each)."""
+    if len(dtypes) > 8:
+        raise ValueError(f"dtype table holds at most 8 sections, got {len(dtypes)}")
+    word = 0
+    for i, dtype in enumerate(dtypes):
+        try:
+            word |= DTYPE_CODES[dtype] << (8 * i)
+        except KeyError:
+            raise ValueError(f"unknown section dtype {dtype!r}") from None
+    return word
+
+
+def unpack_dtype_table(word: int, n_sections: int) -> Tuple[str, ...]:
+    """Inverse of :func:`pack_dtype_table` for the first *n_sections*."""
+    out = []
+    for i in range(n_sections):
+        code = (word >> (8 * i)) & 0xFF
+        dtype = _CODE_DTYPES.get(code)
+        if dtype is None:
+            raise ShmLayoutError(f"unknown dtype code {code} in section {i}")
+        out.append(dtype)
+    return tuple(out)
+
+
+class SlotTicket:
+    """One published batch: slot index + the generation it was written at.
+
+    Carries the pending-reader accounting handle; every reader (one per
+    shard the batch was handed to) must :meth:`SlotRing.ack` exactly
+    once — the parent request path does so in a ``finally`` so worker
+    death cannot leak the slot.
+    """
+
+    __slots__ = ("index", "generation", "readers", "nbytes")
+
+    def __init__(self, index: int, generation: int, readers: int, nbytes: int = 0) -> None:
+        self.index = index
+        self.generation = generation
+        self.readers = readers
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"SlotTicket(slot={self.index}, gen={self.generation}, "
+            f"readers={self.readers})"
+        )
+
+
+class SlotRing:
+    """Reader-acked ring of reusable slots (parent-side bookkeeping only).
+
+    Thread-safe: the sharded layer publishes from whatever thread runs
+    ``match_batch`` and acks from its fan-out pool threads.  A slot is
+    handed out again only when every reader of its previous batch has
+    acked; generations increase monotonically per slot so stale tickets
+    are detectable.
+    """
+
+    def __init__(self, slots: int) -> None:
+        if slots < 1:
+            raise ValueError(f"ring needs at least one slot, got {slots}")
+        self._pending = [0] * slots
+        self._generation = [0] * slots
+        self._next = 0
+        self._cond = threading.Condition()
+
+    @property
+    def slots(self) -> int:
+        return len(self._pending)
+
+    def acquire(
+        self, readers: int, timeout: Optional[float] = None
+    ) -> Optional[SlotTicket]:
+        """Claim a free slot for *readers* readers, or None on timeout.
+
+        The scan starts after the last handed-out slot (round-robin), so
+        consecutive batches land in different slots — the double-buffer
+        behaviour that lets the parent pack batch *k+1* while slow
+        readers drain batch *k*.
+        """
+        if readers < 1:
+            raise ValueError(f"a published slot needs >= 1 reader, got {readers}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                n = len(self._pending)
+                for step in range(n):
+                    index = (self._next + step) % n
+                    if self._pending[index] == 0:
+                        self._next = (index + 1) % n
+                        self._pending[index] = readers
+                        self._generation[index] += 1
+                        return SlotTicket(index, self._generation[index], readers)
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if deadline <= time.monotonic():
+                            return None
+
+    def ack(self, ticket: SlotTicket) -> None:
+        """One reader is done with *ticket*'s slot (any order across slots)."""
+        with self._cond:
+            if self._generation[ticket.index] != ticket.generation:
+                raise ShmLayoutError(
+                    f"stale ack for slot {ticket.index}: ticket generation "
+                    f"{ticket.generation}, slot at {self._generation[ticket.index]}"
+                )
+            if self._pending[ticket.index] <= 0:
+                raise ShmLayoutError(
+                    f"over-ack of slot {ticket.index} (generation "
+                    f"{ticket.generation}): no readers pending"
+                )
+            self._pending[ticket.index] -= 1
+            if self._pending[ticket.index] == 0:
+                self._cond.notify_all()
+
+    def in_flight(self) -> int:
+        """Slots currently held by at least one un-acked reader."""
+        with self._cond:
+            return sum(1 for p in self._pending if p)
+
+    def pending(self) -> List[int]:
+        """Per-slot outstanding reader counts (for health/tests)."""
+        with self._cond:
+            return list(self._pending)
+
+
+class ShmArena:
+    """The two shared segments plus the layout codecs over them.
+
+    Create with :meth:`create` in the parent (owns and unlinks the
+    segments) and :meth:`attach` in each worker (maps the same names;
+    never writes the event segment, writes only its own result region).
+    """
+
+    def __init__(
+        self,
+        events_shm,
+        results_shm,
+        slots: int,
+        slot_bytes: int,
+        workers: int,
+        result_bytes: int,
+        owner: bool,
+    ) -> None:
+        self._events_shm = events_shm
+        self._results_shm = results_shm
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.workers = workers
+        self.result_bytes = result_bytes
+        self._owner = owner
+        self._closed = False
+        self.ring: Optional[SlotRing] = SlotRing(slots) if owner else None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        workers: int,
+        slots: int = 4,
+        slot_bytes: int = 1 << 20,
+        result_bytes: int = 1 << 20,
+    ) -> "ShmArena":
+        """Allocate the event ring and per-worker result segments."""
+        from multiprocessing import shared_memory
+
+        if workers < 1:
+            raise ValueError(f"arena needs >= 1 worker, got {workers}")
+        if slots < 1:
+            raise ValueError(f"arena needs >= 1 slot, got {slots}")
+        min_slot = HEADER_WORDS * 8 + 16
+        if slot_bytes < min_slot:
+            raise ValueError(f"slot_bytes must be >= {min_slot}, got {slot_bytes}")
+        if result_bytes < RESULT_HEADER_WORDS * 8:
+            raise ValueError(
+                f"result_bytes must be >= {RESULT_HEADER_WORDS * 8}, got {result_bytes}"
+            )
+        slot_bytes = _pad8(slot_bytes)
+        result_bytes = _pad8(result_bytes)
+        token = f"{os.getpid()}_{secrets.token_hex(4)}"
+        events_shm = shared_memory.SharedMemory(
+            name=f"{SHM_PREFIX}{token}_ev", create=True, size=slots * slot_bytes
+        )
+        try:
+            results_shm = shared_memory.SharedMemory(
+                name=f"{SHM_PREFIX}{token}_res",
+                create=True,
+                size=workers * result_bytes,
+            )
+        except BaseException:
+            events_shm.close()
+            events_shm.unlink()
+            raise
+        return cls(
+            events_shm, results_shm, slots, slot_bytes, workers, result_bytes, True
+        )
+
+    @classmethod
+    def attach(cls, spec: Dict[str, Any]) -> "ShmArena":
+        """Map the segments a parent's :meth:`spec` describes (worker side)."""
+        from multiprocessing import shared_memory
+
+        events_shm = shared_memory.SharedMemory(name=spec["events_name"])
+        try:
+            results_shm = shared_memory.SharedMemory(name=spec["results_name"])
+        except BaseException:
+            events_shm.close()
+            raise
+        return cls(
+            events_shm,
+            results_shm,
+            spec["slots"],
+            spec["slot_bytes"],
+            spec["workers"],
+            spec["result_bytes"],
+            False,
+        )
+
+    def spec(self) -> Dict[str, Any]:
+        """The picklable attach recipe handed to each worker at spawn."""
+        return {
+            "events_name": self._events_shm.name.lstrip("/"),
+            "results_name": self._results_shm.name.lstrip("/"),
+            "slots": self.slots,
+            "slot_bytes": self.slot_bytes,
+            "workers": self.workers,
+            "result_bytes": self.result_bytes,
+        }
+
+    def close(self) -> None:
+        """Unmap (and, in the owner, unlink) both segments. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in (self._events_shm, self._results_shm):
+            try:
+                shm.close()
+            except (OSError, BufferError):  # pragma: no cover - platform noise
+                pass
+            if self._owner:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def health(self) -> Dict[str, Any]:
+        """Segment/slot state for ``executor_health()``."""
+        out = {
+            "segments": [
+                self._events_shm.name.lstrip("/"),
+                self._results_shm.name.lstrip("/"),
+            ],
+            "slots": self.slots,
+            "slot_bytes": self.slot_bytes,
+            "result_bytes": self.result_bytes,
+            "workers": self.workers,
+            "bytes_total": self._events_shm.size + self._results_shm.size,
+        }
+        if self.ring is not None:
+            out["slots_in_flight"] = self.ring.in_flight()
+        return out
+
+    # ------------------------------------------------------------------
+    # event-slot codec (parent writes, workers read)
+    # ------------------------------------------------------------------
+    def _slot_words(self, index: int) -> np.ndarray:
+        if not 0 <= index < self.slots:
+            raise ShmLayoutError(f"slot index {index} out of range 0..{self.slots - 1}")
+        start = index * self.slot_bytes
+        return np.frombuffer(
+            self._events_shm.buf, dtype="<u8", offset=start, count=self.slot_bytes // 8
+        )
+
+    def payload_bytes(
+        self, n_events: int, n_attrs: int, blob_len: int
+    ) -> int:
+        """Bytes a columnar batch of this shape occupies inside a slot."""
+        words = packed_words(n_attrs)
+        return (
+            HEADER_WORDS * 8
+            + _pad8(blob_len)
+            + n_events * n_attrs * 8
+            + 2 * n_events * words * 8
+        )
+
+    def write_slot(
+        self,
+        ticket: SlotTicket,
+        attrs: Sequence[str],
+        values: np.ndarray,
+        presence: np.ndarray,
+        ints: np.ndarray,
+    ) -> Optional[int]:
+        """Pack one columnar batch into *ticket*'s slot.
+
+        Returns the payload size in bytes, or None (without writing)
+        when the batch does not fit ``slot_bytes`` — the caller falls
+        back to the pipe transport and releases the ticket.
+        """
+        blob = json.dumps(list(attrs)).encode("utf-8")
+        n_events, n_attrs = values.shape
+        words = packed_words(n_attrs)
+        need = self.payload_bytes(n_events, n_attrs, len(blob))
+        if need > self.slot_bytes:
+            return None
+        slot = self._slot_words(ticket.index)
+        header = np.array(
+            [
+                _MAGIC,
+                ticket.generation,
+                n_events,
+                n_attrs,
+                len(blob),
+                pack_dtype_table(EVENT_DTYPES),
+                words,
+                0,
+            ],
+            dtype="<u8",
+        )
+        slot[:HEADER_WORDS] = header
+        byte_view = slot.view("<u1")
+        cursor = HEADER_WORDS * 8
+        byte_view[cursor : cursor + len(blob)] = np.frombuffer(blob, dtype="<u1")
+        cursor += _pad8(len(blob))
+        n_values = n_events * n_attrs
+        np.copyto(
+            byte_view[cursor : cursor + n_values * 8].view("<f8"),
+            values.reshape(-1),
+            casting="same_kind",
+        )
+        cursor += n_values * 8
+        n_bits = n_events * words
+        np.copyto(
+            byte_view[cursor : cursor + n_bits * 8].view("<u8"), presence.reshape(-1)
+        )
+        cursor += n_bits * 8
+        np.copyto(
+            byte_view[cursor : cursor + n_bits * 8].view("<u8"), ints.reshape(-1)
+        )
+        return need
+
+    def read_slot(
+        self, index: int, generation: int
+    ) -> Tuple[List[str], np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy views of the batch in slot *index*.
+
+        Validates magic, generation and the dtype table; the returned
+        arrays alias the shared buffer and are only valid until the
+        reader acks (i.e. for the duration of the request).
+        """
+        slot = self._slot_words(index)
+        header = slot[:HEADER_WORDS]
+        if int(header[0]) != _MAGIC:
+            raise ShmLayoutError(f"slot {index}: bad magic {int(header[0]):#x}")
+        if int(header[1]) != generation:
+            raise ShmLayoutError(
+                f"slot {index}: generation {int(header[1])} in header, "
+                f"request expected {generation}"
+            )
+        n_events, n_attrs, blob_len = (
+            int(header[2]),
+            int(header[3]),
+            int(header[4]),
+        )
+        dtypes = unpack_dtype_table(int(header[5]), len(EVENT_DTYPES))
+        if dtypes != EVENT_DTYPES:
+            raise ShmLayoutError(
+                f"slot {index}: dtype table {dtypes} != expected {EVENT_DTYPES}"
+            )
+        words = int(header[6])
+        if words != packed_words(n_attrs):
+            raise ShmLayoutError(
+                f"slot {index}: {words} packed words cannot hold {n_attrs} attrs"
+            )
+        if self.payload_bytes(n_events, n_attrs, blob_len) > self.slot_bytes:
+            raise ShmLayoutError(f"slot {index}: header describes an oversized payload")
+        byte_view = slot.view("<u1")
+        cursor = HEADER_WORDS * 8
+        attrs = json.loads(bytes(byte_view[cursor : cursor + blob_len]).decode("utf-8"))
+        if len(attrs) != n_attrs:
+            raise ShmLayoutError(
+                f"slot {index}: attrs blob lists {len(attrs)}, header says {n_attrs}"
+            )
+        cursor += _pad8(blob_len)
+        n_values = n_events * n_attrs
+        values = byte_view[cursor : cursor + n_values * 8].view("<f8").reshape(
+            n_events, n_attrs
+        )
+        cursor += n_values * 8
+        n_bits = n_events * words
+        presence = byte_view[cursor : cursor + n_bits * 8].view("<u8").reshape(
+            n_events, words
+        )
+        cursor += n_bits * 8
+        ints = byte_view[cursor : cursor + n_bits * 8].view("<u8").reshape(
+            n_events, words
+        )
+        return attrs, values, presence, ints
+
+    # ------------------------------------------------------------------
+    # result-region codec (each worker writes its own, parent reads)
+    # ------------------------------------------------------------------
+    def _result_words(self, worker: int) -> np.ndarray:
+        if not 0 <= worker < self.workers:
+            raise ShmLayoutError(
+                f"worker index {worker} out of range 0..{self.workers - 1}"
+            )
+        start = worker * self.result_bytes
+        return np.frombuffer(
+            self._results_shm.buf,
+            dtype="<u8",
+            offset=start,
+            count=self.result_bytes // 8,
+        )
+
+    def result_capacity(self, n_rows: int, n_slots: int) -> bool:
+        """Does an (n_rows × n_slots-bit) packed matrix fit one region?"""
+        words = packed_words(n_slots)
+        return (
+            RESULT_HEADER_WORDS * 8 + n_rows * words * 8 <= self.result_bytes
+        )
+
+    def write_result(
+        self, worker: int, generation: int, truth: np.ndarray
+    ) -> Optional[Tuple[int, int]]:
+        """Pack a boolean (rows × slots) matrix into *worker*'s region.
+
+        Returns ``(rows, words)`` for the reply descriptor, or None
+        (region untouched) when the matrix does not fit — the worker
+        then ships the bits over the pipe instead.
+        """
+        n_rows, n_slots = truth.shape
+        words = packed_words(n_slots)
+        if not self.result_capacity(n_rows, n_slots):
+            return None
+        region = self._result_words(worker)
+        out = region[
+            RESULT_HEADER_WORDS : RESULT_HEADER_WORDS + n_rows * words
+        ].reshape(n_rows, words)
+        pack_bits_into(truth, out)
+        region[:RESULT_HEADER_WORDS] = np.array(
+            [_MAGIC, generation, n_rows, words], dtype="<u8"
+        )
+        return n_rows, words
+
+    def read_result(
+        self, worker: int, generation: int, n_rows: int, n_words: int
+    ) -> np.ndarray:
+        """The packed (rows × words) result a worker just wrote.
+
+        Validated against the request's generation and the reply's
+        descriptor; the view is only safe to read until the next request
+        to the same worker (the per-shard lock guarantees that window).
+        """
+        region = self._result_words(worker)
+        header = region[:RESULT_HEADER_WORDS]
+        if int(header[0]) != _MAGIC:
+            raise ShmLayoutError(f"worker {worker} result: bad magic")
+        if int(header[1]) != generation:
+            raise ShmLayoutError(
+                f"worker {worker} result: generation {int(header[1])}, "
+                f"expected {generation}"
+            )
+        if int(header[2]) != n_rows or int(header[3]) != n_words:
+            raise ShmLayoutError(
+                f"worker {worker} result: header shape "
+                f"({int(header[2])}, {int(header[3])}) != descriptor "
+                f"({n_rows}, {n_words})"
+            )
+        if RESULT_HEADER_WORDS * 8 + n_rows * n_words * 8 > self.result_bytes:
+            raise ShmLayoutError(f"worker {worker} result: oversized descriptor")
+        return region[
+            RESULT_HEADER_WORDS : RESULT_HEADER_WORDS + n_rows * n_words
+        ].reshape(n_rows, n_words)

@@ -20,6 +20,29 @@ ATTRS = [f"a{i}" for i in range(8)]
 WATCHDOG_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
 
 
+def shm_entries() -> set:
+    """Names of this suite's shared-memory segments live in ``/dev/shm``."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("repro_shm_")}
+    except (FileNotFoundError, NotADirectoryError):  # pragma: no cover
+        return set()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shm_leak_guard():
+    """Fail the run if any test leaks a shared-memory segment.
+
+    Every ``repro_shm_*`` segment is owned (and unlinked) by exactly one
+    parent :class:`~repro.system.procpool.ProcessPool`; anything still in
+    ``/dev/shm`` after the session — including across the SIGKILL chaos
+    suite — is a lifecycle bug, not cleanup noise.
+    """
+    before = shm_entries()
+    yield
+    leaked = shm_entries() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
 @pytest.fixture(autouse=True)
 def _watchdog(request):
     """Fail a wedged test fast (stack dump + abort) instead of hanging.

@@ -24,6 +24,22 @@ class TestParser:
             build_parser().parse_args(["--version"])
         assert "repro" in capsys.readouterr().out
 
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["match", "--subscriptions", "s", "--events", "e",
+                 "--codec", "telegraph"]
+            )
+
+    def test_executor_knobs_parse_on_match_stats_health(self):
+        for command in ("match", "stats", "health"):
+            args = build_parser().parse_args(
+                [command, "--subscriptions", "s", "--events", "e",
+                 "--codec", "shm", "--worker-timeout", "2.5"]
+            )
+            assert args.codec == "shm"
+            assert args.worker_timeout == 2.5
+
 
 class TestDemo:
     def test_demo_runs(self):
@@ -86,6 +102,36 @@ class TestMatch:
         lines = [json.loads(l) for l in out.getvalue().splitlines() if l]
         assert lines[0]["matched"] == ["s1"]
         assert lines[1]["matched"] == []
+
+    def test_match_sharded_process_shm_codec(self, tmp_path):
+        """End-to-end: the shm transport behind the CLI flags."""
+        subs_file = tmp_path / "subs.jsonl"
+        subs_file.write_text(
+            '{"id": "s1", "predicates": [["price", "<=", 10]]}\n'
+            '{"id": "s2", "predicates": [["price", ">=", 40]]}\n'
+        )
+        events_file = tmp_path / "events.jsonl"
+        events_file.write_text(
+            '{"pairs": {"price": 8}}\n{"pairs": {"price": 50}}\n'
+        )
+        out = io.StringIO()
+        rc = main(
+            [
+                "match",
+                "--subscriptions", str(subs_file),
+                "--events", str(events_file),
+                "--engine", "counting",
+                "--shards", "2",
+                "--executor", "process",
+                "--codec", "shm",
+                "--worker-timeout", "60",
+            ],
+            out=out,
+        )
+        assert rc == 0
+        lines = [json.loads(l) for l in out.getvalue().splitlines() if l]
+        assert lines[0]["matched"] == ["s1"]
+        assert lines[1]["matched"] == ["s2"]
 
 
 class TestBenchCommand:

@@ -45,7 +45,7 @@ def oracle_for(subs):
     return oracle
 
 
-def chaos_matcher(tmp_path, die_at, breaker=True):
+def chaos_matcher(tmp_path, die_at, breaker=True, codec="auto"):
     """2 process shards; the first-spawned worker dies at op *die_at*."""
     factory = killable_worker(
         lambda: make_matcher("counting"),
@@ -60,6 +60,7 @@ def chaos_matcher(tmp_path, die_at, breaker=True):
         executor="process",
         breaker=spec,
         worker_timeout=30.0,
+        codec=codec,
     )
 
 
@@ -205,6 +206,86 @@ class TestWorkerDeathWithoutBreaker:
                 time.sleep(0.01)
             got = [norm(r) for r in m.match_batch(events)]
             assert got == [norm(oracle.match(e)) for e in events]
+
+
+@pytest.mark.watchdog(60)
+class TestShmSlotLifecycleUnderChaos:
+    """Worker death must never strand an event slot or leak a segment."""
+
+    def test_sigkill_while_holding_a_slot_frees_it(self, tmp_path):
+        """The armed worker SIGKILLs itself *inside* a batch_shm request —
+        after the slot was published to it, before the ack-bearing reply.
+        The parent's finally-ack must free the slot anyway, and after the
+        self-heal the same arena serves correct batches again."""
+        subs, events = workload()
+        oracle = oracle_for(subs)
+        expected = [norm(oracle.match(e)) for e in events]
+        with chaos_matcher(tmp_path, die_at=2, breaker=False, codec="shm") as m:
+            for s in subs:
+                m.add(s)
+            pool = m._procpool
+            segments = set(pool.arena.health()["segments"])
+            assert [norm(r) for r in m.match_batch(events)] == expected  # op 1
+            with pytest.raises(WorkerDiedError):
+                m.match_batch(events)  # op 2: death while reading the slot
+            # the dead reader's slot was acked in the finally — no strand.
+            assert pool.arena.ring.in_flight() == 0
+            # the respawned worker reattaches the *same* segments and
+            # replays its subscriptions; results reconverge exactly.
+            assert [norm(r) for r in m.match_batch(events)] == expected
+            assert pool.stats()["counters"]["respawns"] == 1
+            assert set(pool.arena.health()["segments"]) == segments
+            assert pool.arena.ring.in_flight() == 0
+        # parent close() is the only unlink; nothing survives in /dev/shm.
+        from tests.conftest import shm_entries
+
+        assert not segments & shm_entries()
+
+    def test_external_sigkill_between_requests_heals_on_shm(self, tmp_path):
+        """An idle-worker SIGKILL under codec='shm' self-heals silently
+        and the batch still rides the arena afterwards."""
+        subs, events = workload()
+        oracle = oracle_for(subs)
+        with chaos_matcher(tmp_path, die_at=10_000, breaker=False, codec="shm") as m:
+            for s in subs:
+                m.add(s)
+            os.kill(m._procpool.worker_pid(0), signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while m._procpool.alive(0) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            got = [norm(r) for r in m.match_batch(events)]
+            assert got == [norm(oracle.match(e)) for e in events]
+            stats = m._procpool.stats()
+            assert stats["shm"]["bytes"]["publish"] > 0
+            assert m._procpool.arena.ring.in_flight() == 0
+
+    def test_breaker_mode_death_then_heal_restores_the_arena_path(self, tmp_path):
+        """Breaker mode routes per event (the documented shm-less
+        fallback), so the quarantine arc leaves the ring untouched; once
+        healed, batches ride the arena again through the respawned
+        worker."""
+        subs, events = workload()
+        oracle = oracle_for(subs)
+        ev = events[0]
+        expected = norm(oracle.match(ev))
+        with chaos_matcher(tmp_path, die_at=3, codec="shm") as m:
+            for s in subs:
+                m.add(s)
+            for _ in range(2):  # ops 1-2: healthy, per-event path
+                assert norm(m.match(ev)) == expected
+            r = m.match(ev)  # op 3: mid-request SIGKILL → degraded
+            assert r.degraded
+            assert m._procpool.arena.ring.in_flight() == 0
+            time.sleep(0.1)
+            healed = m.match(ev)  # half-open probe respawns + replays
+            assert not healed.degraded and norm(healed) == expected
+            # breaker mode pins match_batch to the per-event path, so
+            # the arena must still be pristine: no slot ever claimed.
+            before = m._procpool.stats()["shm"]["bytes"]["publish"]
+            assert before == 0
+            batch = [norm(row) for row in m.match_batch(events)]
+            assert batch == [norm(oracle.match(e)) for e in events]
+            assert m._procpool.arena.ring.in_flight() == 0
 
 
 @pytest.mark.slow

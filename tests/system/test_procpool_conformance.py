@@ -74,6 +74,40 @@ class TestProcessMatchesThreadAndOracle:
             got = [norm(ids) for ids in proc.match_batch(events)]
         assert got == expected
 
+    def test_shm_codec_differential(self, engine):
+        """The zero-copy shared-memory transport changes nothing — the
+        mixed-type workload forces both the arena path (numeric batches)
+        and the pickle odd-path fallback (strings/NaN) through it."""
+        subs, events = _random_workload(seed=11, n_subs=60, n_events=60)
+        oracle = populated(build("oracle"), subs)
+        expected = [norm(oracle.match(e)) for e in events]
+        with sharded(engine, "process", codec="shm") as proc:
+            populated(proc, subs)
+            got = [norm(ids) for ids in proc.match_batch(events)]
+            health = proc.executor_health()
+            assert health["codec"] == "shm"
+            assert health["shm"]["slots_in_flight"] == 0  # every slot acked
+        assert got == expected
+
+    def test_shm_numeric_batch_rides_the_arena(self, engine):
+        """An all-numeric batch must actually transit shared memory:
+        bytes flow in both arena directions and no fallback fires."""
+        subs = [
+            Subscription(f"n{i}", [ge("a", i % 7), le("b", 3.5 + i % 5)])
+            for i in range(45)
+        ]
+        events = [Event({"a": i % 9, "b": i * 0.5, "c": -i}) for i in range(40)]
+        oracle = populated(build("oracle"), subs)
+        expected = [norm(oracle.match(e)) for e in events]
+        with sharded(engine, "process", codec="shm") as proc:
+            populated(proc, subs)
+            got = [norm(ids) for ids in proc.match_batch(events)]
+            shm = proc._procpool.stats()["shm"]
+            assert shm["bytes"]["publish"] > 0
+            assert shm["bytes"]["result"] > 0
+            assert all(n == 0 for n in shm["fallbacks"].values())
+        assert got == expected
+
     def test_numeric_only_workload_takes_columnar_path(self, engine):
         """All-numeric events ride the packed bit-matrix transport."""
         subs = [

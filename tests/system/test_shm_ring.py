@@ -1,0 +1,254 @@
+"""Unit pins for the shared-memory data plane (:mod:`repro.system.shm`).
+
+Three layers, bottom up: the reader-acked :class:`SlotRing` (round-robin
+reuse, generation bumping, stale/over-ack detection, timeout), the slot
+and result-region codecs over a live arena (header validation, zero-copy
+round trips, graceful too-big refusals), and segment lifecycle (create →
+attach → close leaves ``/dev/shm`` exactly as it was).
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.batch.bitmatrix import unpack_bits
+from repro.core import Event
+from repro.system.procpool import decode_events, encode_events
+from repro.system.shm import (
+    EVENT_DTYPES,
+    ShmArena,
+    ShmLayoutError,
+    SlotRing,
+    pack_dtype_table,
+    unpack_dtype_table,
+)
+from tests.conftest import shm_entries
+
+
+# ----------------------------------------------------------------------
+# SlotRing
+# ----------------------------------------------------------------------
+class TestSlotRing:
+    def test_round_robin_hands_out_distinct_slots(self):
+        ring = SlotRing(3)
+        tickets = [ring.acquire(1) for _ in range(3)]
+        assert [t.index for t in tickets] == [0, 1, 2]
+        assert ring.in_flight() == 3
+        assert ring.pending() == [1, 1, 1]
+
+    def test_acked_slot_is_reused_with_a_higher_generation(self):
+        ring = SlotRing(3)
+        tickets = [ring.acquire(1) for _ in range(3)]
+        ring.ack(tickets[1])
+        again = ring.acquire(1)
+        assert again.index == 1
+        assert again.generation == tickets[1].generation + 1
+
+    def test_full_ring_times_out_until_every_reader_acks(self):
+        ring = SlotRing(1)
+        ticket = ring.acquire(2)
+        assert ring.acquire(1, timeout=0.05) is None
+        ring.ack(ticket)  # one of two readers: still busy
+        assert ring.acquire(1, timeout=0.05) is None
+        ring.ack(ticket)
+        fresh = ring.acquire(1, timeout=0.05)
+        assert fresh is not None and fresh.generation == ticket.generation + 1
+
+    def test_stale_ticket_ack_raises(self):
+        ring = SlotRing(1)
+        old = ring.acquire(1)
+        ring.ack(old)
+        ring.acquire(1)  # same slot, new generation
+        with pytest.raises(ShmLayoutError, match="stale ack"):
+            ring.ack(old)
+
+    def test_over_ack_raises(self):
+        ring = SlotRing(2)
+        ticket = ring.acquire(1)
+        ring.ack(ticket)
+        with pytest.raises(ShmLayoutError, match="over-ack"):
+            ring.ack(ticket)
+
+    def test_constructor_and_acquire_validate_arguments(self):
+        with pytest.raises(ValueError):
+            SlotRing(0)
+        ring = SlotRing(1)
+        with pytest.raises(ValueError):
+            ring.acquire(0)
+
+    def test_blocked_acquire_wakes_when_a_reader_acks(self):
+        ring = SlotRing(1)
+        ticket = ring.acquire(1)
+        releaser = threading.Timer(0.05, ring.ack, args=(ticket,))
+        releaser.start()
+        try:
+            start = time.monotonic()
+            fresh = ring.acquire(1, timeout=5.0)
+            assert fresh is not None
+            assert time.monotonic() - start < 4.0  # woke on notify, not timeout
+        finally:
+            releaser.cancel()
+
+
+# ----------------------------------------------------------------------
+# dtype table
+# ----------------------------------------------------------------------
+class TestDtypeTable:
+    def test_event_layout_round_trips(self):
+        word = pack_dtype_table(EVENT_DTYPES)
+        assert unpack_dtype_table(word, len(EVENT_DTYPES)) == EVENT_DTYPES
+
+    def test_unknown_dtype_and_code_fail_loudly(self):
+        with pytest.raises(ValueError, match="unknown section dtype"):
+            pack_dtype_table(("<f4",))
+        with pytest.raises(ShmLayoutError, match="unknown dtype code"):
+            unpack_dtype_table(0xFF, 1)
+
+    def test_table_is_capped_at_eight_sections(self):
+        with pytest.raises(ValueError, match="at most 8"):
+            pack_dtype_table(("<f8",) * 9)
+
+
+# ----------------------------------------------------------------------
+# arena codecs
+# ----------------------------------------------------------------------
+def numeric_events(n=6):
+    return [Event({"a": i, "b": i * 0.5, "c": -i}) for i in range(n)]
+
+
+def columnar(events):
+    payload = encode_events(events, "auto")
+    assert payload[0] == "cols", "test workload must ride the columnar layout"
+    return payload[1:]  # (attrs, values, presence, ints)
+
+
+def publish(arena, events, readers=1):
+    attrs, values, presence, ints = columnar(events)
+    ticket = arena.ring.acquire(readers, timeout=1.0)
+    assert ticket is not None
+    nbytes = arena.write_slot(ticket, attrs, values, presence, ints)
+    return ticket, nbytes
+
+
+def read_copy(arena, ticket, rows=None):
+    """Read a slot and materialize events (copies — views must not
+    outlive this frame, or closing the segment would raise BufferError)."""
+    attrs, values, presence, ints = arena.read_slot(ticket.index, ticket.generation)
+    return decode_events(
+        ("cols", list(attrs), values.copy(), presence.copy(), ints.copy()), rows
+    )
+
+
+@pytest.fixture
+def arena():
+    with ShmArena.create(workers=2, slots=2, slot_bytes=1 << 16) as a:
+        yield a
+
+
+class TestEventSlotCodec:
+    def test_slot_round_trip_is_exact(self, arena):
+        events = numeric_events()
+        ticket, nbytes = publish(arena, events)
+        blob = json.dumps(columnar(events)[0]).encode()
+        assert nbytes == arena.payload_bytes(len(events), 3, len(blob))
+        got = read_copy(arena, ticket)
+        assert [e.pairs for e in got] == [e.pairs for e in events]
+        arena.ring.ack(ticket)
+
+    def test_row_subset_selects_in_given_order(self, arena):
+        events = numeric_events()
+        ticket, _ = publish(arena, events)
+        got = read_copy(arena, ticket, rows=[4, 0, 2])
+        assert [e.pairs for e in got] == [events[i].pairs for i in (4, 0, 2)]
+        arena.ring.ack(ticket)
+
+    def test_oversized_batch_is_refused_without_writing(self, arena):
+        big = [Event({f"a{j}": float(i + j) for j in range(40)}) for i in range(300)]
+        attrs, values, presence, ints = columnar(big)
+        ticket = arena.ring.acquire(1, timeout=1.0)
+        assert arena.write_slot(ticket, attrs, values, presence, ints) is None
+        arena.ring.ack(ticket)
+
+    def test_unwritten_slot_fails_magic_validation(self, arena):
+        with pytest.raises(ShmLayoutError, match="bad magic"):
+            arena.read_slot(1, 1)
+
+    def test_generation_mismatch_is_detected(self, arena):
+        ticket, _ = publish(arena, numeric_events())
+        with pytest.raises(ShmLayoutError, match="generation"):
+            arena.read_slot(ticket.index, ticket.generation + 1)
+        arena.ring.ack(ticket)
+
+    def test_slot_index_bounds_are_enforced(self, arena):
+        with pytest.raises(ShmLayoutError, match="out of range"):
+            arena.read_slot(arena.slots, 1)
+
+
+class TestResultRegionCodec:
+    def test_result_round_trip_is_exact(self, arena):
+        rng = np.random.default_rng(7)
+        truth = rng.random((5, 13)) < 0.4
+        assert arena.write_result(1, generation=3, truth=truth) == (5, 1)
+        packed = arena.read_result(1, generation=3, n_rows=5, n_words=1)
+        np.testing.assert_array_equal(unpack_bits(packed.copy(), 13), truth)
+
+    def test_oversized_matrix_is_refused(self):
+        with ShmArena.create(workers=1, result_bytes=64) as tiny:
+            truth = np.ones((100, 100), dtype=bool)
+            assert tiny.write_result(0, generation=1, truth=truth) is None
+
+    def test_generation_and_shape_mismatches_are_detected(self, arena):
+        truth = np.ones((2, 3), dtype=bool)
+        arena.write_result(0, generation=5, truth=truth)
+        with pytest.raises(ShmLayoutError, match="generation"):
+            arena.read_result(0, generation=6, n_rows=2, n_words=1)
+        with pytest.raises(ShmLayoutError, match="shape"):
+            arena.read_result(0, generation=5, n_rows=3, n_words=1)
+
+    def test_worker_index_bounds_are_enforced(self, arena):
+        with pytest.raises(ShmLayoutError, match="out of range"):
+            arena.read_result(arena.workers, 1, 1, 1)
+
+
+# ----------------------------------------------------------------------
+# segment lifecycle
+# ----------------------------------------------------------------------
+class TestSegmentLifecycle:
+    def test_spec_attach_shares_the_same_memory(self):
+        events = numeric_events()
+        with ShmArena.create(workers=1, slots=2, slot_bytes=1 << 16) as parent:
+            twin = ShmArena.attach(parent.spec())
+            try:
+                ticket, _ = publish(parent, events)
+                got = read_copy(twin, ticket)  # worker side, zero re-encode
+                assert [e.pairs for e in got] == [e.pairs for e in events]
+                truth = np.eye(4, 9, dtype=bool)
+                assert twin.write_result(0, ticket.generation, truth) == (4, 1)
+                packed = parent.read_result(0, ticket.generation, 4, 1).copy()
+                np.testing.assert_array_equal(unpack_bits(packed, 9), truth)
+                parent.ring.ack(ticket)
+            finally:
+                twin.close()
+
+    def test_close_unlinks_and_is_idempotent(self):
+        before = shm_entries()
+        arena = ShmArena.create(workers=1)
+        created = shm_entries() - before
+        assert len(created) == 2  # event ring + result regions
+        assert set(arena.health()["segments"]) == created
+        arena.close()
+        assert shm_entries() == before
+        arena.close()  # idempotent
+
+    def test_constructor_validates_sizes(self):
+        with pytest.raises(ValueError):
+            ShmArena.create(workers=0)
+        with pytest.raises(ValueError):
+            ShmArena.create(workers=1, slots=0)
+        with pytest.raises(ValueError):
+            ShmArena.create(workers=1, slot_bytes=8)
+        with pytest.raises(ValueError):
+            ShmArena.create(workers=1, result_bytes=8)
