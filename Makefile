@@ -5,9 +5,9 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke aggregation-smoke shm-smoke
+.PHONY: test test-all bench-smoke metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke aggregation-smoke shm-smoke delivery-smoke
 
-test: metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke aggregation-smoke shm-smoke
+test: metrics-smoke durability-smoke robustness-smoke batch-smoke procpool-smoke aggregation-smoke shm-smoke delivery-smoke
 	$(PYTEST) -q -m "not slow"
 
 test-all:
@@ -84,3 +84,15 @@ aggregation-smoke:
 # (`make test` runs it alongside the other smokes).
 shm-smoke:
 	PYTHONPATH=src $(PYTHON) examples/shm_smoke.py
+
+# End-to-end at-least-once delivery check: a burst through crash-heal
+# and healthy subscribers (redelivery must lose nothing), a dead
+# subscriber's budget burned into the DLQ then redriven clean, and a
+# crash with unacked in-flight deliveries recovered from the WAL with
+# the redelivered set differentially checked. Part of tier-1
+# (`make test` runs it alongside the other smokes).
+DELIVERY_SMOKE_DIR := .delivery-smoke
+delivery-smoke:
+	rm -rf $(DELIVERY_SMOKE_DIR)
+	PYTHONPATH=src $(PYTHON) examples/delivery_smoke.py $(DELIVERY_SMOKE_DIR)
+	rm -rf $(DELIVERY_SMOKE_DIR)

@@ -29,6 +29,14 @@ Commands
     Rebuild a broker from a snapshot and/or write-ahead log, print the
     recovery report as JSON, optionally dump the recovered subscription
     set as JSON lines.
+``deliveries``
+    Fold a write-ahead log's ``deliver``/``settle`` records into the
+    per-subscriber at-least-once state (unacked in-flight counts,
+    oldest outstanding sequence, dead-letter totals) and print it as
+    JSON — the operational view of ``docs/delivery.md``.
+``dlq``
+    List the dead-lettered notifications a write-ahead log records
+    (who, which sequence, why, after how many attempts), as JSON.
 ``demo``
     The quickstart scenario, end to end.
 """
@@ -261,6 +269,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="also dump the recovered subscriptions as JSON lines to FILE",
+    )
+
+    deliveries = commands.add_parser(
+        "deliveries", help="per-subscriber at-least-once delivery state from a WAL"
+    )
+    deliveries.add_argument("--wal", required=True, help="write-ahead log file")
+
+    dlq = commands.add_parser(
+        "dlq", help="list dead-lettered notifications recorded in a WAL"
+    )
+    dlq.add_argument("--wal", required=True, help="write-ahead log file")
+    dlq.add_argument(
+        "--sub", default=None, help="only this subscriber's dead letters"
+    )
+    dlq.add_argument(
+        "--limit", type=int, default=None, metavar="N", help="print at most N entries"
     )
 
     commands.add_parser("demo", help="run the quickstart demo")
@@ -503,6 +527,36 @@ def _cmd_recover(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _read_ledger(wal_path: str):
+    """Fold one WAL's delivery records into a ledger."""
+    from repro.system import DeliveryLedger, read_wal
+
+    ledger = DeliveryLedger()
+    with open(wal_path, encoding="utf-8") as fp:
+        records, _discarded = read_wal(fp)
+    for record in records:
+        ledger.apply(record)
+    return ledger
+
+
+def _cmd_deliveries(args: argparse.Namespace, out) -> int:
+    ledger = _read_ledger(args.wal)
+    out.write(json.dumps(ledger.summary(), sort_keys=True) + "\n")
+    return 0
+
+
+def _cmd_dlq(args: argparse.Namespace, out) -> int:
+    ledger = _read_ledger(args.wal)
+    dead = ledger.dead
+    if args.sub is not None:
+        dead = [d for d in dead if str(d["sub"]) == args.sub]
+    total = len(dead)
+    if args.limit is not None:
+        dead = dead[: args.limit]
+    out.write(json.dumps({"dead_letters": dead, "total": total}, sort_keys=True) + "\n")
+    return 0
+
+
 def _cmd_demo(_args: argparse.Namespace, out) -> int:
     from repro import DynamicMatcher, Event, Subscription, eq, le
 
@@ -530,6 +584,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "bench": _cmd_bench,
         "snapshot": _cmd_snapshot,
         "recover": _cmd_recover,
+        "deliveries": _cmd_deliveries,
+        "dlq": _cmd_dlq,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args, out)

@@ -44,6 +44,7 @@ from repro.core.types import Event, Predicate, Subscription
 from repro.lang.parser import parse_subscriptions
 from repro.matchers.dynamic import DynamicMatcher
 from repro.system.clock import Clock, SystemClock
+from repro.system.delivery import DeliveryManager
 from repro.system.event_store import EventStore
 from repro.system.notifier import Notification, Notifier, QueueNotifier
 from repro.system.resilience import PartialResults
@@ -66,6 +67,7 @@ class PubSubBroker:
         default_subscription_ttl: Optional[float] = None,
         event_retention_ttl: Optional[float] = None,
         wal: Optional["WriteAheadLog"] = None,
+        delivery: Optional[DeliveryManager] = None,
     ) -> None:
         """Create a broker.
 
@@ -88,10 +90,20 @@ class PubSubBroker:
             optional :class:`~repro.system.wal.WriteAheadLog`; when set,
             every accepted subscribe/unsubscribe is journaled so the
             broker can be rebuilt by :func:`repro.system.recovery.recover`.
+        delivery:
+            optional :class:`~repro.system.delivery.DeliveryManager`.
+            Matches for subscribers with a registered channel route
+            through it (acked, redelivered, dead-lettered at-least-once
+            semantics); everything else keeps the fire-and-forget
+            ``notifier``.  Publish pumps its redelivery state machine
+            lazily, the same way expiry is lazy.  Build it on the same
+            clock as the broker — redelivery deadlines age in the
+            broker's time domain.
         """
         self.matcher = matcher if matcher is not None else DynamicMatcher()
         self.clock = clock if clock is not None else SystemClock()
         self.notifier = notifier if notifier is not None else QueueNotifier()
+        self.delivery = delivery
         self.default_subscription_ttl = default_subscription_ttl
         self.event_retention_ttl = event_retention_ttl
         self.wal: Optional["WriteAheadLog"] = None
@@ -127,10 +139,14 @@ class PubSubBroker:
 
         An anchor is appended immediately, pinning this broker's current
         clock in the log's time domain (the WAL and the broker must
-        share a clock for recovery's ttl aging to be exact).
+        share a clock for recovery's ttl aging to be exact).  An
+        attached delivery manager without its own log starts journaling
+        ``deliver``/``settle`` records to the same WAL.
         """
         self.wal = wal
         wal.append_anchor(self.clock.now())
+        if self.delivery is not None and self.delivery.wal is None:
+            self.delivery.wal = wal
 
     @contextlib.contextmanager
     def wal_suppressed(self) -> Iterator[None]:
@@ -327,6 +343,11 @@ class PubSubBroker:
         """
         self.purge_expired()
         now = self.clock.now()
+        if self.delivery is not None:
+            # Lazy pump, like lazy expiry: redeliveries and ack-timeout
+            # expirations advance on every publish, so a pure
+            # publish-driven workload needs no background thread.
+            self.delivery.pump(now)
         raw = self.matcher.match(event)
         # Collapse formula disjuncts onto their logical id, once per event.
         matched: List[Any] = []
@@ -337,8 +358,15 @@ class PubSubBroker:
             if logical not in seen:
                 seen.add(logical)
                 matched.append(logical)
-        for sub_id in matched:
-            self._notify(sub_id, event, now)
+        if self.delivery is not None and matched:
+            # Batched hot path: one manager lock for the whole match
+            # list; ids without a channel come back for the notifier.
+            unhandled = self.delivery.dispatch_matches(matched, event, now)
+        else:
+            unhandled = matched
+        for sub_id in unhandled:
+            self.notifier.deliver(Notification(sub_id, event, now))
+        self.counters["notifications"] += len(matched)
         ttl = self.event_retention_ttl if ttl is None else ttl
         if ttl is not None and ttl > 0:
             self._events.add(event, now + ttl)
@@ -359,7 +387,10 @@ class PubSubBroker:
         return [self.publish(e, ttl=ttl) for e in events]
 
     def _notify(self, sub_id: Any, event: Event, now: float) -> None:
-        self.notifier.deliver(Notification(sub_id, event, now))
+        if self.delivery is not None and self.delivery.handles(sub_id):
+            self.delivery.dispatch(sub_id, event, now=now)
+        else:
+            self.notifier.deliver(Notification(sub_id, event, now))
         self.counters["notifications"] += 1
 
     # ------------------------------------------------------------------
@@ -385,6 +416,8 @@ class PubSubBroker:
         }
         if self.wal is not None:
             out["wal"] = self.wal.stats()
+        if self.delivery is not None:
+            out["delivery"] = self.delivery.stats()
         return out
 
     # ------------------------------------------------------------------

@@ -3,6 +3,13 @@
 The paper's system "sends the event to the owners of subscriptions
 satisfied by those events"; here delivery is in-process and pluggable so
 examples can print, tests can collect, and benchmarks can discard.
+
+Everything in this module is *at-most-once*: a sink that raises, a
+bounded queue that overflows, or a crashed consumer loses the
+notification (with accounting, never silently).  The acked,
+redelivering, dead-lettering layer lives in
+:mod:`repro.system.delivery`; these sinks double as its push-mode
+transports.
 """
 
 from __future__ import annotations
@@ -10,18 +17,47 @@ from __future__ import annotations
 import abc
 import dataclasses
 from collections import deque
-from typing import Any, Callable, Deque, Iterable, List
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
 
+from repro.core.errors import ReproError
 from repro.core.types import Event
+from repro.obs.registry import MetricsRegistry
 
 
 @dataclasses.dataclass(frozen=True)
 class Notification:
-    """One delivery: *event* matched the subscription with *sub_id*."""
+    """One delivery: *event* matched the subscription with *sub_id*.
+
+    ``seq`` is the per-subscriber delivery sequence number assigned by
+    the at-least-once layer (:mod:`repro.system.delivery`) — the token a
+    consumer acks with.  Fire-and-forget paths leave it ``None``.
+    """
 
     sub_id: Any
     event: Event
     timestamp: float
+    seq: Optional[int] = None
+
+
+class FanoutDeliveryError(ReproError, RuntimeError):
+    """One or more sinks of a :class:`FanoutNotifier` raised.
+
+    Carries every per-sink failure (``errors``: list of ``(sink,
+    exception)`` pairs) after the surviving sinks all received the
+    notification — fan-out isolates sink failures instead of letting
+    the first one starve the rest.
+    """
+
+    def __init__(self, notification: Notification, errors: List[Any]) -> None:
+        self.notification = notification
+        self.errors = errors
+        detail = "; ".join(
+            f"{type(sink).__name__}: {exc!r}" for sink, exc in errors
+        )
+        super().__init__(
+            f"{len(errors)} sink(s) failed delivering to {notification.sub_id!r}: "
+            f"{detail}"
+        )
 
 
 class Notifier(abc.ABC):
@@ -48,12 +84,45 @@ class NullNotifier(Notifier):
 
 
 class QueueNotifier(Notifier):
-    """Collects notifications in order for later draining."""
+    """Collects notifications in order for later draining.
 
-    def __init__(self, maxlen: int = 0) -> None:
-        self._queue: Deque[Notification] = deque(maxlen=maxlen or None)
+    With ``maxlen`` the queue is bounded and keeps the *newest*
+    notifications: delivering to a full queue evicts the oldest.  Every
+    eviction is counted (``dropped``, :meth:`stats`, and the
+    ``repro_notifier_dropped_total`` metric) — a bounded sink may shed,
+    but never silently.
+    """
+
+    def __init__(
+        self, maxlen: int = 0, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.maxlen = maxlen or None
+        self._queue: Deque[Notification] = deque(maxlen=self.maxlen)
+        #: Notifications evicted by maxlen overflow since construction.
+        self.dropped = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        self._m_dropped = self.metrics.counter(
+            "repro_notifier_dropped_total",
+            "Notifications evicted by a bounded QueueNotifier (maxlen overflow).",
+        ).labels()
+
+    def use_metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Attach a (shared) metrics registry; returns it."""
+        registry = MetricsRegistry() if registry is None else registry
+        self.metrics = registry
+        self._bind_metrics()
+        return registry
 
     def deliver(self, notification: Notification) -> None:
+        if self.maxlen is not None and len(self._queue) == self.maxlen:
+            # deque(maxlen=...) would evict silently; do it by hand so
+            # the loss is observable.
+            self._queue.popleft()
+            self.dropped += 1
+            self._m_dropped.inc()
         self._queue.append(notification)
 
     def drain(self) -> List[Notification]:
@@ -64,6 +133,15 @@ class QueueNotifier(Notifier):
 
     def __len__(self) -> int:
         return len(self._queue)
+
+    def stats(self) -> Dict[str, Any]:
+        """Unified stats shape (same contract as the matchers)."""
+        return {
+            "name": "queue-notifier",
+            "queued": len(self._queue),
+            "maxlen": self.maxlen,
+            "counters": {"dropped": self.dropped},
+        }
 
 
 class CallbackNotifier(Notifier):
@@ -77,11 +155,24 @@ class CallbackNotifier(Notifier):
 
 
 class FanoutNotifier(Notifier):
-    """Forwards each notification to several sinks."""
+    """Forwards each notification to several sinks.
+
+    Per-sink failures are isolated: every healthy sink still receives
+    the notification, then the collected failures are re-raised as one
+    :class:`FanoutDeliveryError` (so a flaky logging sink cannot starve
+    the real consumer next to it, and the caller still sees the
+    failure).
+    """
 
     def __init__(self, sinks: Iterable[Notifier]) -> None:
         self._sinks = list(sinks)
 
     def deliver(self, notification: Notification) -> None:
+        errors: List[Any] = []
         for sink in self._sinks:
-            sink.deliver(notification)
+            try:
+                sink.deliver(notification)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                errors.append((sink, exc))
+        if errors:
+            raise FanoutDeliveryError(notification, errors)

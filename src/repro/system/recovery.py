@@ -11,7 +11,10 @@ subscription set and installs it into an empty broker:
 2. the WAL's longest valid prefix is replayed over the table in order —
    ``subscribe`` inserts/overwrites, ``unsubscribe`` deletes (including
    every disjunct of a logical formula id), ``anchor`` only advances
-   time;
+   time, and ``deliver``/``settle`` pairs fold into a
+   :class:`~repro.system.delivery.DeliveryLedger` whose still-open
+   entries (dispatched, never settled) are exactly the unacked
+   in-flight notifications the crash interrupted;
 3. the crash time is estimated as the newest timestamp seen anywhere
    (so clock anchors tighten ttl aging even across mutation-free
    stretches, and records with negative clock skew cannot move it
@@ -25,6 +28,14 @@ its log restart) rewrites entries with the same absolute expiry, so the
 result is unchanged.  Everything after the first damaged WAL record is
 discarded — recovery yields a *prefix-consistent* state, never a
 partially-trusted one.
+
+When the recovering broker carries a
+:class:`~repro.system.delivery.DeliveryManager` (``broker.delivery``),
+the ledger's open entries are re-queued into it for redelivery
+(subscribers that have not re-registered yet get theirs the moment they
+do) and its dead letters are re-installed in the manager's
+:class:`~repro.system.delivery.DeadLetterQueue` — an at-least-once
+delivery survives a crash at any WAL offset.
 """
 
 from __future__ import annotations
@@ -35,9 +46,10 @@ from typing import IO, Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.core.types import Subscription
-from repro.io import SerializationError, subscription_from_dict
+from repro.io import SerializationError, event_from_dict, subscription_from_dict
 from repro.obs.registry import MetricsRegistry
 from repro.system.broker import PubSubBroker
+from repro.system.delivery import DeliveryLedger
 from repro.system.snapshot import read_snapshot
 from repro.system.wal import read_wal
 
@@ -59,6 +71,13 @@ class RecoveryReport:
     replayed_subscribes: int = 0
     replayed_unsubscribes: int = 0
     anchors: int = 0
+    #: ``deliver`` / ``settle`` records folded into the delivery ledger.
+    replayed_deliveries: int = 0
+    replayed_settles: int = 0
+    #: Deliveries still open at the crash (re-queued for redelivery).
+    unacked_deliveries: int = 0
+    #: Dead letters reconstructed from the log.
+    recovered_dead_letters: int = 0
     #: Entries dropped because their validity ended before the crash.
     skipped_expired: int = 0
     #: WAL lines distrusted after the first damaged record.
@@ -91,6 +110,8 @@ def _bind_metrics(registry: MetricsRegistry):
         "subscribe": replayed.labels(kind="subscribe"),
         "unsubscribe": replayed.labels(kind="unsubscribe"),
         "anchor": replayed.labels(kind="anchor"),
+        "deliver": replayed.labels(kind="deliver"),
+        "settle": replayed.labels(kind="settle"),
         "restored": registry.counter(
             "repro_recovery_restored_total",
             "Subscriptions installed into the recovering broker.",
@@ -159,6 +180,7 @@ def recover(
             record.subscription, expires, record.logical
         )
 
+    ledger = DeliveryLedger()
     for index, record in enumerate(wal_records):
         kind = record.get("type")
         at = record.get("at")
@@ -166,6 +188,12 @@ def recover(
             at = None
         if kind == "anchor":
             report.anchors += 1
+        elif kind in ("deliver", "settle"):
+            ledger.apply(record)
+            if kind == "deliver":
+                report.replayed_deliveries += 1
+            else:
+                report.replayed_settles += 1
         elif kind == "subscribe":
             try:
                 sub = subscription_from_dict(record["subscription"])
@@ -214,11 +242,40 @@ def recover(
                 )
             report.restored += 1
 
+    report.unacked_deliveries = len(ledger.outstanding)
+    report.recovered_dead_letters = len(ledger.dead)
+    delivery = getattr(broker, "delivery", None)
+    if delivery is not None:
+        # Re-queue under a suppressed WAL stance?  No — restore() never
+        # journals (the surviving ``deliver`` records already cover
+        # these), so re-queuing is side-effect-free on the log.
+        for (sub_id, seq), info in ledger.outstanding.items():
+            try:
+                event = event_from_dict(info["event"])
+            except (KeyError, TypeError, SerializationError):
+                continue  # a ledger entry we cannot reconstruct
+            delivery.restore(sub_id, seq, event, at=info["at"])
+        for dead in ledger.dead:
+            try:
+                event = event_from_dict(dead["event"])
+            except (KeyError, TypeError, SerializationError):
+                continue
+            delivery.restore_dead_letter(
+                dead["sub"],
+                dead["seq"],
+                event,
+                dead["reason"],
+                dead["attempts"],
+                dead["at"],
+            )
+
     if metrics is not None:
         m = _bind_metrics(metrics)
         m["subscribe"].inc(report.replayed_subscribes)
         m["unsubscribe"].inc(report.replayed_unsubscribes)
         m["anchor"].inc(report.anchors)
+        m["deliver"].inc(report.replayed_deliveries)
+        m["settle"].inc(report.replayed_settles)
         m["restored"].inc(report.restored)
         m["skipped_expired"].inc(report.skipped_expired)
         m["torn_tail_discarded"].inc(report.torn_tail_discarded)

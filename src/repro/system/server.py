@@ -99,6 +99,7 @@ class BatchServer:
         wal: Optional["WriteAheadLog"] = None,
         queue_limit: Optional[int] = None,
         admission: str = "block",
+        delivery: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
@@ -121,6 +122,10 @@ class BatchServer:
         # point (the paper submits in n_S_b / n_E_b units), so even
         # wal("always") pays one disk sync per batch, not per item.
         self.wal = wal
+        #: Optional :class:`~repro.system.delivery.DeliveryManager`:
+        #: :meth:`health` then reports the at-least-once channel state
+        #: (a disconnected channel degrades the stack).
+        self.delivery = delivery
         self._requests: "queue.Queue[Optional[_Request]]" = queue.Queue(
             maxsize=queue_limit or 0
         )
@@ -400,10 +405,12 @@ class BatchServer:
         """One overload-focused snapshot of the serving stack.
 
         ``status`` is ``"ok"``, ``"degraded"`` (any shard breaker not
-        closed), or ``"closed"``.  Also reports queue depth vs. limit,
-        per-reason shed counts, worker liveness, per-shard breaker
-        states (when the engine quarantines), and WAL lag (appends not
-        yet fsynced).  This is what ``repro health`` prints.
+        closed, or any delivery channel disconnected), or ``"closed"``.
+        Also reports queue depth vs. limit, per-reason shed counts,
+        worker liveness, per-shard breaker states (when the engine
+        quarantines), WAL lag (appends not yet fsynced), and — when a
+        delivery manager is attached — the at-least-once channel and
+        dead-letter state.  This is what ``repro health`` prints.
         """
         with self._metrics_lock:
             shed = {r: int(self._m_shed[r].value) for r in _SHED_REASONS}
@@ -417,8 +424,15 @@ class BatchServer:
         executor_health = getattr(self.matcher, "executor_health", None)
         if callable(executor_health):
             executor = executor_health()
+        delivery: Optional[Dict[str, Any]] = None
+        if self.delivery is not None:
+            delivery = self.delivery.health()
         status = "ok"
         if breakers and any(s != BREAKER_CLOSED for s in breakers.values()):
+            status = "degraded"
+        if delivery is not None and delivery["disconnected"]:
+            # A quarantined subscriber is shedding its deliveries to the
+            # DLQ; the stack is serving, but not everyone.
             status = "degraded"
         if executor is not None and executor["alive"] < executor["workers"]:
             # A dead shard worker not yet probed back to life degrades
@@ -444,6 +458,8 @@ class BatchServer:
                 "bytes": wal_stats["bytes"],
                 "unsynced_appends": wal_stats["unsynced_appends"],
             }
+        if delivery is not None:
+            out["delivery"] = delivery
         return out
 
     # ------------------------------------------------------------------

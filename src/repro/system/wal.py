@@ -18,7 +18,17 @@ Format — JSON lines, one record per line, ``sort_keys`` for stability:
   anchors tighten ttl aging;
 * ``{"type": "subscribe", "at": t, "subscription": {...}, "ttl": x}``
   (plus ``"logical": id`` for formula disjuncts);
-* ``{"type": "unsubscribe", "at": t, "id": sid}``.
+* ``{"type": "unsubscribe", "at": t, "id": sid}``;
+* ``{"type": "deliver", "at": t, "sub": sid, "seq": n, "event":
+  {...}}`` — an at-least-once delivery was *dispatched* (journaled
+  before the first send attempt, so a crash mid-send is recovered as an
+  unacked delivery);
+* ``{"type": "settle", "at": t, "sub": sid, "seq": n, "outcome":
+  "ack"|"shed"|"dead-letter"|"redriven", "attempts": k}`` (plus ``"reason"`` for
+  dead letters) — that delivery no longer needs redelivery.  The
+  unmatched ``deliver`` records in the log prefix are exactly the
+  in-flight set recovery must re-queue (see
+  :class:`repro.system.delivery.DeliveryLedger`).
 
 All timestamps are in the *source broker's* clock domain; recovery only
 ever uses differences between them, so any monotonic clock works as
@@ -61,7 +71,7 @@ from typing import IO, Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.core.types import Subscription
-from repro.io import subscription_to_dict
+from repro.io import event_to_dict, subscription_to_dict
 from repro.obs.registry import MetricsRegistry
 from repro.system.clock import Clock, SystemClock
 
@@ -72,7 +82,7 @@ FORMAT_VERSION = 1
 HEADER_TYPE = "repro-broker-wal"
 
 #: Valid non-header record types.
-RECORD_TYPES = ("anchor", "subscribe", "unsubscribe")
+RECORD_TYPES = ("anchor", "subscribe", "unsubscribe", "deliver", "settle")
 
 #: Supported fsync policies.
 FSYNC_POLICIES = ("always", "interval", "never")
@@ -339,28 +349,31 @@ class WriteAheadLog:
     def _append(self, record: Dict[str, Any]) -> None:
         if self._closed:
             raise WalError("append to a closed WAL")
+        with self._lock:
+            self._append_locked(record)
+
+    def _append_locked(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True) + "\n"
         encoded = len(line.encode("utf-8"))
-        with self._lock:
-            self._fp.write(line)
-            # Always hand the bytes to the OS: a *process* crash then
-            # loses nothing; only the fsync policy decides what a
-            # *machine* crash can lose.
-            self._fp.flush()
-            self._bytes += encoded
-            self._unsynced += 1
-            self._m_bytes.inc(encoded)
-            self._m_appends[record["type"]].inc()
-            self._m_unsynced.set(self._unsynced)
-            if self._batch_depth:
-                return  # durability decision deferred to the batch end
-            if self.fsync_policy == "always":
-                self._sync_locked()
-            elif (
-                self.fsync_policy == "interval"
-                and time.monotonic() - self._last_sync >= self.fsync_interval
-            ):
-                self._sync_locked()
+        self._fp.write(line)
+        # Always hand the bytes to the OS: a *process* crash then
+        # loses nothing; only the fsync policy decides what a
+        # *machine* crash can lose.
+        self._fp.flush()
+        self._bytes += encoded
+        self._unsynced += 1
+        self._m_bytes.inc(encoded)
+        self._m_appends[record["type"]].inc()
+        self._m_unsynced.set(self._unsynced)
+        if self._batch_depth:
+            return  # durability decision deferred to the batch end
+        if self.fsync_policy == "always":
+            self._sync_locked()
+        elif (
+            self.fsync_policy == "interval"
+            and time.monotonic() - self._last_sync >= self.fsync_interval
+        ):
+            self._sync_locked()
 
     def append_subscribe(
         self,
@@ -389,6 +402,43 @@ class WriteAheadLog:
     def append_anchor(self, at: Optional[float] = None) -> None:
         """Journal a clock anchor (time passed without mutations)."""
         self._append({"type": "anchor", "at": self.clock.now() if at is None else at})
+
+    def append_deliver(
+        self, sub_id: Any, seq: int, event: Any, at: Optional[float] = None
+    ) -> None:
+        """Journal one dispatched at-least-once delivery (write-ahead:
+        appended *before* the first send attempt)."""
+        self._append(
+            {
+                "type": "deliver",
+                "at": self.clock.now() if at is None else at,
+                "sub": sub_id,
+                "seq": seq,
+                "event": event_to_dict(event),
+            }
+        )
+
+    def append_settle(
+        self,
+        sub_id: Any,
+        seq: int,
+        outcome: str,
+        reason: Optional[str] = None,
+        attempts: int = 0,
+        at: Optional[float] = None,
+    ) -> None:
+        """Journal one settled delivery (ack / shed / dead-letter / redriven)."""
+        record: Dict[str, Any] = {
+            "type": "settle",
+            "at": self.clock.now() if at is None else at,
+            "sub": sub_id,
+            "seq": seq,
+            "outcome": outcome,
+            "attempts": attempts,
+        }
+        if reason is not None:
+            record["reason"] = reason
+        self._append(record)
 
     # ------------------------------------------------------------------
     # durability boundary
@@ -453,6 +503,14 @@ class WriteAheadLog:
         log or the new snapshot + (possibly still-full) log — both
         recoverable, because replaying pre-snapshot records over the
         snapshot is idempotent.
+
+        The snapshot covers subscriptions only, so any at-least-once
+        delivery state still open in the discarded log — unsettled
+        leases and dead letters from an attached
+        :class:`~repro.system.delivery.DeliveryManager` — is
+        re-journaled into the restarted log; otherwise a crash after a
+        compact would lose exactly the in-flight window the WAL exists
+        to protect.
         """
         # Imported lazily: snapshot.py imports the broker, which carries
         # a WAL — a module-level import would be circular.
@@ -460,7 +518,15 @@ class WriteAheadLog:
 
         snapshot_path = os.fspath(snapshot_path)
         tmp_path = snapshot_path + ".tmp"
-        with self._lock:
+        delivery = getattr(broker, "delivery", None)
+        with contextlib.ExitStack() as stack:
+            if delivery is not None:
+                # Dispatch holds the manager lock while journaling, so
+                # compaction must take manager-then-WAL in the same
+                # order to stay deadlock-free while it reads the
+                # outstanding window.
+                stack.enter_context(delivery._lock)
+            stack.enter_context(self._lock)
             if self._closed:
                 raise WalError("compact on a closed WAL")
             with broker.wal_suppressed():
@@ -475,6 +541,38 @@ class WriteAheadLog:
                 self._fp = self._opener(self.path, "w")
                 self._bytes = 0
                 self._write_header(broker.clock.now())
+                if delivery is not None:
+                    for sub_id, lease in delivery.outstanding_leases():
+                        self._append_locked(
+                            {
+                                "type": "deliver",
+                                "at": lease.enqueued_at,
+                                "sub": sub_id,
+                                "seq": lease.seq,
+                                "event": event_to_dict(lease.notification.event),
+                            }
+                        )
+                    for entry in delivery.dead_letters.entries():
+                        self._append_locked(
+                            {
+                                "type": "deliver",
+                                "at": entry.at,
+                                "sub": entry.sub_id,
+                                "seq": entry.seq,
+                                "event": event_to_dict(entry.notification.event),
+                            }
+                        )
+                        self._append_locked(
+                            {
+                                "type": "settle",
+                                "at": entry.at,
+                                "sub": entry.sub_id,
+                                "seq": entry.seq,
+                                "outcome": "dead-letter",
+                                "reason": entry.reason,
+                                "attempts": entry.attempts,
+                            }
+                        )
                 self._sync_locked()
                 self._m_compactions.inc()
         return count

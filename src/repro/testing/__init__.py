@@ -7,24 +7,32 @@ flaky and slow matchers).
 
 from repro.testing.faults import (
     FAULT_MODES,
+    CrashySubscriber,
     FaultyFile,
     FlakyMatcher,
     InjectedFault,
+    KillableWorker,
     MATCHER_OPS,
     SimulatedCrash,
     SlowMatcher,
+    StallingSubscriber,
     crash_at,
     faulty_opener,
+    killable_worker,
 )
 
 __all__ = [
     "FAULT_MODES",
+    "CrashySubscriber",
     "FaultyFile",
     "FlakyMatcher",
     "InjectedFault",
+    "KillableWorker",
     "MATCHER_OPS",
     "SimulatedCrash",
     "SlowMatcher",
+    "StallingSubscriber",
     "crash_at",
     "faulty_opener",
+    "killable_worker",
 ]

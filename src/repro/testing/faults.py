@@ -20,6 +20,13 @@ models:
 * :class:`SlowMatcher` — a matcher wrapper that sleeps before
   delegating, modeling a degraded/overloaded shard or a matcher that
   keeps a server worker busy long enough for its queue to fill.
+* :class:`CrashySubscriber` / :class:`StallingSubscriber` — delivery
+  sinks for the at-least-once layer
+  (:mod:`repro.system.delivery`): one raises from ``deliver`` while a
+  failure budget lasts (a subscriber crashing mid-burst, healing after
+  N crashes), the other receives but stops acking past a threshold (a
+  subscriber stalled past its deadline) — the two failure modes
+  redelivery and slow-consumer isolation exist for.
 * :class:`KillableWorker` + :func:`killable_worker` — a matcher wrapper
   that SIGKILLs **its own process** at the Nth listed operation,
   modeling a shard worker dying mid-request under the process executor
@@ -380,6 +387,120 @@ class KillableWorker(_MatcherWrapper):
         out = self.inner.match_batch(events)
         self._maybe_die("match")
         return out
+
+
+class CrashySubscriber:
+    """A delivery sink that raises while a failure budget lasts.
+
+    The subscriber-side counterpart of :class:`FlakyMatcher`: hand it to
+    :meth:`~repro.system.delivery.DeliveryManager.register` as the
+    ``sink``.  While ``failures`` last, every ``deliver`` raises (one
+    failed send attempt, charged against the channel's retry budget);
+    once the budget is spent the subscriber "heals" and starts
+    recording — and, when constructed with a *manager*, acking — its
+    notifications.  ``rearm`` restocks the budget for crash → heal →
+    relapse schedules.
+    """
+
+    def __init__(
+        self,
+        failures: float = math.inf,
+        manager: Any = None,
+        exc_factory: Callable[[Any], Exception] = None,
+    ) -> None:
+        if failures < 0:
+            raise ValueError(f"failure budget must be >= 0, got {failures}")
+        self.failures = failures
+        self.manager = manager
+        self.exc_factory = exc_factory or (
+            lambda n: InjectedFault(f"subscriber crashed delivering seq {n.seq}")
+        )
+        #: Notifications accepted (post-heal deliveries), in order.
+        self.received: List[Any] = []
+        #: Deliveries refused so far (never reset by :meth:`rearm`).
+        self.crashes = 0
+
+    def rearm(self, failures: float = math.inf) -> None:
+        """Restock the failure budget (relapse after healing)."""
+        if failures < 0:
+            raise ValueError(f"failure budget must be >= 0, got {failures}")
+        self.failures = failures
+
+    @property
+    def healed(self) -> bool:
+        """True once the failure budget is spent."""
+        return self.failures <= 0
+
+    def deliver(self, notification: Any) -> None:
+        if self.failures > 0:
+            self.failures -= 1
+            self.crashes += 1
+            raise self.exc_factory(notification)
+        self.received.append(notification)
+        if self.manager is not None and notification.seq is not None:
+            self.manager.ack(notification.sub_id, notification.seq)
+
+    __call__ = deliver
+
+    def seqs(self) -> List[Any]:
+        """Sequence numbers of everything accepted (ack-set checks)."""
+        return [n.seq for n in self.received]
+
+
+class StallingSubscriber:
+    """A delivery sink that receives but stops acking past a threshold.
+
+    Models the slow consumer: deliveries always *succeed* (the sink
+    never raises), but after ``stall_after`` notifications the
+    subscriber stops acknowledging — its channel's in-flight window
+    fills, ack timeouts fire, and the overflow policy decides its fate.
+    ``resume()`` un-stalls it **and acks everything received while
+    stalled**, so tests can drive stall → isolate → recover end to end.
+    """
+
+    def __init__(
+        self, manager: Any, sub_id: Any, stall_after: float = 0
+    ) -> None:
+        if stall_after < 0:
+            raise ValueError(f"stall_after must be >= 0, got {stall_after}")
+        self.manager = manager
+        self.sub_id = sub_id
+        self.stall_after = stall_after
+        #: Every notification received, stalled or not, in order.
+        self.received: List[Any] = []
+        #: Received-but-unacked notifications (drained by resume()).
+        self.unacked: List[Any] = []
+
+    @property
+    def stalled(self) -> bool:
+        """True once the ack threshold has been crossed."""
+        return len(self.received) >= self.stall_after
+
+    def deliver(self, notification: Any) -> None:
+        stalled = self.stalled  # threshold check *before* this delivery
+        self.received.append(notification)
+        if notification.seq is None:
+            return
+        if stalled:
+            self.unacked.append(notification)
+        else:
+            self.manager.ack(notification.sub_id, notification.seq)
+
+    __call__ = deliver
+
+    def resume(self) -> int:
+        """Stop stalling and ack the backlog; returns acks issued."""
+        self.stall_after = math.inf
+        acked = 0
+        backlog, self.unacked = self.unacked, []
+        for notification in backlog:
+            if self.manager.ack(notification.sub_id, notification.seq):
+                acked += 1
+        return acked
+
+    def seqs(self) -> List[Any]:
+        """Sequence numbers of everything received (dedup checks)."""
+        return [n.seq for n in self.received]
 
 
 def killable_worker(

@@ -1,0 +1,127 @@
+"""The delivery CLI surface: ``repro deliveries`` and ``repro dlq``.
+
+Both commands replay the delivery ledger straight from a WAL file, so
+each test journals a small workload first and then inspects it the way
+an operator would.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.core.types import Event
+from repro.system import DeliveryManager, RetryPolicy, VirtualClock, WriteAheadLog
+
+
+def _run(argv):
+    out = io.StringIO()
+    rc = main(argv, out=out)
+    return rc, out.getvalue()
+
+
+@pytest.fixture
+def wal_with_deliveries(tmp_path):
+    """A WAL holding 3 deliveries for s1 (1 acked, 1 dead, 1 unacked)
+    and 1 acked delivery for s2."""
+    clock = VirtualClock()
+    wal = WriteAheadLog(tmp_path / "wal.jsonl", clock=clock, fsync="never")
+    manager = DeliveryManager(
+        clock=clock,
+        # Far past the pump loop below: the deliberately-unacked lease
+        # must stay leased, not burn its own budget via ack timeouts.
+        ack_timeout=300.0,
+        retry=RetryPolicy(max_attempts=2, base_delay=1.0, rng=random.Random(3)),
+        wal=wal,
+    )
+    manager.register("s1", sink=lambda n: None)
+    manager.register("s2", sink=lambda n: None)
+    acked = manager.dispatch("s1", Event({"n": 0}))
+    doomed = manager.dispatch("s1", Event({"n": 1}))
+    manager.dispatch("s1", Event({"n": 2}))  # left unacked, still leased
+    other = manager.dispatch("s2", Event({"n": 3}))
+    manager.ack("s1", acked)
+    manager.ack("s2", other)
+    # Burn the 2-attempt budget: nack, let the backoff elapse so the
+    # redelivery goes back in flight, nack again → dead-letter.
+    manager.nack("s1", doomed)
+    for _ in range(10):
+        clock.advance(1.0)
+        manager.pump()
+        if manager.nack("s1", doomed):
+            break
+    wal.close()
+    return str(tmp_path / "wal.jsonl")
+
+
+class TestDeliveriesCommand:
+    def test_summary_shape(self, wal_with_deliveries):
+        rc, text = _run(["deliveries", "--wal", wal_with_deliveries])
+        assert rc == 0
+        summary = json.loads(text)
+        totals = summary["totals"]
+        # 4 initial sends + 1 redelivery journaled after the first nack
+        assert totals["delivers"] >= 4
+        assert totals["acked"] == 2
+        assert totals["unacked"] == 1
+        assert totals["dead_lettered"] == 1
+        channels = summary["channels"]
+        assert channels["s1"]["unacked"] == 1
+        assert channels["s1"]["dead_lettered"] == 1
+        assert channels["s1"]["oldest_seq"] is not None
+        # Fully-acked subscribers carry no debt: they don't appear.
+        assert "s2" not in channels
+
+    def test_empty_wal(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "empty.jsonl", fsync="never")
+        wal.close()
+        rc, text = _run(["deliveries", "--wal", str(tmp_path / "empty.jsonl")])
+        assert rc == 0
+        summary = json.loads(text)
+        assert summary["totals"]["delivers"] == 0
+        assert summary["totals"]["unacked"] == 0
+        assert summary["channels"] == {}
+
+
+class TestDlqCommand:
+    def test_lists_dead_letters(self, wal_with_deliveries):
+        rc, text = _run(["dlq", "--wal", wal_with_deliveries])
+        assert rc == 0
+        payload = json.loads(text)
+        assert payload["total"] == 1
+        (entry,) = payload["dead_letters"]
+        assert entry["sub"] == "s1"
+        assert entry["reason"] == "budget"
+        assert entry["attempts"] == 2
+        assert entry["event"] == {"pairs": {"n": 1}}
+
+    def test_sub_filter(self, wal_with_deliveries):
+        rc, text = _run(["dlq", "--wal", wal_with_deliveries, "--sub", "s2"])
+        assert rc == 0
+        payload = json.loads(text)
+        assert payload["total"] == 0
+        assert payload["dead_letters"] == []
+
+    def test_limit(self, tmp_path):
+        clock = VirtualClock()
+        wal = WriteAheadLog(tmp_path / "wal.jsonl", clock=clock, fsync="never")
+        manager = DeliveryManager(
+            clock=clock,
+            ack_timeout=2.0,
+            retry=RetryPolicy(max_attempts=1, base_delay=1.0, rng=random.Random(3)),
+            wal=wal,
+        )
+        manager.register("s1", sink=lambda n: None)
+        for i in range(5):
+            seq = manager.dispatch("s1", Event({"n": i}))
+            manager.nack("s1", seq)  # 1-attempt budget: instant dead-letter
+        wal.close()
+        rc, text = _run(["dlq", "--wal", str(tmp_path / "wal.jsonl"), "--limit", "2"])
+        assert rc == 0
+        payload = json.loads(text)
+        assert payload["total"] == 5
+        assert len(payload["dead_letters"]) == 2
